@@ -1,0 +1,234 @@
+// Package gathernoc's benchmark harness regenerates every table and figure
+// of the paper's evaluation on the cycle-accurate simulator, one benchmark
+// per artifact. Each benchmark reports the headline metric of its artifact
+// (improvement percentage) via b.ReportMetric alongside the usual
+// simulation cost figures.
+//
+//	go test -bench=. -benchmem
+//	go test -bench=BenchmarkFig7 -benchtime=1x
+package gathernoc
+
+import (
+	"fmt"
+	"testing"
+
+	"gathernoc/internal/cnn"
+	"gathernoc/internal/core"
+	"gathernoc/internal/experiments"
+	"gathernoc/internal/noc"
+	"gathernoc/internal/systolic"
+	"gathernoc/internal/topology"
+	"gathernoc/internal/traffic"
+)
+
+var benchOpts = core.Options{Rounds: 1}
+
+// benchCompare runs one layer comparison and reports the latency and power
+// improvements.
+func benchCompare(b *testing.B, mesh int, layer cnn.LayerConfig) {
+	b.Helper()
+	var lat, pow float64
+	for i := 0; i < b.N; i++ {
+		cmp, err := core.CompareLayer(mesh, mesh, layer, benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lat = cmp.LatencyImprovementPct
+		pow = cmp.PowerImprovementPct
+	}
+	b.ReportMetric(lat, "latency-improv-%")
+	b.ReportMetric(pow, "power-improv-%")
+}
+
+// BenchmarkTable2 regenerates Table II: the estimated-vs-simulated
+// total-latency improvement for AlexNet on the 8x8 mesh.
+func BenchmarkTable2(b *testing.B) {
+	for _, layer := range cnn.AlexNetConvLayers() {
+		layer := layer
+		b.Run(layer.Name, func(b *testing.B) {
+			var est, sim float64
+			for i := 0; i < b.N; i++ {
+				cmp, err := core.CompareLayer(8, 8, layer, benchOpts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				est = cmp.EstimatedImprovementPct
+				sim = cmp.LatencyImprovementPct
+			}
+			b.ReportMetric(est, "estimated-%")
+			b.ReportMetric(sim, "simulated-%")
+		})
+	}
+}
+
+// BenchmarkFig7 regenerates Fig. 7: total-latency improvement for AlexNet
+// on 8x8 and 16x16 meshes.
+func BenchmarkFig7(b *testing.B) {
+	for _, mesh := range []int{8, 16} {
+		for _, layer := range cnn.AlexNetConvLayers() {
+			mesh, layer := mesh, layer
+			b.Run(fmt.Sprintf("%dx%d/%s", mesh, mesh, layer.Name), func(b *testing.B) {
+				benchCompare(b, mesh, layer)
+			})
+		}
+	}
+}
+
+// BenchmarkFig8 regenerates Fig. 8: total-latency improvement for the
+// paper's selected VGG-16 layers on 8x8 and 16x16 meshes.
+func BenchmarkFig8(b *testing.B) {
+	for _, mesh := range []int{8, 16} {
+		for _, layer := range cnn.VGG16SelectedConvLayers() {
+			mesh, layer := mesh, layer
+			b.Run(fmt.Sprintf("%dx%d/%s", mesh, mesh, layer.Name), func(b *testing.B) {
+				benchCompare(b, mesh, layer)
+			})
+		}
+	}
+}
+
+// BenchmarkFig9 regenerates Fig. 9: NoC dynamic-power improvement for
+// AlexNet (same runs as Fig. 7; the reported metric is the power figure).
+func BenchmarkFig9(b *testing.B) {
+	for _, mesh := range []int{8, 16} {
+		for _, layer := range cnn.AlexNetConvLayers() {
+			mesh, layer := mesh, layer
+			b.Run(fmt.Sprintf("%dx%d/%s", mesh, mesh, layer.Name), func(b *testing.B) {
+				var pow float64
+				for i := 0; i < b.N; i++ {
+					cmp, err := core.CompareLayer(mesh, mesh, layer, benchOpts)
+					if err != nil {
+						b.Fatal(err)
+					}
+					pow = cmp.PowerImprovementPct
+				}
+				b.ReportMetric(pow, "power-improv-%")
+			})
+		}
+	}
+}
+
+// BenchmarkFig10 regenerates Fig. 10: NoC dynamic-power improvement for
+// VGG-16.
+func BenchmarkFig10(b *testing.B) {
+	for _, mesh := range []int{8, 16} {
+		for _, layer := range cnn.VGG16SelectedConvLayers() {
+			mesh, layer := mesh, layer
+			b.Run(fmt.Sprintf("%dx%d/%s", mesh, mesh, layer.Name), func(b *testing.B) {
+				var pow float64
+				for i := 0; i < b.N; i++ {
+					cmp, err := core.CompareLayer(mesh, mesh, layer, benchOpts)
+					if err != nil {
+						b.Fatal(err)
+					}
+					pow = cmp.PowerImprovementPct
+				}
+				b.ReportMetric(pow, "power-improv-%")
+			})
+		}
+	}
+}
+
+// BenchmarkFig1 regenerates the Fig. 1 hop-count example.
+func BenchmarkFig1(b *testing.B) {
+	var hops int
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig1()
+		hops = r.UnicastHops - r.GatherHops
+	}
+	b.ReportMetric(float64(hops), "hops-saved")
+}
+
+// BenchmarkAblationDelta sweeps the flat δ timeout (AlexNet Conv3, 8x8).
+func BenchmarkAblationDelta(b *testing.B) {
+	for _, delta := range []int{0, 5, 20} {
+		delta := delta
+		b.Run(fmt.Sprintf("delta=%d", delta), func(b *testing.B) {
+			var self float64
+			for i := 0; i < b.N; i++ {
+				opts := benchOpts
+				opts.MutateNetwork = func(c *noc.Config) { c.Delta = int64(delta) }
+				opts.MutateSystolic = func(s *systolic.Config) { s.FlatDelta = true }
+				layer, _ := cnn.LayerByName(cnn.AlexNetConvLayers(), "Conv3")
+				cmp, err := core.CompareLayer(8, 8, layer, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				self = float64(cmp.Gather.Result.SelfInitiatedGathers)
+			}
+			b.ReportMetric(self, "self-initiated")
+		})
+	}
+}
+
+// BenchmarkAblationSinkCost sweeps the per-packet buffer transaction cost
+// (the DESIGN.md §3 substitution).
+func BenchmarkAblationSinkCost(b *testing.B) {
+	for _, cost := range []int{0, 5, 10} {
+		cost := cost
+		b.Run(fmt.Sprintf("cost=%d", cost), func(b *testing.B) {
+			var lat float64
+			for i := 0; i < b.N; i++ {
+				opts := benchOpts
+				opts.MutateNetwork = func(c *noc.Config) { c.SinkPacketOverhead = int64(cost) }
+				layer, _ := cnn.LayerByName(cnn.AlexNetConvLayers(), "Conv3")
+				cmp, err := core.CompareLayer(8, 8, layer, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				lat = cmp.LatencyImprovementPct
+			}
+			b.ReportMetric(lat, "latency-improv-%")
+		})
+	}
+}
+
+// BenchmarkRouterThroughput measures raw simulator speed: cycles per
+// second on an 8x8 mesh under moderate uniform traffic.
+func BenchmarkRouterThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := noc.DefaultConfig(8, 8)
+		cfg.EastSinks = false
+		nw, err := noc.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gen, err := traffic.NewGenerator(nw, traffic.GeneratorConfig{
+			Pattern:       traffic.UniformRandom{Nodes: 64},
+			InjectionRate: 0.05,
+			PacketFlits:   2,
+			Warmup:        100,
+			Measure:       900,
+			Seed:          1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := gen.Run(1_000_000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGatherRowCollection measures one row-collection on the NoC: the
+// microbenchmark version of the paper's mechanism.
+func BenchmarkGatherRowCollection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		nw, err := noc.New(noc.DefaultConfig(8, 8))
+		if err != nil {
+			b.Fatal(err)
+		}
+		dst := nw.RowSinkID(0)
+		for col := 1; col < 8; col++ {
+			id := nw.Mesh().ID(topology.Coord{Row: 0, Col: col})
+			nw.NIC(id).SetDelta(5 * int64(1+col))
+			nw.NIC(id).SubmitGatherPayload(flitPayload(uint64(col), id, dst))
+		}
+		left := nw.Mesh().ID(topology.Coord{Row: 0, Col: 0})
+		own := flitPayload(0, left, dst)
+		nw.NIC(left).SendGather(dst, &own)
+		if _, err := nw.RunUntilQuiescent(100000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleArtifact(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-exp", "fig1"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "== fig1 ==") || !strings.Contains(out, "15 hops") {
+		t.Errorf("output missing fig1 content:\n%s", out)
+	}
+}
+
+func TestRunStaticTables(t *testing.T) {
+	for _, exp := range []string{"table1", "table3"} {
+		var b strings.Builder
+		if err := run([]string{"-exp", exp}, &b); err != nil {
+			t.Fatalf("%s: %v", exp, err)
+		}
+		if !strings.Contains(b.String(), "== "+exp+" ==") {
+			t.Errorf("%s header missing", exp)
+		}
+	}
+}
+
+func TestRunSimulatedArtifact(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-exp", "table2", "-rounds", "1"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "Estimated") || !strings.Contains(out, "Simulated") {
+		t.Errorf("table2 output incomplete:\n%s", out)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-exp", "nope"}, &b)
+	if err == nil || !strings.Contains(err.Error(), "unknown experiment") {
+		t.Errorf("err = %v, want unknown-experiment error", err)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-bogus"}, &b); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestRunJSONFormat(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-exp", "fig1", "-format", "json"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]struct {
+		UnicastHops int
+		GatherHops  int
+	}
+	if err := json.Unmarshal([]byte(b.String()), &out); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, b.String())
+	}
+	if out["fig1"].UnicastHops != 15 || out["fig1"].GatherHops != 5 {
+		t.Errorf("fig1 = %+v", out["fig1"])
+	}
+}
+
+func TestRunRejectsBadFormat(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-format", "xml"}, &b); err == nil {
+		t.Error("bad format accepted")
+	}
+}

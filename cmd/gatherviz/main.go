@@ -1,0 +1,92 @@
+// Command gatherviz renders the paper's Fig. 1 motivating example as ASCII
+// art: collecting one mesh row's results into the global buffer with
+// repetitive unicast versus a single gather packet, with hop counts.
+//
+// Usage:
+//
+//	gatherviz            # the paper's 6x6 example, row 2
+//	gatherviz -size 8 -row 0
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"gathernoc/internal/topology"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "gatherviz:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("gatherviz", flag.ContinueOnError)
+	size := fs.Int("size", 6, "mesh dimension")
+	row := fs.Int("row", 2, "row whose PEs send to the global buffer")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *size < 2 || *size > 32 {
+		return fmt.Errorf("size %d out of range [2,32]", *size)
+	}
+	if *row < 0 || *row >= *size {
+		return fmt.Errorf("row %d out of range", *row)
+	}
+
+	m := topology.MustMesh(*size, *size)
+	dst := m.ID(topology.Coord{Row: *row, Col: *size - 1})
+
+	fmt.Fprintf(w, "Fig. 1 — %dx%d mesh, row %d sends results to the global buffer (east edge)\n\n", *size, *size, *row)
+
+	fmt.Fprintf(w, "(a) repetitive unicast: one packet per PE\n")
+	drawMesh(w, *size, *row, 'u')
+	total := 0
+	for c := 0; c < *size; c++ {
+		total += m.Hops(m.ID(topology.Coord{Row: *row, Col: c}), dst)
+	}
+	fmt.Fprintf(w, "    packets: %d, router-to-router hops: %d\n\n", *size, total)
+
+	fmt.Fprintf(w, "(b) gather: one packet collects the row\n")
+	drawMesh(w, *size, *row, 'g')
+	fmt.Fprintf(w, "    packets: 1, router-to-router hops: %d\n",
+		m.Hops(m.ID(topology.Coord{Row: *row, Col: 0}), dst))
+	return nil
+}
+
+// drawMesh prints the mesh with the active row highlighted. mode 'u' shows
+// per-node unicast packets, 'g' shows a single gather packet sweeping east.
+func drawMesh(w io.Writer, size, row int, mode byte) {
+	for r := 0; r < size; r++ {
+		var cells []string
+		for c := 0; c < size; c++ {
+			switch {
+			case r != row:
+				cells = append(cells, "( )")
+			case mode == 'u':
+				cells = append(cells, "(P)")
+			case c == 0:
+				cells = append(cells, "(G)")
+			default:
+				cells = append(cells, "(+)")
+			}
+		}
+		sep := "---"
+		line := strings.Join(cells, sep)
+		if r == row {
+			line += "-->[GLOBAL BUFFER]"
+		}
+		fmt.Fprintf(w, "    %s\n", line)
+	}
+	switch mode {
+	case 'u':
+		fmt.Fprintf(w, "    (P) = PE sending its own unicast packet\n")
+	case 'g':
+		fmt.Fprintf(w, "    (G) = gather initiator, (+) = payload piggybacked en route\n")
+	}
+}

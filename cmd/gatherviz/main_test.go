@@ -1,0 +1,48 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunDefaultExample(t *testing.T) {
+	var b strings.Builder
+	if err := run(nil, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, frag := range []string{
+		"6x6 mesh", "GLOBAL BUFFER", "hops: 15", "hops: 5", "(G)", "(P)",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestRunCustomSize(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-size", "8", "-row", "0"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	// 8-wide row: unicast 7+6+...+0 = 28 hops, gather 7.
+	out := b.String()
+	if !strings.Contains(out, "hops: 28") || !strings.Contains(out, "hops: 7") {
+		t.Errorf("hop counts wrong:\n%s", out)
+	}
+}
+
+func TestRunRejectsBadInputs(t *testing.T) {
+	cases := [][]string{
+		{"-size", "1"},
+		{"-size", "100"},
+		{"-row", "-1"},
+		{"-row", "6"},
+	}
+	for _, args := range cases {
+		var b strings.Builder
+		if err := run(args, &b); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

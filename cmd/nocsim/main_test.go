@@ -1,0 +1,87 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gathernoc/internal/traffic"
+)
+
+func TestRunSynthetic(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{
+		"-rows", "4", "-cols", "4", "-pattern", "uniform",
+		"-rate", "0.02", "-warmup", "100", "-measure", "500",
+	}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, frag := range []string{"mesh", "injected", "received", "latency", "throughput"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestRunAllPatterns(t *testing.T) {
+	for _, p := range []string{"uniform", "transpose", "bitcomplement", "hotspot"} {
+		var b strings.Builder
+		err := run([]string{
+			"-rows", "4", "-cols", "4", "-pattern", p,
+			"-rate", "0.01", "-warmup", "50", "-measure", "200",
+		}, &b)
+		if err != nil {
+			t.Errorf("%s: %v", p, err)
+		}
+	}
+}
+
+func TestRunRejectsBadInputs(t *testing.T) {
+	cases := [][]string{
+		{"-pattern", "bogus"},
+		{"-rows", "0"},
+		{"-rate", "2.0"},
+		{"-vcs", "0"},
+	}
+	for _, args := range cases {
+		var b strings.Builder
+		if err := run(args, &b); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestRunTraceReplay(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := []traffic.Event{
+		{Cycle: 0, Type: traffic.EventUnicast, Src: 0, Dst: 5, Seq: 1, Value: 9},
+		{Cycle: 3, Type: traffic.EventUnicast, Src: 1, Dst: 6, Seq: 2, Value: 8},
+	}
+	if err := traffic.Write(f, events); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	var b strings.Builder
+	if err := run([]string{"-rows", "4", "-cols", "4", "-trace", path}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "replayed       2 events") {
+		t.Errorf("output:\n%s", b.String())
+	}
+}
+
+func TestRunTraceMissingFile(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-trace", "/nonexistent/file"}, &b); err == nil {
+		t.Error("missing trace file accepted")
+	}
+}

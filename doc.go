@@ -1,0 +1,13 @@
+// Package gathernoc reproduces "Improving the Performance of a NoC-based
+// CNN Accelerator with Gather Support" (Tiwari et al., IEEE SOCC 2020;
+// arXiv:2108.02567): a cycle-accurate virtual-channel wormhole mesh NoC
+// simulator whose routers can piggyback a PE's partial-sum payload onto a
+// passing gather packet, compared against the repetitive-unicast baseline
+// on AlexNet and VGG-16 convolution workloads mapped as output-stationary
+// systolic arrays.
+//
+// The root package carries the integration tests and the benchmark harness
+// (one benchmark per paper table/figure); the implementation lives under
+// internal/ — see README.md for the architecture map and DESIGN.md /
+// EXPERIMENTS.md for the reproduction methodology and results.
+package gathernoc

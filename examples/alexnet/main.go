@@ -1,0 +1,39 @@
+// AlexNet: sweep all five AlexNet convolution layers (Table III) on the
+// paper's 8x8 and 16x16 meshes and print the Fig. 7 (latency) and Fig. 9
+// (power) series plus Table II's estimated-vs-simulated comparison.
+//
+//	go run ./examples/alexnet
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gathernoc/internal/experiments"
+)
+
+func main() {
+	opts := experiments.Options{Rounds: 2}
+
+	t2, err := experiments.Table2(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(experiments.RenderTable2(t2))
+	fmt.Println()
+
+	f7, err := experiments.Fig7(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(experiments.RenderImprovements(
+		"Fig. 7: total-latency improvement, AlexNet", "% gather vs RU", f7))
+	fmt.Println()
+
+	f9, err := experiments.Fig9(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(experiments.RenderImprovements(
+		"Fig. 9: NoC power improvement, AlexNet", "% gather vs RU", f9))
+}

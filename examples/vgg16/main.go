@@ -1,0 +1,54 @@
+// VGG-16: evaluate the paper's selected VGG-16 convolution layers
+// (Table III: VGG layers 2, 4, 6 and 13) on 8x8 and 16x16 meshes,
+// reproducing the Fig. 8 (latency) and Fig. 10 (power) series, and — as an
+// extension beyond the paper — the same comparison for all thirteen VGG-16
+// convolution layers on the 8x8 mesh.
+//
+//	go run ./examples/vgg16            # the paper's four layers
+//	go run ./examples/vgg16 -all       # all 13 conv layers (slower)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"gathernoc/internal/cnn"
+	"gathernoc/internal/core"
+	"gathernoc/internal/experiments"
+)
+
+func main() {
+	all := flag.Bool("all", false, "also run all 13 VGG-16 conv layers on 8x8")
+	flag.Parse()
+
+	opts := experiments.Options{Rounds: 2}
+	f8, err := experiments.Fig8(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(experiments.RenderImprovements(
+		"Fig. 8: total-latency improvement, VGG-16", "% gather vs RU", f8))
+	fmt.Println()
+
+	f10, err := experiments.Fig10(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(experiments.RenderImprovements(
+		"Fig. 10: NoC power improvement, VGG-16", "% gather vs RU", f10))
+
+	if !*all {
+		return
+	}
+	fmt.Println("\nExtension: all 13 VGG-16 conv layers on 8x8")
+	fmt.Printf("%-10s %10s %10s %12s\n", "layer", "latency%", "power%", "C·R·R")
+	for _, layer := range cnn.VGG16AllConvLayers() {
+		cmp, err := core.CompareLayer(8, 8, layer, core.Options{Rounds: 2})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s %10.2f %10.2f %12d\n",
+			layer.Name, cmp.LatencyImprovementPct, cmp.PowerImprovementPct, layer.MACsPerPE())
+	}
+}

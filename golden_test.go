@@ -1,0 +1,58 @@
+package gathernoc
+
+import (
+	"testing"
+
+	"gathernoc/internal/cnn"
+	"gathernoc/internal/core"
+	"gathernoc/internal/systolic"
+)
+
+// TestGoldenDeterminism pins the simulator's exact cycle counts for a
+// reference configuration. These values are a contract: the simulation is
+// bit-for-bit deterministic, so any change here means the timing model
+// changed and EXPERIMENTS.md needs re-measuring.
+func TestGoldenDeterminism(t *testing.T) {
+	layer, ok := cnn.LayerByName(cnn.AlexNetConvLayers(), "Conv1")
+	if !ok {
+		t.Fatal("Conv1 missing")
+	}
+
+	ru, err := core.RunLayer(8, 8, layer, systolic.RepetitiveUnicast, core.Options{Rounds: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := core.RunLayer(8, 8, layer, systolic.GatherMode, core.Options{Rounds: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One round of AlexNet Conv1 on the Table I 8x8 configuration:
+	// C·R·R + T_MAC = 368 compute cycles plus the measured collection
+	// phases (57 for RU under per-packet buffer transactions, 38 for the
+	// single gather packet).
+	if got := int64(ru.Result.RoundCycles.Mean()); got != 425 {
+		t.Errorf("RU round = %d cycles, golden 425", got)
+	}
+	if got := int64(g.Result.RoundCycles.Mean()); got != 406 {
+		t.Errorf("gather round = %d cycles, golden 406", got)
+	}
+
+	// Gather wire activity for one full round: the 8 per-row packets are
+	// 4 flits each; every non-initiator PE piggybacked.
+	if got := g.Result.PiggybackAcks; got != 56 {
+		t.Errorf("piggyback acks = %d, golden 56 (7 cols x 8 rows)", got)
+	}
+	if got := g.Result.SelfInitiatedGathers; got != 0 {
+		t.Errorf("self-initiated = %d, golden 0", got)
+	}
+
+	// Re-running must give identical activity — full determinism.
+	g2, err := core.RunLayer(8, 8, layer, systolic.GatherMode, core.Options{Rounds: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Events != g2.Events {
+		t.Errorf("replay diverged:\n%+v\n%+v", g.Events, g2.Events)
+	}
+}

@@ -1,0 +1,132 @@
+package cnn
+
+import "fmt"
+
+// LayerKind distinguishes how a layer maps onto the accelerator. The zero
+// value is Conv, so the Table III layer lists need no annotation.
+type LayerKind uint8
+
+// Layer kinds.
+const (
+	// Conv is a convolution layer: inputs and weights both stream.
+	Conv LayerKind = iota
+	// Pool is a max/avg pooling layer: only inputs stream (no weights),
+	// each output needs R·R compare/accumulate operations. The paper
+	// names pooling alongside convolution as a source of many-to-one
+	// traffic (Sec. I, Sec. VI).
+	Pool
+	// FullyConnected is a dense layer: a matrix-vector product mapped as
+	// a 1x1 "convolution" over a single spatial position.
+	FullyConnected
+)
+
+// String names the kind.
+func (k LayerKind) String() string {
+	switch k {
+	case Conv:
+		return "conv"
+	case Pool:
+		return "pool"
+	case FullyConnected:
+		return "fc"
+	default:
+		return fmt.Sprintf("LayerKind(%d)", uint8(k))
+	}
+}
+
+// StreamFactor returns how many operand streams feed each PE per cycle:
+// convolution and fully-connected layers stream inputs and weights (2);
+// pooling streams only inputs (1). The systolic energy accounting uses it.
+func (k LayerKind) StreamFactor() int {
+	if k == Pool {
+		return 1
+	}
+	return 2
+}
+
+// AlexNetPoolLayers returns AlexNet's three max-pooling layers (3x3,
+// stride 2), mapped with channels on the filter axis and one pooling
+// window per PE round.
+func AlexNetPoolLayers() []LayerConfig {
+	return []LayerConfig{
+		{Model: "AlexNet", Name: "Pool1", Kind: Pool, InChannels: 1, OutKernels: 64, Kernel: 3, InputSize: 55, OutputSize: 27, Stride: 2, Pad: 0},
+		{Model: "AlexNet", Name: "Pool2", Kind: Pool, InChannels: 1, OutKernels: 192, Kernel: 3, InputSize: 27, OutputSize: 13, Stride: 2, Pad: 0},
+		{Model: "AlexNet", Name: "Pool5", Kind: Pool, InChannels: 1, OutKernels: 256, Kernel: 3, InputSize: 13, OutputSize: 6, Stride: 2, Pad: 0},
+	}
+}
+
+// AlexNetFCLayers returns AlexNet's three fully-connected layers as 1x1
+// mappings over a single spatial position.
+func AlexNetFCLayers() []LayerConfig {
+	return []LayerConfig{
+		{Model: "AlexNet", Name: "FC6", Kind: FullyConnected, InChannels: 9216, OutKernels: 4096, Kernel: 1, InputSize: 1, OutputSize: 1, Stride: 1, Pad: 0},
+		{Model: "AlexNet", Name: "FC7", Kind: FullyConnected, InChannels: 4096, OutKernels: 4096, Kernel: 1, InputSize: 1, OutputSize: 1, Stride: 1, Pad: 0},
+		{Model: "AlexNet", Name: "FC8", Kind: FullyConnected, InChannels: 4096, OutKernels: 1000, Kernel: 1, InputSize: 1, OutputSize: 1, Stride: 1, Pad: 0},
+	}
+}
+
+// AlexNetAllLayers returns the complete AlexNet layer sequence
+// (convolution, pooling and fully-connected) in execution order — the
+// paper's future-work target of accelerating the complete model.
+func AlexNetAllLayers() []LayerConfig {
+	conv := AlexNetConvLayers()
+	pool := AlexNetPoolLayers()
+	fc := AlexNetFCLayers()
+	return []LayerConfig{
+		conv[0], pool[0],
+		conv[1], pool[1],
+		conv[2], conv[3], conv[4], pool[2],
+		fc[0], fc[1], fc[2],
+	}
+}
+
+// VGG16PoolLayers returns VGG-16's five max-pooling layers (2x2, stride
+// 2) with channels on the filter axis.
+func VGG16PoolLayers() []LayerConfig {
+	mk := func(name string, q, in int) LayerConfig {
+		return LayerConfig{
+			Model: "VGG-16", Name: name, Kind: Pool, InChannels: 1,
+			OutKernels: q, Kernel: 2, InputSize: in, OutputSize: in / 2,
+			Stride: 2, Pad: 0,
+		}
+	}
+	return []LayerConfig{
+		mk("PoolA", 64, 224),
+		mk("PoolB", 128, 112),
+		mk("PoolC", 256, 56),
+		mk("PoolD", 512, 28),
+		mk("PoolE", 512, 14),
+	}
+}
+
+// VGG16FCLayers returns VGG-16's three fully-connected layers.
+func VGG16FCLayers() []LayerConfig {
+	mk := func(name string, in, out int) LayerConfig {
+		return LayerConfig{
+			Model: "VGG-16", Name: name, Kind: FullyConnected,
+			InChannels: in, OutKernels: out, Kernel: 1,
+			InputSize: 1, OutputSize: 1, Stride: 1, Pad: 0,
+		}
+	}
+	return []LayerConfig{
+		mk("FC1", 512*7*7, 4096),
+		mk("FC2", 4096, 4096),
+		mk("FC3", 4096, 1000),
+	}
+}
+
+// VGG16AllLayers returns the complete VGG-16 layer sequence (13 conv, 5
+// pool, 3 fc) in execution order.
+func VGG16AllLayers() []LayerConfig {
+	conv := VGG16AllConvLayers()
+	pool := VGG16PoolLayers()
+	fc := VGG16FCLayers()
+	return []LayerConfig{
+		conv[0], conv[1], pool[0],
+		conv[2], conv[3], pool[1],
+		conv[4], conv[5], conv[6], pool[2],
+		conv[7], conv[8], conv[9], pool[3],
+		conv[10], conv[11], conv[12], pool[4],
+		fc[0], fc[1], fc[2],
+	}
+}

@@ -1,0 +1,192 @@
+// Package core is the library facade: it ties the network, systolic
+// dataflow, power and analytic models together into single-call layer runs
+// and RU-vs-gather comparisons — the API the examples, CLI tools and
+// benchmark harness consume.
+package core
+
+import (
+	"fmt"
+
+	"gathernoc/internal/analytic"
+	"gathernoc/internal/cnn"
+	"gathernoc/internal/noc"
+	"gathernoc/internal/power"
+	"gathernoc/internal/systolic"
+)
+
+// Options tune a layer run. The zero value selects the paper's defaults.
+type Options struct {
+	// Rounds is how many systolic rounds to simulate before extrapolation
+	// (0 = 2).
+	Rounds int
+	// ExactRounds simulates every round of the layer (slow on real
+	// layers).
+	ExactRounds bool
+	// TMAC overrides the MAC latency (0 = Table I's 5).
+	TMAC int
+	// MaxCycles bounds a single run (0 = 50M).
+	MaxCycles int64
+	// MutateNetwork, when non-nil, adjusts the network configuration
+	// before construction (ablations).
+	MutateNetwork func(*noc.Config)
+	// MutateSystolic, when non-nil, adjusts the systolic configuration.
+	MutateSystolic func(*systolic.Config)
+	// Coefficients overrides the energy model (nil = defaults).
+	Coefficients *power.Coefficients
+}
+
+func (o Options) rounds() int {
+	if o.Rounds == 0 {
+		return 2
+	}
+	return o.Rounds
+}
+
+func (o Options) tmac() int {
+	if o.TMAC == 0 {
+		return 5
+	}
+	return o.TMAC
+}
+
+func (o Options) maxCycles() int64 {
+	if o.MaxCycles == 0 {
+		return 50_000_000
+	}
+	return o.MaxCycles
+}
+
+func (o Options) coefficients() power.Coefficients {
+	if o.Coefficients != nil {
+		return *o.Coefficients
+	}
+	return power.DefaultCoefficients()
+}
+
+// LayerReport is the outcome of one layer run in one collection mode.
+type LayerReport struct {
+	// Result is the systolic run summary (latencies, protocol counters,
+	// integrity checks).
+	Result *systolic.Result
+	// Events are the power-model inputs for the simulated rounds.
+	Events power.Events
+	// Energy is the energy/power report over the simulated rounds.
+	Energy power.Report
+	// NetworkConfig echoes the configuration used.
+	NetworkConfig noc.Config
+}
+
+// RunLayer executes one convolution layer on a rows×cols mesh in the given
+// collection mode and returns latency and energy results.
+func RunLayer(rows, cols int, layer cnn.LayerConfig, mode systolic.Mode, opts Options) (*LayerReport, error) {
+	cfg := noc.DefaultConfig(rows, cols)
+	if opts.MutateNetwork != nil {
+		opts.MutateNetwork(&cfg)
+	}
+	nw, err := noc.New(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	sysCfg := systolic.Config{
+		Layer:             layer,
+		Mode:              mode,
+		TMAC:              opts.tmac(),
+		MaxRounds:         opts.rounds(),
+		SimulateAllRounds: opts.ExactRounds,
+	}
+	if opts.MutateSystolic != nil {
+		opts.MutateSystolic(&sysCfg)
+	}
+	ctl, err := systolic.NewController(nw, sysCfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	res, err := ctl.Run(opts.maxCycles())
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if res.PayloadErrors != 0 {
+		return nil, fmt.Errorf("core: %s/%s on %dx%d: %d payload integrity errors",
+			layer.Name, mode, rows, cols, res.PayloadErrors)
+	}
+
+	a := res.Activity
+	events := power.Events{
+		BufferWrites:   a.BufferWrites,
+		BufferReads:    a.BufferReads,
+		RCComputations: a.RCComputations,
+		VAAllocations:  a.VAAllocations,
+		SAGrants:       a.SAGrants,
+		Crossings:      a.Crossings,
+		LinkFlits:      a.LinkFlits,
+		GatherUploads:  a.GatherUploads,
+		StreamHops:     res.StreamHops,
+		MACs:           res.MACs,
+	}
+	report := power.Compute(events, opts.coefficients(), res.MeasuredCycles, 1.0)
+	return &LayerReport{
+		Result:        res,
+		Events:        events,
+		Energy:        report,
+		NetworkConfig: cfg,
+	}, nil
+}
+
+// Comparison holds matched RU and gather runs of the same layer plus the
+// derived improvement figures.
+type Comparison struct {
+	// RU and Gather are the two runs.
+	RU     *LayerReport
+	Gather *LayerReport
+	// LatencyImprovementPct is Eq. (4)'s form: (RU − G) / G × 100 over
+	// the extrapolated total latencies (Figs. 7/8 and Table II's
+	// "Simulated" row).
+	LatencyImprovementPct float64
+	// PowerImprovementPct is the NoC dynamic-energy saving
+	// (RU − G) / RU × 100 (Figs. 9/10).
+	PowerImprovementPct float64
+	// EstimatedImprovementPct is Eq. (4) with ideal terms (Table II's
+	// "Estimated" row).
+	EstimatedImprovementPct float64
+}
+
+// CompareLayer runs the layer in both collection modes and derives the
+// improvement figures.
+func CompareLayer(rows, cols int, layer cnn.LayerConfig, opts Options) (*Comparison, error) {
+	ru, err := RunLayer(rows, cols, layer, systolic.RepetitiveUnicast, opts)
+	if err != nil {
+		return nil, err
+	}
+	g, err := RunLayer(rows, cols, layer, systolic.GatherMode, opts)
+	if err != nil {
+		return nil, err
+	}
+	c := &Comparison{RU: ru, Gather: g}
+	if g.Result.TotalCycles > 0 {
+		c.LatencyImprovementPct = float64(ru.Result.TotalCycles-g.Result.TotalCycles) /
+			float64(g.Result.TotalCycles) * 100
+	}
+	c.PowerImprovementPct = power.ImprovementPercent(ru.Energy.NoCPJ, g.Energy.NoCPJ)
+	c.EstimatedImprovementPct = EstimateParams(ru.NetworkConfig, layer, opts.tmac()).Improvement()
+	return c, nil
+}
+
+// EstimateParams builds the Eq. (2)–(4) parameter set matching a network
+// configuration and layer (ideal terms: tδ = ΔR = ΔG = 0).
+func EstimateParams(cfg noc.Config, layer cnn.LayerConfig, tmac int) analytic.Params {
+	format, err := flitFormat(cfg)
+	gflits := 4
+	if err == nil {
+		gflits = format.GatherFlits(cfg.EffectiveGatherCapacity())
+	}
+	return analytic.Params{
+		N:            cfg.Rows,
+		M:            cfg.Cols,
+		Kappa:        cfg.HeaderHopLatency(),
+		UnicastFlits: cfg.UnicastFlits,
+		GatherFlits:  gflits,
+		Eta:          cfg.EffectiveGatherCapacity(),
+		TMAC:         tmac,
+		CRR:          layer.MACsPerPE(),
+	}
+}

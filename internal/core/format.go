@@ -1,0 +1,12 @@
+package core
+
+import (
+	"gathernoc/internal/flit"
+	"gathernoc/internal/noc"
+)
+
+// flitFormat mirrors the format construction the network performs, for
+// analytic parameter derivation without building a network.
+func flitFormat(cfg noc.Config) (*flit.Format, error) {
+	return flit.NewFormat(cfg.FlitBits, cfg.PayloadBits, cfg.Rows*cfg.Cols+cfg.Rows)
+}

@@ -1,0 +1,256 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation section (Table I–III, Fig. 1, Figs. 7–10) plus the ablations
+// DESIGN.md calls out. Each experiment returns machine-readable rows and a
+// rendered text table printing the same series the paper reports.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"gathernoc/internal/cnn"
+	"gathernoc/internal/core"
+	"gathernoc/internal/flit"
+	"gathernoc/internal/noc"
+	"gathernoc/internal/topology"
+)
+
+// Options tune the whole experiment suite.
+type Options struct {
+	// Rounds is the number of simulated rounds per run (0 = 2).
+	Rounds int
+	// Meshes lists the mesh sizes to evaluate (nil = the paper's 8x8 and
+	// 16x16).
+	Meshes []int
+}
+
+func (o Options) meshes() []int {
+	if len(o.Meshes) == 0 {
+		return []int{8, 16}
+	}
+	return o.Meshes
+}
+
+func (o Options) core() core.Options {
+	return core.Options{Rounds: o.Rounds}
+}
+
+// ImprovementRow is one bar of Figs. 7–10: a layer on a mesh size with its
+// gather-vs-RU improvement.
+type ImprovementRow struct {
+	Model       string
+	Layer       string
+	Mesh        int
+	Improvement float64
+}
+
+// Table2Row pairs the estimated and simulated improvements (Table II).
+type Table2Row struct {
+	Layer     string
+	Estimated float64
+	Simulated float64
+}
+
+// Table2 reproduces Table II: estimated vs simulated total-latency
+// improvement for AlexNet's five convolution layers on the 8x8 mesh.
+func Table2(opts Options) ([]Table2Row, error) {
+	var rows []Table2Row
+	for _, layer := range cnn.AlexNetConvLayers() {
+		cmp, err := core.CompareLayer(8, 8, layer, opts.core())
+		if err != nil {
+			return nil, fmt.Errorf("table2 %s: %w", layer.Name, err)
+		}
+		rows = append(rows, Table2Row{
+			Layer:     layer.Name,
+			Estimated: cmp.EstimatedImprovementPct,
+			Simulated: cmp.LatencyImprovementPct,
+		})
+	}
+	return rows, nil
+}
+
+// RenderTable2 formats Table II rows like the paper.
+func RenderTable2(rows []Table2Row) string {
+	var b strings.Builder
+	b.WriteString("Table II: estimated vs simulated total-latency improvement, AlexNet, 8x8 mesh (%)\n")
+	b.WriteString("Result    ")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%8s", r.Layer)
+	}
+	b.WriteString("\nEstimated ")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%8.2f", r.Estimated)
+	}
+	b.WriteString("\nSimulated ")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%8.2f", r.Simulated)
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// latencyFigure runs the gather-vs-RU latency comparison for a layer list
+// across mesh sizes (Figs. 7 and 8).
+func latencyFigure(layers []cnn.LayerConfig, opts Options) ([]ImprovementRow, error) {
+	var rows []ImprovementRow
+	for _, mesh := range opts.meshes() {
+		for _, layer := range layers {
+			cmp, err := core.CompareLayer(mesh, mesh, layer, opts.core())
+			if err != nil {
+				return nil, fmt.Errorf("%s %dx%d: %w", layer.Name, mesh, mesh, err)
+			}
+			rows = append(rows, ImprovementRow{
+				Model: layer.Model, Layer: layer.Name, Mesh: mesh,
+				Improvement: cmp.LatencyImprovementPct,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// powerFigure runs the gather-vs-RU NoC-energy comparison (Figs. 9 and 10).
+func powerFigure(layers []cnn.LayerConfig, opts Options) ([]ImprovementRow, error) {
+	var rows []ImprovementRow
+	for _, mesh := range opts.meshes() {
+		for _, layer := range layers {
+			cmp, err := core.CompareLayer(mesh, mesh, layer, opts.core())
+			if err != nil {
+				return nil, fmt.Errorf("%s %dx%d: %w", layer.Name, mesh, mesh, err)
+			}
+			rows = append(rows, ImprovementRow{
+				Model: layer.Model, Layer: layer.Name, Mesh: mesh,
+				Improvement: cmp.PowerImprovementPct,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// Fig7 reproduces Fig. 7: total-latency improvement for AlexNet on 8x8 and
+// 16x16 meshes.
+func Fig7(opts Options) ([]ImprovementRow, error) {
+	return latencyFigure(cnn.AlexNetConvLayers(), opts)
+}
+
+// Fig8 reproduces Fig. 8: total-latency improvement for the paper's
+// selected VGG-16 layers on 8x8 and 16x16 meshes.
+func Fig8(opts Options) ([]ImprovementRow, error) {
+	return latencyFigure(cnn.VGG16SelectedConvLayers(), opts)
+}
+
+// Fig9 reproduces Fig. 9: NoC dynamic-power improvement for AlexNet.
+func Fig9(opts Options) ([]ImprovementRow, error) {
+	return powerFigure(cnn.AlexNetConvLayers(), opts)
+}
+
+// Fig10 reproduces Fig. 10: NoC dynamic-power improvement for VGG-16.
+func Fig10(opts Options) ([]ImprovementRow, error) {
+	return powerFigure(cnn.VGG16SelectedConvLayers(), opts)
+}
+
+// RenderImprovements formats figure rows as a mesh-by-layer table.
+func RenderImprovements(title, unit string, rows []ImprovementRow) string {
+	var b strings.Builder
+	b.WriteString(title)
+	b.WriteString("\n")
+	byMesh := map[int][]ImprovementRow{}
+	var meshes []int
+	for _, r := range rows {
+		if _, ok := byMesh[r.Mesh]; !ok {
+			meshes = append(meshes, r.Mesh)
+		}
+		byMesh[r.Mesh] = append(byMesh[r.Mesh], r)
+	}
+	if len(rows) > 0 {
+		b.WriteString("Mesh    ")
+		for _, r := range byMesh[meshes[0]] {
+			fmt.Fprintf(&b, "%8s", r.Layer)
+		}
+		b.WriteString("\n")
+	}
+	for _, mesh := range meshes {
+		fmt.Fprintf(&b, "%dx%-5d", mesh, mesh)
+		for _, r := range byMesh[mesh] {
+			fmt.Fprintf(&b, "%8.2f", r.Improvement)
+		}
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "(%s)\n", unit)
+	return b.String()
+}
+
+// Fig1Result quantifies the Fig. 1 example: hop counts for collecting one
+// row of a 6x6 mesh with repetitive unicast vs one gather packet.
+type Fig1Result struct {
+	MeshSize    int
+	Row         int
+	UnicastHops int
+	GatherHops  int
+}
+
+// Fig1 computes the motivating hop-count example of Fig. 1.
+func Fig1() Fig1Result {
+	m := topology.MustMesh(6, 6)
+	row := 2
+	dst := m.ID(topology.Coord{Row: row, Col: 5})
+	total := 0
+	for c := 0; c < 6; c++ {
+		total += m.Hops(m.ID(topology.Coord{Row: row, Col: c}), dst)
+	}
+	return Fig1Result{
+		MeshSize:    6,
+		Row:         row,
+		UnicastHops: total,
+		GatherHops:  m.Hops(m.ID(topology.Coord{Row: row, Col: 0}), dst),
+	}
+}
+
+// RenderFig1 formats the Fig. 1 example.
+func RenderFig1(r Fig1Result) string {
+	return fmt.Sprintf(
+		"Fig. 1: collecting row %d of a %dx%d mesh into the global buffer\n"+
+			"  repetitive unicast: %d hops\n"+
+			"  gather packet:      %d hops\n",
+		r.Row, r.MeshSize, r.MeshSize, r.UnicastHops, r.GatherHops)
+}
+
+// RenderTable1 prints the Table I network configuration for a mesh size.
+func RenderTable1(rows, cols int) string {
+	cfg := noc.DefaultConfig(rows, cols)
+	var b strings.Builder
+	b.WriteString("Table I: network configuration\n")
+	fmt.Fprintf(&b, "  Topology            %dx%d Mesh\n", rows, cols)
+	fmt.Fprintf(&b, "  Virtual Channels    %d\n", cfg.Router.VCs)
+	fmt.Fprintf(&b, "  Router Pipeline     RC/VA/SA+ST/link (kappa=%d cycles/hop)\n", cfg.HeaderHopLatency())
+	fmt.Fprintf(&b, "  Buffer Depth        %d flits\n", cfg.Router.BufferDepth)
+	gflits := 4
+	if f, err := formatFor(cfg); err == nil {
+		gflits = f.GatherFlits(cfg.EffectiveGatherCapacity())
+	}
+	fmt.Fprintf(&b, "  Packet Size         Gather: %d flits, Other: %d flits\n", gflits, cfg.UnicastFlits)
+	fmt.Fprintf(&b, "  Flit Size           %d bits\n", cfg.FlitBits)
+	fmt.Fprintf(&b, "  Gather Payload      %d bits\n", cfg.PayloadBits)
+	fmt.Fprintf(&b, "  T_MAC               5 cycles\n")
+	fmt.Fprintf(&b, "  Delta               %d cycles (scaled per column)\n", cfg.Delta)
+	fmt.Fprintf(&b, "  Buffer transaction  %d cycles/packet\n", cfg.SinkPacketOverhead)
+	return b.String()
+}
+
+// RenderTable3 prints the Table III layer parameters.
+func RenderTable3() string {
+	var b strings.Builder
+	b.WriteString("Table III: convolution layers (kernels CxQ@RxR, output Q@HxH)\n")
+	for _, l := range cnn.AlexNetConvLayers() {
+		fmt.Fprintf(&b, "  %s\n", l)
+	}
+	for _, l := range cnn.VGG16SelectedConvLayers() {
+		fmt.Fprintf(&b, "  %s\n", l)
+	}
+	return b.String()
+}
+
+// formatFor mirrors the network's flit-format construction for the
+// Table I rendering.
+func formatFor(cfg noc.Config) (*flit.Format, error) {
+	return flit.NewFormat(cfg.FlitBits, cfg.PayloadBits, cfg.Rows*cfg.Cols+cfg.Rows)
+}

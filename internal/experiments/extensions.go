@@ -1,0 +1,226 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"gathernoc/internal/cnn"
+	"gathernoc/internal/core"
+	"gathernoc/internal/noc"
+	"gathernoc/internal/systolic"
+	"gathernoc/internal/traffic"
+)
+
+// DataflowRow compares collection schemes under one dataflow.
+type DataflowRow struct {
+	Dataflow           string
+	Layer              string
+	Mesh               int
+	LatencyImprovement float64
+	PowerImprovement   float64
+	RoundCycles        float64
+}
+
+// Dataflows compares the gather benefit under output-stationary and
+// weight-stationary mappings (the paper's future-work question). Under WS
+// all results emerge from the bottom row, concentrating the many-to-one
+// traffic into a single buffer port.
+func Dataflows(opts Options) ([]DataflowRow, error) {
+	layer, _ := cnn.LayerByName(cnn.AlexNetConvLayers(), "Conv3")
+	var rows []DataflowRow
+	for _, df := range []systolic.Dataflow{systolic.OutputStationary, systolic.WeightStationary} {
+		df := df
+		for _, mesh := range opts.meshes() {
+			o := opts.core()
+			o.MutateSystolic = func(s *systolic.Config) { s.Dataflow = df }
+			cmp, err := core.CompareLayer(mesh, mesh, layer, o)
+			if err != nil {
+				return nil, fmt.Errorf("dataflow %s %dx%d: %w", df, mesh, mesh, err)
+			}
+			rows = append(rows, DataflowRow{
+				Dataflow: df.String(), Layer: layer.Name, Mesh: mesh,
+				LatencyImprovement: cmp.LatencyImprovementPct,
+				PowerImprovement:   cmp.PowerImprovementPct,
+				RoundCycles:        cmp.Gather.Result.RoundCycles.Mean(),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// RenderDataflows formats the dataflow comparison.
+func RenderDataflows(rows []DataflowRow) string {
+	var b strings.Builder
+	b.WriteString("Extension: gather benefit by dataflow (AlexNet Conv3)\n")
+	fmt.Fprintf(&b, "%8s %8s %12s %10s %14s\n", "dataflow", "mesh", "latency%", "power%", "gather round")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%8s %5dx%-2d %12.2f %10.2f %14.0f\n",
+			r.Dataflow, r.Mesh, r.Mesh, r.LatencyImprovement, r.PowerImprovement, r.RoundCycles)
+	}
+	return b.String()
+}
+
+// MixedTrafficRow is one configuration of the mixed-traffic experiment.
+type MixedTrafficRow struct {
+	// Rate is the background injection rate (packets/node/cycle).
+	Rate float64
+	// DedicatedVC reports whether gather traffic had a reserved VC.
+	DedicatedVC bool
+	// GatherRound is the mean gather-mode round latency in cycles;
+	// Collection is just the result-collection phase, where contention
+	// with background traffic actually shows.
+	GatherRound float64
+	Collection  float64
+	// SelfInitiated counts δ-timeout fallbacks.
+	SelfInitiated uint64
+}
+
+// MixedTraffic evaluates the paper's conclusion scenario: gather collection
+// sharing the network with unrelated background traffic, with and without
+// a VC dedicated to gather packets ("to prevent the time out of δ when
+// mixed with other traffic a separate VC can be allocated to the gather
+// traffic", Sec. VI).
+func MixedTraffic(opts Options) ([]MixedTrafficRow, error) {
+	layer, _ := cnn.LayerByName(cnn.AlexNetConvLayers(), "Conv3")
+	var rows []MixedTrafficRow
+	for _, rate := range []float64{0, 0.05, 0.15} {
+		for _, dedicated := range []bool{false, true} {
+			row, err := runMixed(layer, rate, dedicated, opts)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, *row)
+		}
+	}
+	return rows, nil
+}
+
+func runMixed(layer cnn.LayerConfig, rate float64, dedicated bool, opts Options) (*MixedTrafficRow, error) {
+	cfg := noc.DefaultConfig(8, 8)
+	if dedicated {
+		cfg.Router.GatherVC = cfg.Router.VCs - 1
+	}
+	nw, err := noc.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	rounds := opts.Rounds
+	if rounds == 0 {
+		rounds = 2
+	}
+	ctl, err := systolic.NewController(nw, systolic.Config{
+		Layer: layer, Mode: systolic.GatherMode, TMAC: 5, MaxRounds: rounds,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	if rate > 0 {
+		gen, err := traffic.NewGenerator(nw, traffic.GeneratorConfig{
+			Pattern:       traffic.UniformRandom{Nodes: nw.Mesh().NumNodes()},
+			InjectionRate: rate,
+			PacketFlits:   cfg.UnicastFlits,
+			Warmup:        0,
+			Measure:       1 << 40, // inject for the whole run
+			Seed:          7,
+		})
+		if err != nil {
+			return nil, err
+		}
+		nw.Engine().AddTicker(gen)
+	}
+
+	res, err := ctl.Run(50_000_000)
+	if err != nil {
+		return nil, fmt.Errorf("mixed rate=%v dedicated=%v: %w", rate, dedicated, err)
+	}
+	if res.PayloadErrors != 0 {
+		return nil, fmt.Errorf("mixed rate=%v dedicated=%v: %d payload errors",
+			rate, dedicated, res.PayloadErrors)
+	}
+	return &MixedTrafficRow{
+		Rate:          rate,
+		DedicatedVC:   dedicated,
+		GatherRound:   res.RoundCycles.Mean(),
+		Collection:    res.CollectionCycles.Mean(),
+		SelfInitiated: res.SelfInitiatedGathers,
+	}, nil
+}
+
+// RenderMixedTraffic formats the mixed-traffic experiment.
+func RenderMixedTraffic(rows []MixedTrafficRow) string {
+	var b strings.Builder
+	b.WriteString("Extension: gather under background traffic, shared vs dedicated gather VC\n")
+	fmt.Fprintf(&b, "%8s %12s %14s %12s %10s\n", "rate", "gather VC", "gather round", "collection", "selfinit")
+	for _, r := range rows {
+		vc := "shared"
+		if r.DedicatedVC {
+			vc = "dedicated"
+		}
+		fmt.Fprintf(&b, "%8.3f %12s %14.1f %12.1f %10d\n",
+			r.Rate, vc, r.GatherRound, r.Collection, r.SelfInitiated)
+	}
+	return b.String()
+}
+
+// StreamingRow measures streaming one round's operands over the NoC itself
+// instead of dedicated systolic paths.
+type StreamingRow struct {
+	// Operands is the number of operands delivered per destination.
+	Operands int
+	// IdealCycles is the dedicated-path time (1 operand/cycle).
+	IdealCycles int64
+	// NoCCycles is the measured makespan over the NoC.
+	NoCCycles int64
+	// Slowdown is NoCCycles / IdealCycles.
+	Slowdown float64
+}
+
+// StreamingOverNoC quantifies why OS arrays use dedicated forwarding paths
+// rather than routing operands through the packet network: each west-edge
+// PE multicasts a window of operands to its row (one single-flit packet
+// per operand), and the makespan is compared with the 1-operand/cycle
+// dedicated-path ideal. The per-packet RC/VA/SA overhead caps the NoC's
+// streaming throughput well below wire speed.
+func StreamingOverNoC(operands int) (*StreamingRow, error) {
+	if operands < 1 {
+		operands = 64
+	}
+	cfg := noc.DefaultConfig(8, 8)
+	cfg.EastSinks = false
+	nw, err := noc.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	mesh := nw.Mesh()
+	// Row-wise operand multicast: PE (r,0) sends each operand to all other
+	// PEs of its row as a 1-flit multicast packet.
+	for row := 0; row < cfg.Rows; row++ {
+		src := mesh.ID(topologyCoord(row, 0))
+		dsts := topologyRowSet(mesh, row, cfg.Cols)
+		for k := 0; k < operands; k++ {
+			nw.NIC(src).SendMulticast(dsts, 1)
+		}
+	}
+	cycles, err := nw.RunUntilQuiescent(10_000_000)
+	if err != nil {
+		return nil, err
+	}
+	row := &StreamingRow{
+		Operands:    operands,
+		IdealCycles: int64(operands),
+		NoCCycles:   cycles,
+	}
+	row.Slowdown = float64(row.NoCCycles) / float64(row.IdealCycles)
+	return row, nil
+}
+
+// RenderStreaming formats the streaming-over-NoC measurement.
+func RenderStreaming(r *StreamingRow) string {
+	return fmt.Sprintf(
+		"Extension: streaming %d operands per row over the NoC (vs dedicated paths)\n"+
+			"  dedicated-path ideal: %d cycles\n"+
+			"  over the NoC:         %d cycles (%.1fx slowdown)\n",
+		r.Operands, r.IdealCycles, r.NoCCycles, r.Slowdown)
+}

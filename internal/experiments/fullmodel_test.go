@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFullAlexNetAggregates(t *testing.T) {
+	r, err := FullAlexNet(4, Options{Rounds: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Layers) != 11 {
+		t.Fatalf("layers = %d, want 11", len(r.Layers))
+	}
+	var sumRU, sumG int64
+	kinds := map[string]int{}
+	for _, l := range r.Layers {
+		if l.GatherCycles >= l.RUCycles {
+			t.Errorf("%s: gather %d >= RU %d", l.Layer, l.GatherCycles, l.RUCycles)
+		}
+		sumRU += l.RUCycles
+		sumG += l.GatherCycles
+		kinds[l.Kind]++
+	}
+	if kinds["conv"] != 5 || kinds["pool"] != 3 || kinds["fc"] != 3 {
+		t.Errorf("kind mix = %v", kinds)
+	}
+	if sumRU != r.RUTotalCycles || sumG != r.GatherTotalCycles {
+		t.Errorf("totals %d/%d don't match sums %d/%d",
+			r.RUTotalCycles, r.GatherTotalCycles, sumRU, sumG)
+	}
+	if r.LatencyImprovement <= 0 || r.PowerImprovement <= 0 {
+		t.Errorf("model improvements %.2f/%.2f not positive",
+			r.LatencyImprovement, r.PowerImprovement)
+	}
+
+	// Pooling layers have tiny per-output compute (9 ops), so collection
+	// dominates and gather helps them most of any kind.
+	var bestPool, bestConv float64
+	for _, l := range r.Layers {
+		switch l.Kind {
+		case "pool":
+			if l.LatencyImprovement > bestPool {
+				bestPool = l.LatencyImprovement
+			}
+		case "conv":
+			if l.LatencyImprovement > bestConv {
+				bestConv = l.LatencyImprovement
+			}
+		}
+	}
+	if bestPool <= bestConv {
+		t.Errorf("pooling improvement %.2f <= conv %.2f (pooling should dominate)",
+			bestPool, bestConv)
+	}
+
+	out := RenderModel(r)
+	for _, frag := range []string{"TOTAL", "Pool1", "FC8", "conv"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("render missing %q", frag)
+		}
+	}
+}
+
+func TestFullVGG16Aggregates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("21-layer model run")
+	}
+	r, err := FullVGG16(4, Options{Rounds: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Layers) != 21 {
+		t.Fatalf("layers = %d, want 21", len(r.Layers))
+	}
+	if r.LatencyImprovement <= 0 || r.PowerImprovement <= 0 {
+		t.Errorf("model improvements %.2f/%.2f not positive",
+			r.LatencyImprovement, r.PowerImprovement)
+	}
+	for _, l := range r.Layers {
+		if l.GatherCycles >= l.RUCycles {
+			t.Errorf("%s: gather %d >= RU %d", l.Layer, l.GatherCycles, l.RUCycles)
+		}
+	}
+}

@@ -1,0 +1,18 @@
+package experiments
+
+import "gathernoc/internal/topology"
+
+// topologyCoord builds a coordinate (readability helper for extensions).
+func topologyCoord(row, col int) topology.Coord {
+	return topology.Coord{Row: row, Col: col}
+}
+
+// topologyRowSet returns the destination set of every PE in the row except
+// column 0 (the multicast source).
+func topologyRowSet(m *topology.Mesh, row, cols int) *topology.DestSet {
+	s := topology.NewDestSet(m.NumNodes())
+	for c := 1; c < cols; c++ {
+		s.Add(m.ID(topology.Coord{Row: row, Col: c}))
+	}
+	return s
+}

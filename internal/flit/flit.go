@@ -1,0 +1,162 @@
+// Package flit defines the wire-level data unit of the NoC and the packet
+// format of Fig. 3(a) of the paper: head flits carry flit type (FT), packet
+// type (PT), the available-payload-space counter (ASpace), source and
+// destination identifiers and the bit-string multicast destination (MDst);
+// body and tail flits carry payload slots.
+//
+// Gather packets reserve ASpace payload slots; intermediate routers
+// decrement ASpace as they piggyback their PE's partial-sum payload into a
+// passing body/tail flit (Algorithm 1).
+package flit
+
+import (
+	"fmt"
+
+	"gathernoc/internal/topology"
+)
+
+// Type is the FT field: the position of a flit within its packet.
+type Type uint8
+
+// Flit types. A single-flit packet is represented as HeadTail.
+const (
+	Head Type = iota + 1
+	Body
+	Tail
+	HeadTail
+)
+
+// String returns the FT mnemonic used in the paper (H/B/T).
+func (t Type) String() string {
+	switch t {
+	case Head:
+		return "H"
+	case Body:
+		return "B"
+	case Tail:
+		return "T"
+	case HeadTail:
+		return "HT"
+	default:
+		return fmt.Sprintf("Type(%d)", uint8(t))
+	}
+}
+
+// IsHead reports whether the flit opens a packet (Head or HeadTail).
+func (t Type) IsHead() bool { return t == Head || t == HeadTail }
+
+// IsTail reports whether the flit closes a packet (Tail or HeadTail).
+func (t Type) IsTail() bool { return t == Tail || t == HeadTail }
+
+// PacketType is the PT field: unicast (U), multicast (M) or gather (G).
+type PacketType uint8
+
+// Packet types.
+const (
+	Unicast PacketType = iota + 1
+	Multicast
+	Gather
+)
+
+// String returns the PT mnemonic used in the paper (U/M/G).
+func (p PacketType) String() string {
+	switch p {
+	case Unicast:
+		return "U"
+	case Multicast:
+		return "M"
+	case Gather:
+		return "G"
+	default:
+		return fmt.Sprintf("PacketType(%d)", uint8(p))
+	}
+}
+
+// Payload is one gather payload: a PE's partial-convolution result tagged
+// with its producer and its destination (the global-buffer port). Value is
+// carried end to end so tests can verify no payload is lost, duplicated or
+// corrupted.
+type Payload struct {
+	// Seq uniquely identifies the payload within a run.
+	Seq uint64
+	// Src is the PE that produced the payload.
+	Src topology.NodeID
+	// Dst is the node whose local port delivers to the global buffer.
+	Dst topology.NodeID
+	// Bits is the wire size of the payload (32 in Table I).
+	Bits int
+	// Value is the synthetic partial-sum the payload carries.
+	Value uint64
+	// ReadyCycle is the cycle the producing PE finished its MAC; used for
+	// per-payload collection-latency statistics.
+	ReadyCycle int64
+}
+
+// Flit is a single flow-control unit. Flits are created by the network
+// interface, traverse router buffers by pointer, and are never shared
+// between two buffers at once, so no locking is needed.
+type Flit struct {
+	// Type is the FT field.
+	Type Type
+	// PT is the packet type field.
+	PT PacketType
+
+	// PacketID groups the flits of one packet.
+	PacketID uint64
+	// Seq is the flit's position within its packet, 0-based.
+	Seq int
+	// PacketFlits is the total flit count of the packet.
+	PacketFlits int
+
+	// Src is the injecting node.
+	Src topology.NodeID
+	// Dst is the unicast/gather destination.
+	Dst topology.NodeID
+	// MDst is the multicast destination set (nil unless PT == Multicast).
+	MDst *topology.DestSet
+
+	// ASpace is the available payload space counter (head flits of gather
+	// packets only). It counts remaining payload slots, each PayloadBits
+	// wide, across the packet's body/tail flits.
+	ASpace int
+	// SlotCap is the number of payload slots this body/tail flit offers.
+	SlotCap int
+	// Payloads are the gather payloads uploaded into this flit so far
+	// (len(Payloads) <= SlotCap).
+	Payloads []Payload
+
+	// InjectCycle is when the head entered the source injection queue.
+	InjectCycle int64
+	// NetworkCycle is when the flit first left the NIC into the router.
+	NetworkCycle int64
+	// Hops counts the routers this flit has entered; for minimal routing
+	// on a mesh it ends at Manhattan distance + 1 (source router
+	// included).
+	Hops int
+}
+
+// IsHead reports whether the flit opens its packet.
+func (f *Flit) IsHead() bool { return f.Type.IsHead() }
+
+// IsTail reports whether the flit closes its packet.
+func (f *Flit) IsTail() bool { return f.Type.IsTail() }
+
+// FreeSlots returns the number of payload slots still available in this
+// body/tail flit.
+func (f *Flit) FreeSlots() int { return f.SlotCap - len(f.Payloads) }
+
+// AddPayload uploads p into the flit. It returns false without modifying
+// the flit when no slot is free.
+func (f *Flit) AddPayload(p Payload) bool {
+	if f.FreeSlots() <= 0 {
+		return false
+	}
+	f.Payloads = append(f.Payloads, p)
+	return true
+}
+
+// String renders a compact debug form, e.g. "pkt42[G] H 0/4 3->7".
+func (f *Flit) String() string {
+	return fmt.Sprintf("pkt%d[%s] %s %d/%d %d->%d",
+		f.PacketID, f.PT, f.Type, f.Seq, f.PacketFlits, f.Src, f.Dst)
+}

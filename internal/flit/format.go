@@ -1,0 +1,106 @@
+package flit
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Field widths of the packet format in Fig. 3(a), in bits. FT distinguishes
+// H/B/T, PT distinguishes U/M/G. The remaining head-flit fields (ASpace,
+// Src, Dst, MDst) depend on the mesh size and the flit width, so they are
+// computed by Format.
+const (
+	// FTBits encodes the flit type.
+	FTBits = 2
+	// PTBits encodes the packet type.
+	PTBits = 2
+	// DefaultFlitBits is the flit width from Table I (98 bits/flit).
+	DefaultFlitBits = 98
+	// DefaultPayloadBits is the gather payload width from Table I (32 bits).
+	DefaultPayloadBits = 32
+)
+
+// ErrBadFormat reports an unsatisfiable flit format configuration.
+var ErrBadFormat = errors.New("flit: invalid format")
+
+// Format captures the wire-format arithmetic of the packet layout: how many
+// gather payload slots fit in one body/tail flit and how long packets of
+// each kind are. It is immutable after creation.
+type Format struct {
+	flitBits    int
+	payloadBits int
+	nodeBits    int
+	slotsPer    int
+}
+
+// NewFormat computes the format for a network of numNodes nodes with the
+// given flit and payload widths. nodeBits is sized to address every node.
+func NewFormat(flitBits, payloadBits, numNodes int) (*Format, error) {
+	if flitBits <= 0 || payloadBits <= 0 || numNodes <= 0 {
+		return nil, fmt.Errorf("%w: flitBits=%d payloadBits=%d nodes=%d",
+			ErrBadFormat, flitBits, payloadBits, numNodes)
+	}
+	nodeBits := 1
+	for 1<<nodeBits < numNodes {
+		nodeBits++
+	}
+	slots := (flitBits - FTBits) / payloadBits
+	if slots < 1 {
+		return nil, fmt.Errorf("%w: payload (%d bits) does not fit in a %d-bit flit",
+			ErrBadFormat, payloadBits, flitBits)
+	}
+	return &Format{
+		flitBits:    flitBits,
+		payloadBits: payloadBits,
+		nodeBits:    nodeBits,
+		slotsPer:    slots,
+	}, nil
+}
+
+// MustFormat is NewFormat for statically known-good parameters.
+func MustFormat(flitBits, payloadBits, numNodes int) *Format {
+	f, err := NewFormat(flitBits, payloadBits, numNodes)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// FlitBits returns the configured flit width.
+func (f *Format) FlitBits() int { return f.flitBits }
+
+// PayloadBits returns the configured gather payload width.
+func (f *Format) PayloadBits() int { return f.payloadBits }
+
+// NodeBits returns the width of the Src/Dst fields.
+func (f *Format) NodeBits() int { return f.nodeBits }
+
+// SlotsPerFlit returns how many gather payload slots one body/tail flit
+// carries: the flit width minus the FT field, divided by the payload width.
+// For the Table I configuration (98-bit flits, 32-bit payloads) this is 3.
+func (f *Format) SlotsPerFlit() int { return f.slotsPer }
+
+// GatherFlits returns the flit count of a gather packet able to collect
+// capacity payloads: one head flit plus enough body/tail flits to hold the
+// slots.
+//
+// With Table I parameters and capacity = 8 (one 8-wide mesh row) this is
+// 1 + ceil(8/3) = 4 flits, matching Table I's "Gather: 4 flits/packet";
+// capacity 16 (a 16-wide row) gives 7 flits.
+func (f *Format) GatherFlits(capacity int) int {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return 1 + (capacity+f.slotsPer-1)/f.slotsPer
+}
+
+// HeadOverheadBits returns the head-flit field budget (FT+PT+ASpace+Src+
+// Dst) excluding MDst; it documents that the Table I format is achievable
+// for the meshes the paper evaluates and is used by format sanity tests.
+func (f *Format) HeadOverheadBits(aspaceMax int) int {
+	aspaceBits := 1
+	for 1<<aspaceBits <= aspaceMax {
+		aspaceBits++
+	}
+	return FTBits + PTBits + aspaceBits + 2*f.nodeBits
+}

@@ -1,0 +1,93 @@
+package flit
+
+import (
+	"fmt"
+
+	"gathernoc/internal/topology"
+)
+
+// Packet is a logical message before packetization into flits.
+type Packet struct {
+	// ID must be unique per network run; the NIC allocates it.
+	ID uint64
+	// PT selects unicast, multicast or gather.
+	PT PacketType
+	// Src and Dst are the endpoints (Dst ignored for multicast).
+	Src topology.NodeID
+	Dst topology.NodeID
+	// MDst is the multicast destination set (multicast only).
+	MDst *topology.DestSet
+	// Flits is the total length in flits, including the head.
+	Flits int
+	// GatherCapacity is the payload capacity η of a gather packet.
+	GatherCapacity int
+	// Carried is the payload the source itself contributes (gather only;
+	// nil for an empty gather packet).
+	Carried *Payload
+	// InjectCycle is when the packet entered the injection queue.
+	InjectCycle int64
+}
+
+// Packetize expands the packet into its flit sequence according to the
+// format: a head flit carrying the routing fields, then body flits, then a
+// tail flit, each body/tail flit exposing fmt.SlotsPerFlit() payload slots
+// for gather packets. Packets of length 1 become a single HeadTail flit.
+//
+// For gather packets the head's ASpace starts at GatherCapacity and the
+// source's own payload (if any) is pre-loaded into the first body flit with
+// ASpace decremented accordingly, mirroring a PE that initiates a gather
+// packet already carrying its result.
+//
+// Unicast packets may also carry a single payload (in the tail flit): the
+// repetitive-unicast baseline transports one partial-sum result per packet,
+// and carrying it lets integrity checks cover both collection schemes.
+func Packetize(p Packet, format *Format) ([]*Flit, error) {
+	if p.Flits < 1 {
+		return nil, fmt.Errorf("%w: packet %d has %d flits", ErrBadFormat, p.ID, p.Flits)
+	}
+	if p.PT == Gather && p.Flits < 2 {
+		return nil, fmt.Errorf("%w: gather packet %d needs a head and at least one payload flit", ErrBadFormat, p.ID)
+	}
+	flits := make([]*Flit, 0, p.Flits)
+	for i := 0; i < p.Flits; i++ {
+		f := &Flit{
+			PT:          p.PT,
+			PacketID:    p.ID,
+			Seq:         i,
+			PacketFlits: p.Flits,
+			Src:         p.Src,
+			Dst:         p.Dst,
+			MDst:        p.MDst,
+			InjectCycle: p.InjectCycle,
+		}
+		switch {
+		case p.Flits == 1:
+			f.Type = HeadTail
+		case i == 0:
+			f.Type = Head
+		case i == p.Flits-1:
+			f.Type = Tail
+		default:
+			f.Type = Body
+		}
+		if p.PT == Gather && !f.Type.IsHead() {
+			f.SlotCap = format.SlotsPerFlit()
+		}
+		flits = append(flits, f)
+	}
+	switch {
+	case p.PT == Gather:
+		flits[0].ASpace = p.GatherCapacity
+		if p.Carried != nil {
+			if !flits[1].AddPayload(*p.Carried) {
+				return nil, fmt.Errorf("%w: gather packet %d cannot carry its own payload", ErrBadFormat, p.ID)
+			}
+			flits[0].ASpace--
+		}
+	case p.Carried != nil:
+		last := flits[len(flits)-1]
+		last.SlotCap = 1
+		last.AddPayload(*p.Carried)
+	}
+	return flits, nil
+}

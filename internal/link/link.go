@@ -1,0 +1,111 @@
+// Package link models the registered point-to-point channels between
+// routers (and between a network interface and its router): a forward flit
+// path with configurable latency and a one-cycle credit return path for
+// credit-based flow control.
+//
+// A Link is a phase-2 component: upstream routers stage flits with Send
+// during the tick phase, and the link publishes them into the downstream
+// input buffer during the commit phase once their latency has elapsed, so
+// a flit is never visible on both sides of a channel in the same cycle.
+package link
+
+import (
+	"gathernoc/internal/flit"
+	"gathernoc/internal/stats"
+)
+
+// FlitSink receives flits delivered by a link into a per-VC input buffer.
+type FlitSink interface {
+	AcceptFlit(f *flit.Flit, vc int)
+}
+
+// CreditSink receives returned credits for a virtual channel.
+type CreditSink interface {
+	AcceptCredit(vc int)
+}
+
+type inflightFlit struct {
+	f   *flit.Flit
+	vc  int
+	due int64
+}
+
+type inflightCredit struct {
+	vc  int
+	due int64
+}
+
+// Link is one direction of a channel. Construct with New and register with
+// the engine as a Committer.
+type Link struct {
+	name    string
+	latency int64
+	down    FlitSink
+	up      CreditSink
+
+	flits   []inflightFlit
+	credits []inflightCredit
+
+	// FlitsCarried counts flits that completed traversal, by the power
+	// model and utilization reports.
+	FlitsCarried stats.Counter
+}
+
+// New returns a link with the given forward latency in cycles (minimum 1:
+// a flit sent in cycle c is visible downstream in cycle c+latency+1, i.e.
+// it spends latency cycles on the wire after the send cycle). down receives
+// delivered flits; up (may be nil) receives returned credits after one
+// cycle.
+func New(name string, latency int, down FlitSink, up CreditSink) *Link {
+	if latency < 1 {
+		latency = 1
+	}
+	return &Link{name: name, latency: int64(latency), down: down, up: up}
+}
+
+// Name returns the link's diagnostic name.
+func (l *Link) Name() string { return l.name }
+
+// Send stages a flit for traversal; called by the upstream component
+// during its tick at cycle now.
+func (l *Link) Send(f *flit.Flit, vc int, now int64) {
+	l.flits = append(l.flits, inflightFlit{f: f, vc: vc, due: now + l.latency})
+}
+
+// ReturnCredit stages a credit for the upstream component; called by the
+// downstream component during its tick at cycle now when it frees a buffer
+// slot on vc.
+func (l *Link) ReturnCredit(vc int, now int64) {
+	l.credits = append(l.credits, inflightCredit{vc: vc, due: now + 1})
+}
+
+// InFlight returns the number of flits currently traversing the link.
+func (l *Link) InFlight() int { return len(l.flits) }
+
+// Commit delivers flits and credits whose latency has elapsed. Items are
+// staged in send order and latencies are uniform, so delivery preserves
+// per-VC flit order.
+func (l *Link) Commit(now int64) {
+	keep := l.flits[:0]
+	for _, in := range l.flits {
+		if in.due <= now {
+			l.down.AcceptFlit(in.f, in.vc)
+			l.FlitsCarried.Inc()
+		} else {
+			keep = append(keep, in)
+		}
+	}
+	l.flits = keep
+
+	keepC := l.credits[:0]
+	for _, c := range l.credits {
+		if c.due <= now {
+			if l.up != nil {
+				l.up.AcceptCredit(c.vc)
+			}
+		} else {
+			keepC = append(keepC, c)
+		}
+	}
+	l.credits = keepC
+}

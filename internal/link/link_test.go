@@ -1,0 +1,107 @@
+package link
+
+import (
+	"testing"
+
+	"gathernoc/internal/flit"
+)
+
+type captureSink struct {
+	flits []*flit.Flit
+	vcs   []int
+}
+
+func (c *captureSink) AcceptFlit(f *flit.Flit, vc int) {
+	c.flits = append(c.flits, f)
+	c.vcs = append(c.vcs, vc)
+}
+
+type captureCredit struct {
+	vcs []int
+}
+
+func (c *captureCredit) AcceptCredit(vc int) { c.vcs = append(c.vcs, vc) }
+
+func TestLinkDeliversAfterLatency(t *testing.T) {
+	down := &captureSink{}
+	l := New("t", 1, down, nil)
+	f := &flit.Flit{PacketID: 1}
+
+	l.Send(f, 2, 10) // due at cycle 11
+	l.Commit(10)
+	if len(down.flits) != 0 {
+		t.Fatal("delivered before latency elapsed")
+	}
+	if l.InFlight() != 1 {
+		t.Fatalf("InFlight = %d, want 1", l.InFlight())
+	}
+	l.Commit(11)
+	if len(down.flits) != 1 || down.flits[0] != f || down.vcs[0] != 2 {
+		t.Fatalf("delivery wrong: %v %v", down.flits, down.vcs)
+	}
+	if l.InFlight() != 0 {
+		t.Fatalf("InFlight = %d, want 0", l.InFlight())
+	}
+	if l.FlitsCarried.Value() != 1 {
+		t.Errorf("FlitsCarried = %d, want 1", l.FlitsCarried.Value())
+	}
+}
+
+func TestLinkLatencyFloor(t *testing.T) {
+	down := &captureSink{}
+	l := New("t", 0, down, nil) // coerced to 1
+	l.Send(&flit.Flit{}, 0, 5)
+	l.Commit(5)
+	if len(down.flits) != 0 {
+		t.Fatal("zero-latency link delivered same cycle")
+	}
+	l.Commit(6)
+	if len(down.flits) != 1 {
+		t.Fatal("flit lost")
+	}
+}
+
+func TestLinkPreservesOrder(t *testing.T) {
+	down := &captureSink{}
+	l := New("t", 3, down, nil)
+	for i := 0; i < 5; i++ {
+		l.Send(&flit.Flit{PacketID: uint64(i)}, 0, int64(i))
+	}
+	for c := int64(0); c < 10; c++ {
+		l.Commit(c)
+	}
+	if len(down.flits) != 5 {
+		t.Fatalf("delivered %d, want 5", len(down.flits))
+	}
+	for i, f := range down.flits {
+		if f.PacketID != uint64(i) {
+			t.Errorf("position %d: packet %d", i, f.PacketID)
+		}
+	}
+}
+
+func TestLinkCreditReturn(t *testing.T) {
+	up := &captureCredit{}
+	l := New("t", 1, &captureSink{}, up)
+	l.ReturnCredit(3, 7) // due at cycle 8
+	l.Commit(7)
+	if len(up.vcs) != 0 {
+		t.Fatal("credit returned same cycle")
+	}
+	l.Commit(8)
+	if len(up.vcs) != 1 || up.vcs[0] != 3 {
+		t.Fatalf("credits = %v, want [3]", up.vcs)
+	}
+}
+
+func TestLinkNilCreditSink(t *testing.T) {
+	l := New("t", 1, &captureSink{}, nil)
+	l.ReturnCredit(0, 0)
+	l.Commit(1) // must not panic
+}
+
+func TestLinkName(t *testing.T) {
+	if got := New("east", 1, &captureSink{}, nil).Name(); got != "east" {
+		t.Errorf("Name = %q", got)
+	}
+}

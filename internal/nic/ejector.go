@@ -1,0 +1,205 @@
+package nic
+
+import (
+	"fmt"
+
+	"gathernoc/internal/flit"
+	"gathernoc/internal/link"
+	"gathernoc/internal/stats"
+	"gathernoc/internal/topology"
+)
+
+// ReceivedPacket is a fully reassembled packet delivered at an ejection
+// point (a PE's NIC or a global-buffer edge sink).
+type ReceivedPacket struct {
+	// ID is the network-unique packet id.
+	ID uint64
+	// PT is the packet type.
+	PT flit.PacketType
+	// Src is the injecting node; Dst the addressed destination.
+	Src topology.NodeID
+	Dst topology.NodeID
+	// Flits is the packet length.
+	Flits int
+	// Payloads are the gather payloads collected by the packet (gather
+	// packets only), in upload order.
+	Payloads []flit.Payload
+	// InjectCycle is when the packet entered its source injection queue;
+	// NetworkCycle is when its head flit left the NIC into the router;
+	// HeadArrival/TailArrival are the ejection-side timestamps. Packet
+	// latency is TailArrival - InjectCycle.
+	InjectCycle  int64
+	NetworkCycle int64
+	HeadArrival  int64
+	TailArrival  int64
+	// Hops is the number of routers the head flit traversed (source
+	// router included; minimal routing yields Manhattan distance + 1).
+	Hops int
+}
+
+// Latency returns the end-to-end packet latency in cycles.
+func (p *ReceivedPacket) Latency() int64 { return p.TailArrival - p.InjectCycle }
+
+// QueueLatency returns the source-side queueing delay: the cycles between
+// entering the injection queue and the head flit entering the network.
+func (p *ReceivedPacket) QueueLatency() int64 { return p.NetworkCycle - p.InjectCycle }
+
+// NetworkLatency returns the in-network portion of the latency: head
+// injection to tail ejection.
+func (p *ReceivedPacket) NetworkLatency() int64 { return p.TailArrival - p.NetworkCycle }
+
+type partialPacket struct {
+	flits       []*flit.Flit
+	headArrival int64
+}
+
+// Ejector is the receive side of an ejection point: per-VC buffers fed by
+// the router's local output link, a bounded drain rate, credit return, and
+// packet reassembly. Both NICs and global-buffer edge sinks embed one.
+type Ejector struct {
+	name      string
+	vcs       int
+	depth     int
+	drainRate int
+
+	bufs    [][]*flit.Flit
+	reverse *link.Link // credits back to the router's output port
+	partial map[uint64]*partialPacket
+	recv    func(*ReceivedPacket)
+	drainRR int
+
+	// packetOverhead stalls the drain for this many cycles after every
+	// completed packet, modeling a per-packet write transaction at the
+	// receiving buffer. The global-buffer sinks use it (see
+	// noc.Config.SinkPacketOverhead); PE NICs default to 0.
+	packetOverhead int64
+	pausedUntil    int64
+
+	// FlitsEjected counts drained flits; PacketsEjected completed packets.
+	FlitsEjected   stats.Counter
+	PacketsEjected stats.Counter
+	// PacketLatency samples end-to-end packet latencies in cycles.
+	PacketLatency stats.Sample
+}
+
+// NewEjector returns an ejector with vcs virtual channels of the given
+// buffer depth, draining up to drainRate flits per cycle (minimum 1).
+func NewEjector(name string, vcs, depth, drainRate int) *Ejector {
+	if drainRate < 1 {
+		drainRate = 1
+	}
+	e := &Ejector{
+		name:      name,
+		vcs:       vcs,
+		depth:     depth,
+		drainRate: drainRate,
+		bufs:      make([][]*flit.Flit, vcs),
+		partial:   make(map[uint64]*partialPacket),
+	}
+	return e
+}
+
+// ConnectReverse sets the link used to return credits to the router.
+func (e *Ejector) ConnectReverse(l *link.Link) { e.reverse = l }
+
+// SetPacketOverhead configures the per-packet transaction stall in cycles
+// (negative values are ignored).
+func (e *Ejector) SetPacketOverhead(cycles int64) {
+	if cycles >= 0 {
+		e.packetOverhead = cycles
+	}
+}
+
+// OnReceive registers the completed-packet callback.
+func (e *Ejector) OnReceive(fn func(*ReceivedPacket)) { e.recv = fn }
+
+// AcceptFlit implements link.FlitSink.
+func (e *Ejector) AcceptFlit(f *flit.Flit, vc int) {
+	if len(e.bufs[vc]) >= e.depth {
+		panic(fmt.Sprintf("ejector %s: vc%d overflow (%s)", e.name, vc, f))
+	}
+	e.bufs[vc] = append(e.bufs[vc], f)
+}
+
+// Buffered reports the flits currently waiting to drain.
+func (e *Ejector) Buffered() int {
+	n := 0
+	for _, b := range e.bufs {
+		n += len(b)
+	}
+	return n
+}
+
+// PendingPackets reports partially reassembled packets.
+func (e *Ejector) PendingPackets() int { return len(e.partial) }
+
+// Tick drains up to drainRate flits round-robin across VCs, returning one
+// credit per drained flit and completing packets on tail arrival. After a
+// packet completes, the drain stalls for the configured per-packet
+// transaction overhead.
+func (e *Ejector) Tick(cycle int64) {
+	if cycle < e.pausedUntil {
+		return
+	}
+	for slot := 0; slot < e.drainRate; slot++ {
+		drained := false
+		for off := 0; off < e.vcs; off++ {
+			vc := (e.drainRR + off) % e.vcs
+			if len(e.bufs[vc]) == 0 {
+				continue
+			}
+			f := e.bufs[vc][0]
+			e.bufs[vc] = e.bufs[vc][1:]
+			e.drainRR = (vc + 1) % e.vcs
+			if e.reverse != nil {
+				e.reverse.ReturnCredit(vc, cycle)
+			}
+			e.FlitsEjected.Inc()
+			isTail := f.IsTail()
+			e.assemble(f, cycle)
+			if isTail && e.packetOverhead > 0 {
+				e.pausedUntil = cycle + 1 + e.packetOverhead
+				return
+			}
+			drained = true
+			break
+		}
+		if !drained {
+			return
+		}
+	}
+}
+
+func (e *Ejector) assemble(f *flit.Flit, cycle int64) {
+	pp, ok := e.partial[f.PacketID]
+	if !ok {
+		pp = &partialPacket{headArrival: cycle}
+		e.partial[f.PacketID] = pp
+	}
+	pp.flits = append(pp.flits, f)
+	if !f.IsTail() {
+		return
+	}
+	delete(e.partial, f.PacketID)
+	head := pp.flits[0]
+	rp := &ReceivedPacket{
+		ID:           f.PacketID,
+		PT:           head.PT,
+		Src:          head.Src,
+		Dst:          head.Dst,
+		Flits:        head.PacketFlits,
+		InjectCycle:  head.InjectCycle,
+		NetworkCycle: head.NetworkCycle,
+		HeadArrival:  pp.headArrival,
+		TailArrival:  cycle,
+		Hops:         head.Hops,
+	}
+	for _, fl := range pp.flits {
+		rp.Payloads = append(rp.Payloads, fl.Payloads...)
+	}
+	e.PacketsEjected.Inc()
+	e.PacketLatency.Observe(float64(rp.Latency()))
+	if e.recv != nil {
+		e.recv(rp)
+	}
+}

@@ -1,0 +1,346 @@
+// Package nic implements the network interface sitting between a
+// processing element and its router: packetization and injection with
+// per-VC wormhole discipline and credit tracking, ejection with packet
+// reassembly, and the PE side of the gather protocol — offering the
+// partial-sum payload to the router's Gather Payload station and falling
+// back to a self-initiated gather packet when the δ-cycle timeout of
+// Algorithm 1 expires without an ack.
+package nic
+
+import (
+	"fmt"
+
+	"gathernoc/internal/flit"
+	"gathernoc/internal/link"
+	"gathernoc/internal/router"
+	"gathernoc/internal/stats"
+	"gathernoc/internal/topology"
+)
+
+// Config holds the per-NIC parameters.
+type Config struct {
+	// VCs mirrors the router VC count on the injection channel.
+	VCs int
+	// RouterBufferDepth is the router input buffer depth (credit init).
+	RouterBufferDepth int
+	// EjectDepth is the ejection buffer depth per VC.
+	EjectDepth int
+	// EjectRate is the maximum flits drained per cycle at ejection.
+	EjectRate int
+	// Delta is the δ timeout in cycles before a PE whose payload was not
+	// picked up initiates its own gather packet (Table I: 5).
+	Delta int64
+	// UnicastFlits is the unicast packet length (Table I: 2).
+	UnicastFlits int
+	// GatherCapacity is η, the payload capacity of a gather packet.
+	GatherCapacity int
+	// GatherVC, when >= 0, restricts gather packets to that VC at
+	// injection and keeps other packets off it.
+	GatherVC int
+	// Format supplies the wire-format arithmetic.
+	Format *flit.Format
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.VCs < 1:
+		return fmt.Errorf("nic: VCs must be >= 1, got %d", c.VCs)
+	case c.RouterBufferDepth < 1:
+		return fmt.Errorf("nic: RouterBufferDepth must be >= 1, got %d", c.RouterBufferDepth)
+	case c.EjectDepth < 1:
+		return fmt.Errorf("nic: EjectDepth must be >= 1, got %d", c.EjectDepth)
+	case c.UnicastFlits < 1:
+		return fmt.Errorf("nic: UnicastFlits must be >= 1, got %d", c.UnicastFlits)
+	case c.GatherCapacity < 1:
+		return fmt.Errorf("nic: GatherCapacity must be >= 1, got %d", c.GatherCapacity)
+	case c.Delta < 0:
+		return fmt.Errorf("nic: Delta must be >= 0, got %d", c.Delta)
+	case c.Format == nil:
+		return fmt.Errorf("nic: Format is required")
+	case c.GatherVC >= c.VCs:
+		return fmt.Errorf("nic: GatherVC %d out of range (VCs=%d)", c.GatherVC, c.VCs)
+	}
+	return nil
+}
+
+type gatherWait struct {
+	payload  flit.Payload
+	deadline int64
+	acked    bool
+}
+
+// NIC is the PE-side network interface. Register it with the engine as a
+// Ticker after its router (ordering among tickers is irrelevant for
+// correctness; links decouple them).
+type NIC struct {
+	id     topology.NodeID
+	cfg    Config
+	rtr    *router.Router
+	out    *link.Link
+	eject  *Ejector
+	nextID func() uint64
+
+	credits []int
+	// vcPkt holds the remaining flits of the packet currently streaming on
+	// each injection VC; nil means the VC is free.
+	vcPkt   [][]*flit.Flit
+	queue   []flit.Packet
+	waiting []*gatherWait
+	sendRR  int
+
+	now int64
+
+	// PacketsInjected / FlitsInjected count injection activity;
+	// SelfInitiatedGathers counts δ-timeout fallbacks; PiggybackAcks
+	// counts payloads picked up by passing gather packets.
+	PacketsInjected      stats.Counter
+	FlitsInjected        stats.Counter
+	SelfInitiatedGathers stats.Counter
+	PiggybackAcks        stats.Counter
+}
+
+// New constructs a NIC for node id attached to rtr. nextID must return
+// network-unique packet ids.
+func New(id topology.NodeID, cfg Config, rtr *router.Router, nextID func() uint64) (*NIC, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if nextID == nil {
+		return nil, fmt.Errorf("nic %d: nil id allocator", id)
+	}
+	n := &NIC{
+		id:      id,
+		cfg:     cfg,
+		rtr:     rtr,
+		nextID:  nextID,
+		credits: make([]int, cfg.VCs),
+		vcPkt:   make([][]*flit.Flit, cfg.VCs),
+		eject:   NewEjector(fmt.Sprintf("nic%d", id), cfg.VCs, cfg.EjectDepth, cfg.EjectRate),
+	}
+	for v := range n.credits {
+		n.credits[v] = cfg.RouterBufferDepth
+	}
+	return n, nil
+}
+
+// ID returns the node this NIC serves.
+func (n *NIC) ID() topology.NodeID { return n.id }
+
+// Ejector returns the receive side, for wiring to the router's local
+// output link.
+func (n *NIC) Ejector() *Ejector { return n.eject }
+
+// ConnectInjection sets the NIC-to-router link.
+func (n *NIC) ConnectInjection(l *link.Link) { n.out = l }
+
+// AcceptCredit implements link.CreditSink for the injection channel.
+func (n *NIC) AcceptCredit(vc int) { n.credits[vc]++ }
+
+// OnReceive registers the completed-packet callback.
+func (n *NIC) OnReceive(fn func(*ReceivedPacket)) { n.eject.OnReceive(fn) }
+
+// SetDelta overrides this NIC's δ timeout. The paper notes δ "can be
+// configured for each router" to cover "the router pipeline delay to reach
+// the neighboring node"; workload layers use this to scale the timeout
+// with the node's distance from its row's gather initiator so that a
+// packet in flight is not preempted by spurious self-initiations.
+func (n *NIC) SetDelta(d int64) {
+	if d >= 0 {
+		n.cfg.Delta = d
+	}
+}
+
+// Delta returns the NIC's current δ timeout.
+func (n *NIC) Delta() int64 { return n.cfg.Delta }
+
+// SendUnicast queues a unicast packet of the configured length to dst and
+// returns its packet id.
+func (n *NIC) SendUnicast(dst topology.NodeID) uint64 {
+	return n.enqueue(flit.Packet{
+		PT: flit.Unicast, Src: n.id, Dst: dst, Flits: n.cfg.UnicastFlits,
+	})
+}
+
+// SendUnicastN queues a unicast packet of nFlits flits to dst.
+func (n *NIC) SendUnicastN(dst topology.NodeID, nFlits int) uint64 {
+	return n.enqueue(flit.Packet{PT: flit.Unicast, Src: n.id, Dst: dst, Flits: nFlits})
+}
+
+// SendUnicastPayload queues a unicast packet carrying one result payload —
+// the repetitive-unicast transport for a PE's partial sum.
+func (n *NIC) SendUnicastPayload(dst topology.NodeID, p flit.Payload) uint64 {
+	return n.enqueue(flit.Packet{
+		PT: flit.Unicast, Src: n.id, Dst: dst, Flits: n.cfg.UnicastFlits, Carried: &p,
+	})
+}
+
+// SendMulticast queues a multicast packet of nFlits flits to the
+// destination set.
+func (n *NIC) SendMulticast(dsts *topology.DestSet, nFlits int) uint64 {
+	return n.enqueue(flit.Packet{
+		PT: flit.Multicast, Src: n.id, MDst: dsts.Clone(), Flits: nFlits,
+	})
+}
+
+// SendGather queues a gather packet to dst with the configured capacity,
+// optionally pre-loaded with the sender's own payload. This is the
+// initiator path: in the paper's row-based scheme the leftmost PE of each
+// row launches the packet toward the global buffer.
+func (n *NIC) SendGather(dst topology.NodeID, own *flit.Payload) uint64 {
+	capacity := n.cfg.GatherCapacity
+	return n.enqueue(flit.Packet{
+		PT: flit.Gather, Src: n.id, Dst: dst,
+		Flits:          n.cfg.Format.GatherFlits(capacity),
+		GatherCapacity: capacity,
+		Carried:        own,
+	})
+}
+
+// SubmitGatherPayload is the piggyback path of Algorithm 1: the payload is
+// offered to the router's Gather Payload station; if no passing gather
+// packet picks it up within δ cycles the NIC retracts it and initiates its
+// own gather packet to the payload's destination.
+func (n *NIC) SubmitGatherPayload(p flit.Payload) {
+	w := &gatherWait{payload: p, deadline: n.now + n.cfg.Delta}
+	ok := n.rtr.OfferGatherPayload(p, func(flit.Payload) {
+		w.acked = true
+		n.PiggybackAcks.Inc()
+	})
+	if !ok {
+		// Station full: fall back immediately.
+		n.selfInitiate(p)
+		return
+	}
+	n.waiting = append(n.waiting, w)
+}
+
+// Pending reports whether the NIC still has packets queued, flits
+// streaming, or payloads awaiting pickup.
+func (n *NIC) Pending() bool {
+	if len(n.queue) > 0 || len(n.waiting) > 0 || n.eject.Buffered() > 0 || n.eject.PendingPackets() > 0 {
+		return true
+	}
+	for _, fl := range n.vcPkt {
+		if len(fl) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Tick advances the NIC: δ timeouts, packet-to-VC binding, and one flit of
+// injection bandwidth.
+func (n *NIC) Tick(cycle int64) {
+	n.now = cycle
+	n.eject.Tick(cycle)
+	n.checkTimeouts()
+	n.bindPackets()
+	n.injectOne(cycle)
+}
+
+func (n *NIC) checkTimeouts() {
+	if len(n.waiting) == 0 {
+		return
+	}
+	keep := n.waiting[:0]
+	for _, w := range n.waiting {
+		if w.acked {
+			continue
+		}
+		if n.now >= w.deadline {
+			// Retract succeeds only while the payload is still pending;
+			// if a packet reserved it, the ack is imminent and we keep
+			// waiting (retry next cycle if the reservation is released).
+			if n.rtr.RetractGatherPayload(w.payload.Seq) {
+				n.selfInitiate(w.payload)
+				continue
+			}
+		}
+		keep = append(keep, w)
+	}
+	n.waiting = keep
+}
+
+func (n *NIC) selfInitiate(p flit.Payload) {
+	own := p
+	n.SendGather(p.Dst, &own)
+	n.SelfInitiatedGathers.Inc()
+}
+
+func (n *NIC) enqueue(p flit.Packet) uint64 {
+	p.ID = n.nextID()
+	p.InjectCycle = n.now
+	n.queue = append(n.queue, p)
+	n.PacketsInjected.Inc()
+	return p.ID
+}
+
+// bindPackets assigns queued packets to free injection VCs (one packet per
+// VC at a time: the NIC is the upstream end of a wormhole channel).
+func (n *NIC) bindPackets() {
+	if len(n.queue) == 0 {
+		return
+	}
+	remaining := n.queue[:0]
+	for _, p := range n.queue {
+		vc := n.freeVCFor(p.PT)
+		if vc < 0 {
+			remaining = append(remaining, p)
+			continue
+		}
+		flits, err := flit.Packetize(p, n.cfg.Format)
+		if err != nil {
+			// Mis-sized packets are a programming error in the caller.
+			panic(fmt.Sprintf("nic %d: %v", n.id, err))
+		}
+		n.vcPkt[vc] = flits
+	}
+	n.queue = remaining
+}
+
+func (n *NIC) freeVCFor(pt flit.PacketType) int {
+	for v := 0; v < n.cfg.VCs; v++ {
+		if len(n.vcPkt[v]) != 0 {
+			continue
+		}
+		if !n.vcAllowed(pt, v) {
+			continue
+		}
+		return v
+	}
+	return -1
+}
+
+func (n *NIC) vcAllowed(pt flit.PacketType, vc int) bool {
+	g := n.cfg.GatherVC
+	if g < 0 {
+		return true
+	}
+	if pt == flit.Gather {
+		return vc == g
+	}
+	return vc != g
+}
+
+// injectOne sends at most one flit this cycle (the injection channel is a
+// single physical link), round-robin across VCs with credit.
+func (n *NIC) injectOne(cycle int64) {
+	if n.out == nil {
+		return
+	}
+	for off := 0; off < n.cfg.VCs; off++ {
+		vc := (n.sendRR + off) % n.cfg.VCs
+		if len(n.vcPkt[vc]) == 0 || n.credits[vc] == 0 {
+			continue
+		}
+		f := n.vcPkt[vc][0]
+		n.vcPkt[vc] = n.vcPkt[vc][1:]
+		f.NetworkCycle = cycle
+		n.out.Send(f, vc, cycle)
+		n.credits[vc]--
+		n.FlitsInjected.Inc()
+		n.sendRR = (vc + 1) % n.cfg.VCs
+		return
+	}
+}

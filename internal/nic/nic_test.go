@@ -1,0 +1,262 @@
+package nic
+
+import (
+	"testing"
+
+	"gathernoc/internal/flit"
+	"gathernoc/internal/link"
+)
+
+func validConfig() Config {
+	return Config{
+		VCs:               4,
+		RouterBufferDepth: 4,
+		EjectDepth:        4,
+		EjectRate:         1,
+		Delta:             5,
+		UnicastFlits:      2,
+		GatherCapacity:    8,
+		GatherVC:          -1,
+		Format:            flit.MustFormat(flit.DefaultFlitBits, flit.DefaultPayloadBits, 64),
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+		wantOK bool
+	}{
+		{"valid", func(c *Config) {}, true},
+		{"no vcs", func(c *Config) { c.VCs = 0 }, false},
+		{"no depth", func(c *Config) { c.RouterBufferDepth = 0 }, false},
+		{"no eject depth", func(c *Config) { c.EjectDepth = 0 }, false},
+		{"no unicast flits", func(c *Config) { c.UnicastFlits = 0 }, false},
+		{"no gather capacity", func(c *Config) { c.GatherCapacity = 0 }, false},
+		{"negative delta", func(c *Config) { c.Delta = -1 }, false},
+		{"nil format", func(c *Config) { c.Format = nil }, false},
+		{"gather vc out of range", func(c *Config) { c.GatherVC = 4 }, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := validConfig()
+			tt.mutate(&cfg)
+			err := cfg.Validate()
+			if (err == nil) != tt.wantOK {
+				t.Errorf("Validate() = %v, wantOK = %v", err, tt.wantOK)
+			}
+		})
+	}
+}
+
+type flitCapture struct {
+	flits []*flit.Flit
+	vcs   []int
+}
+
+func (c *flitCapture) AcceptFlit(f *flit.Flit, vc int) {
+	c.flits = append(c.flits, f)
+	c.vcs = append(c.vcs, vc)
+}
+
+func TestNICInjectsOneFlitPerCycle(t *testing.T) {
+	cfg := validConfig()
+	n, err := New(3, cfg, nil, seq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cap := &flitCapture{}
+	out := link.New("inj", 1, cap, n)
+	n.ConnectInjection(out)
+
+	n.SendUnicast(9)
+	n.SendUnicast(10)
+
+	for c := int64(0); c < 10; c++ {
+		n.Tick(c)
+		out.Commit(c)
+	}
+	// 2 packets x 2 flits at 1 flit/cycle: all 4 delivered by cycle 9.
+	if len(cap.flits) != 4 {
+		t.Fatalf("flits delivered = %d, want 4", len(cap.flits))
+	}
+	if n.FlitsInjected.Value() != 4 || n.PacketsInjected.Value() != 2 {
+		t.Errorf("counters flits=%d packets=%d, want 4/2",
+			n.FlitsInjected.Value(), n.PacketsInjected.Value())
+	}
+	// Wormhole discipline: each packet's flits stay on one VC, in order.
+	perVC := map[int][]*flit.Flit{}
+	for i, f := range cap.flits {
+		perVC[cap.vcs[i]] = append(perVC[cap.vcs[i]], f)
+	}
+	for vc, fl := range perVC {
+		var lastSeq = -1
+		for _, f := range fl {
+			if f.Seq <= lastSeq && f.Seq != 0 {
+				t.Errorf("vc%d out of order", vc)
+			}
+			lastSeq = f.Seq
+		}
+	}
+}
+
+func TestNICRespectsCredits(t *testing.T) {
+	cfg := validConfig()
+	cfg.VCs = 1
+	cfg.RouterBufferDepth = 1
+	n, err := New(0, cfg, nil, seq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cap := &flitCapture{}
+	out := link.New("inj", 1, cap, n)
+	n.ConnectInjection(out)
+
+	n.SendUnicast(5)
+	n.Tick(0) // sends head, consuming the only credit
+	n.Tick(1) // blocked: no credit
+	out.Commit(0)
+	out.Commit(1)
+	if len(cap.flits) != 1 {
+		t.Fatalf("flits = %d, want 1 (credit-limited)", len(cap.flits))
+	}
+	// Returning the credit unblocks the tail.
+	n.AcceptCredit(0)
+	n.Tick(2)
+	out.Commit(3)
+	if len(cap.flits) != 2 {
+		t.Fatalf("flits = %d, want 2 after credit", len(cap.flits))
+	}
+}
+
+func TestNICGatherVCPolicy(t *testing.T) {
+	cfg := validConfig()
+	cfg.GatherVC = 0
+	n, err := New(0, cfg, nil, seq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cap := &flitCapture{}
+	out := link.New("inj", 1, cap, n)
+	n.ConnectInjection(out)
+
+	n.SendGather(9, nil)
+	n.SendUnicast(9)
+	for c := int64(0); c < 20; c++ {
+		n.Tick(c)
+		out.Commit(c)
+	}
+	for i, f := range cap.flits {
+		if f.PT == flit.Gather && cap.vcs[i] != 0 {
+			t.Errorf("gather flit on vc%d, want 0", cap.vcs[i])
+		}
+		if f.PT != flit.Gather && cap.vcs[i] == 0 {
+			t.Errorf("non-gather flit on reserved vc0")
+		}
+	}
+}
+
+func TestEjectorReassembly(t *testing.T) {
+	e := NewEjector("t", 2, 8, 1)
+	var got []*ReceivedPacket
+	e.OnReceive(func(p *ReceivedPacket) { got = append(got, p) })
+
+	format := flit.MustFormat(flit.DefaultFlitBits, flit.DefaultPayloadBits, 64)
+	fl, err := flit.Packetize(flit.Packet{
+		ID: 11, PT: flit.Unicast, Src: 1, Dst: 2, Flits: 3, InjectCycle: 4,
+	}, format)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range fl {
+		e.AcceptFlit(f, 0)
+	}
+	for c := int64(10); c < 14; c++ {
+		e.Tick(c)
+	}
+	if len(got) != 1 {
+		t.Fatalf("packets = %d, want 1", len(got))
+	}
+	p := got[0]
+	if p.ID != 11 || p.Src != 1 || p.Dst != 2 || p.Flits != 3 {
+		t.Errorf("packet fields wrong: %+v", p)
+	}
+	if p.HeadArrival != 10 || p.TailArrival != 12 {
+		t.Errorf("arrivals = %d/%d, want 10/12", p.HeadArrival, p.TailArrival)
+	}
+	if p.Latency() != 8 {
+		t.Errorf("Latency = %d, want 8", p.Latency())
+	}
+}
+
+func TestEjectorInterleavedVCs(t *testing.T) {
+	e := NewEjector("t", 2, 8, 2)
+	var got []*ReceivedPacket
+	e.OnReceive(func(p *ReceivedPacket) { got = append(got, p) })
+
+	format := flit.MustFormat(flit.DefaultFlitBits, flit.DefaultPayloadBits, 64)
+	a, _ := flit.Packetize(flit.Packet{ID: 1, PT: flit.Unicast, Flits: 2}, format)
+	b, _ := flit.Packetize(flit.Packet{ID: 2, PT: flit.Unicast, Flits: 2}, format)
+	// Interleave the two packets across VCs, as wormhole switching allows.
+	e.AcceptFlit(a[0], 0)
+	e.AcceptFlit(b[0], 1)
+	e.AcceptFlit(a[1], 0)
+	e.AcceptFlit(b[1], 1)
+	for c := int64(0); c < 6; c++ {
+		e.Tick(c)
+	}
+	if len(got) != 2 {
+		t.Fatalf("packets = %d, want 2", len(got))
+	}
+}
+
+func TestEjectorGatherPayloadCollection(t *testing.T) {
+	e := NewEjector("t", 1, 8, 4)
+	var got []*ReceivedPacket
+	e.OnReceive(func(p *ReceivedPacket) { got = append(got, p) })
+
+	format := flit.MustFormat(flit.DefaultFlitBits, flit.DefaultPayloadBits, 64)
+	own := &flit.Payload{Seq: 1, Value: 5}
+	fl, _ := flit.Packetize(flit.Packet{
+		ID: 9, PT: flit.Gather, Flits: format.GatherFlits(8),
+		GatherCapacity: 8, Carried: own,
+	}, format)
+	// Simulate two more uploads along the way.
+	fl[1].AddPayload(flit.Payload{Seq: 2, Value: 6})
+	fl[2].AddPayload(flit.Payload{Seq: 3, Value: 7})
+	for _, f := range fl {
+		e.AcceptFlit(f, 0)
+	}
+	for c := int64(0); c < 10; c++ {
+		e.Tick(c)
+	}
+	if len(got) != 1 {
+		t.Fatalf("packets = %d, want 1", len(got))
+	}
+	if len(got[0].Payloads) != 3 {
+		t.Fatalf("payloads = %d, want 3", len(got[0].Payloads))
+	}
+}
+
+func TestNICPending(t *testing.T) {
+	n, err := New(0, validConfig(), nil, seq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Pending() {
+		t.Error("fresh NIC pending")
+	}
+	n.SendUnicast(3)
+	if !n.Pending() {
+		t.Error("queued packet not reported pending")
+	}
+}
+
+// seq returns a fresh packet-id allocator.
+func seq() func() uint64 {
+	var n uint64
+	return func() uint64 {
+		n++
+		return n
+	}
+}

@@ -1,0 +1,111 @@
+package noc
+
+import (
+	"fmt"
+
+	"gathernoc/internal/flit"
+	"gathernoc/internal/router"
+)
+
+// Config describes a complete network instance. DefaultConfig returns the
+// paper's Table I settings.
+type Config struct {
+	// Rows and Cols give the mesh dimensions (Table I: 8x8 and 16x16).
+	Rows int
+	Cols int
+	// Router holds the per-router microarchitecture parameters.
+	Router router.Config
+	// LinkLatency is the flit traversal time of every channel in cycles.
+	LinkLatency int
+	// FlitBits is the flit width (Table I: 98).
+	FlitBits int
+	// PayloadBits is the gather payload width (Table I: 32).
+	PayloadBits int
+	// UnicastFlits is the non-gather packet length (Table I: 2).
+	UnicastFlits int
+	// GatherCapacity is η, the payload capacity of one gather packet;
+	// 0 selects the row width (Cols), the value that reproduces Table I's
+	// 4-flit gather packets on the 8x8 mesh.
+	GatherCapacity int
+	// Delta is the δ timeout in cycles (Table I: 5).
+	Delta int64
+	// EjectRate is the NIC ejection drain rate in flits/cycle.
+	EjectRate int
+	// EastSinks attaches a global-buffer sink past the east edge of every
+	// row, addressed by RowSinkID, matching Fig. 1/Fig. 2's buffer
+	// placement.
+	EastSinks bool
+	// SinkDrainRate is the buffer sink drain rate in flits/cycle.
+	SinkDrainRate int
+	// Routing selects the unicast/gather routing algorithm: "" or "xy"
+	// for deterministic dimension-order routing (the paper's setting), or
+	// "westfirst" for minimal adaptive west-first turn-model routing with
+	// credit-based output selection. Multicast always uses the XY tree.
+	Routing string
+	// SinkPacketOverhead is the per-packet write-transaction cost at the
+	// global buffer, in cycles: after a packet's tail is consumed, the
+	// buffer port stalls this long before accepting further flits. This
+	// is the serialization that makes repetitive unicast pay per packet
+	// at the memory while a gather packet pays once per row; without it
+	// (0) the wormhole pipeline absorbs RU traffic and the paper's
+	// latency gap does not materialize (DESIGN.md §3). The default of 5
+	// (one SRAM transaction, on par with T_MAC) calibrates the simulated
+	// Table II row.
+	SinkPacketOverhead int64
+}
+
+// DefaultConfig returns the Table I network configuration for a rows×cols
+// mesh with east-edge global-buffer sinks.
+func DefaultConfig(rows, cols int) Config {
+	return Config{
+		Rows:               rows,
+		Cols:               cols,
+		Router:             router.DefaultConfig(),
+		LinkLatency:        1,
+		FlitBits:           flit.DefaultFlitBits,
+		PayloadBits:        flit.DefaultPayloadBits,
+		UnicastFlits:       2,
+		Delta:              5,
+		EjectRate:          1,
+		EastSinks:          true,
+		SinkDrainRate:      1,
+		SinkPacketOverhead: 5,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.Rows < 1 || c.Cols < 1:
+		return fmt.Errorf("noc: mesh %dx%d invalid", c.Rows, c.Cols)
+	case c.LinkLatency < 1:
+		return fmt.Errorf("noc: LinkLatency must be >= 1, got %d", c.LinkLatency)
+	case c.UnicastFlits < 1:
+		return fmt.Errorf("noc: UnicastFlits must be >= 1, got %d", c.UnicastFlits)
+	case c.GatherCapacity < 0:
+		return fmt.Errorf("noc: GatherCapacity must be >= 0, got %d", c.GatherCapacity)
+	case c.EjectRate < 1:
+		return fmt.Errorf("noc: EjectRate must be >= 1, got %d", c.EjectRate)
+	case c.EastSinks && c.SinkDrainRate < 1:
+		return fmt.Errorf("noc: SinkDrainRate must be >= 1, got %d", c.SinkDrainRate)
+	case c.SinkPacketOverhead < 0:
+		return fmt.Errorf("noc: SinkPacketOverhead must be >= 0, got %d", c.SinkPacketOverhead)
+	case c.Routing != "" && c.Routing != "xy" && c.Routing != "westfirst":
+		return fmt.Errorf("noc: unknown routing %q (xy, westfirst)", c.Routing)
+	}
+	return c.Router.Validate()
+}
+
+// EffectiveGatherCapacity resolves the η=0 default to the row width.
+func (c Config) EffectiveGatherCapacity() int {
+	if c.GatherCapacity > 0 {
+		return c.GatherCapacity
+	}
+	return c.Cols
+}
+
+// HeaderHopLatency returns κ, the per-hop latency of a header flit through
+// an uncontended router and its outgoing link.
+func (c Config) HeaderHopLatency() int {
+	return c.Router.RCDelay + c.Router.VADelay + 1 + c.LinkLatency
+}

@@ -1,0 +1,50 @@
+package noc
+
+import (
+	"fmt"
+	"strings"
+
+	"gathernoc/internal/topology"
+)
+
+// heatGlyphs maps normalized load to increasing intensity.
+var heatGlyphs = []byte{'.', ':', '-', '=', '+', '*', '#', '@'}
+
+// UtilizationHeatmap renders per-router crossbar activity as an ASCII grid
+// (one glyph per router, '.' idle through '@' hottest), with the absolute
+// peak count in the footer. Useful for eyeballing where traffic
+// concentrates — e.g. the east-edge column under repetitive unicast.
+func (nw *Network) UtilizationHeatmap() string {
+	counts := make([]uint64, nw.mesh.NumNodes())
+	var peak uint64
+	for i, r := range nw.routers {
+		counts[i] = r.Counters.Crossings.Value()
+		if counts[i] > peak {
+			peak = counts[i]
+		}
+	}
+	var b strings.Builder
+	for row := 0; row < nw.cfg.Rows; row++ {
+		for col := 0; col < nw.cfg.Cols; col++ {
+			id := nw.mesh.ID(topology.Coord{Row: row, Col: col})
+			b.WriteByte(glyphFor(counts[id], peak))
+			if col < nw.cfg.Cols-1 {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "(crossbar traversals per router, peak=%d)\n", peak)
+	return b.String()
+}
+
+func glyphFor(count, peak uint64) byte {
+	if peak == 0 || count == 0 {
+		return heatGlyphs[0]
+	}
+	idx := int(count * uint64(len(heatGlyphs)-1) / peak)
+	if idx >= len(heatGlyphs) {
+		idx = len(heatGlyphs) - 1
+	}
+	return heatGlyphs[idx]
+}

@@ -1,0 +1,354 @@
+// Package noc assembles routers, links, network interfaces and
+// global-buffer edge sinks into a runnable mesh network, providing node
+// addressing (including the virtual sink nodes past the east edge), drain
+// detection and aggregate activity counts for the power model.
+package noc
+
+import (
+	"fmt"
+
+	"gathernoc/internal/flit"
+	"gathernoc/internal/link"
+	"gathernoc/internal/nic"
+	"gathernoc/internal/router"
+	"gathernoc/internal/sim"
+	"gathernoc/internal/topology"
+)
+
+// EdgeSink is a global-buffer port attached past the east edge of one mesh
+// row (Fig. 1: "GLOBAL BUFFER" alongside the rightmost column). It behaves
+// as a pure consumer with its own buffered channel and drain rate.
+type EdgeSink struct {
+	id  topology.NodeID
+	row int
+	ej  *nic.Ejector
+}
+
+// ID returns the sink's virtual node id (see Network.RowSinkID).
+func (s *EdgeSink) ID() topology.NodeID { return s.id }
+
+// Row returns the mesh row the sink serves.
+func (s *EdgeSink) Row() int { return s.row }
+
+// Ejector exposes the sink's receive machinery (stats, callbacks).
+func (s *EdgeSink) Ejector() *nic.Ejector { return s.ej }
+
+// OnReceive registers the completed-packet callback.
+func (s *EdgeSink) OnReceive(fn func(*nic.ReceivedPacket)) { s.ej.OnReceive(fn) }
+
+// Tick drains the sink's buffers.
+func (s *EdgeSink) Tick(cycle int64) { s.ej.Tick(cycle) }
+
+// Network is a fully wired mesh NoC. Create with New, drive through
+// Engine() or the Run helpers.
+type Network struct {
+	cfg    Config
+	mesh   *topology.Mesh
+	format *flit.Format
+	engine *sim.Engine
+
+	routers []*router.Router
+	nics    []*nic.NIC
+	sinks   []*EdgeSink
+	links   []*link.Link
+
+	packetSeq uint64
+}
+
+// New builds and wires a network according to cfg.
+func New(cfg Config) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	mesh, err := topology.NewMesh(cfg.Rows, cfg.Cols)
+	if err != nil {
+		return nil, err
+	}
+	format, err := flit.NewFormat(cfg.FlitBits, cfg.PayloadBits, mesh.NumNodes()+cfg.Rows)
+	if err != nil {
+		return nil, err
+	}
+	nw := &Network{
+		cfg:    cfg,
+		mesh:   mesh,
+		format: format,
+		engine: sim.NewEngine(),
+	}
+
+	// Routers.
+	nw.routers = make([]*router.Router, mesh.NumNodes())
+	for id := 0; id < mesh.NumNodes(); id++ {
+		r, err := router.New(topology.NodeID(id), cfg.Router, nw.routeFlit)
+		if err != nil {
+			return nil, err
+		}
+		nw.routers[id] = r
+	}
+
+	// Inter-router links (both directions of every mesh edge).
+	for id := 0; id < mesh.NumNodes(); id++ {
+		src := nw.routers[id]
+		for _, p := range []topology.Port{topology.EastPort, topology.SouthPort} {
+			nbID, ok := mesh.Neighbor(topology.NodeID(id), p)
+			if !ok {
+				continue
+			}
+			dst := nw.routers[nbID]
+			nw.wireRouterPair(src, dst, p)
+			nw.wireRouterPair(dst, src, p.Opposite())
+		}
+	}
+
+	// NICs with injection/ejection channels.
+	nicCfg := nic.Config{
+		VCs:               cfg.Router.VCs,
+		RouterBufferDepth: cfg.Router.BufferDepth,
+		EjectDepth:        cfg.Router.BufferDepth,
+		EjectRate:         cfg.EjectRate,
+		Delta:             cfg.Delta,
+		UnicastFlits:      cfg.UnicastFlits,
+		GatherCapacity:    cfg.EffectiveGatherCapacity(),
+		GatherVC:          cfg.Router.GatherVC,
+		Format:            format,
+	}
+	nw.nics = make([]*nic.NIC, mesh.NumNodes())
+	for id := 0; id < mesh.NumNodes(); id++ {
+		n, err := nic.New(topology.NodeID(id), nicCfg, nw.routers[id], nw.nextPacketID)
+		if err != nil {
+			return nil, err
+		}
+		nw.nics[id] = n
+		rtr := nw.routers[id]
+
+		inj := link.New(fmt.Sprintf("inj%d", id), cfg.LinkLatency, rtr.InputSink(topology.LocalPort), n)
+		n.ConnectInjection(inj)
+		rtr.ConnectInput(topology.LocalPort, inj)
+		nw.links = append(nw.links, inj)
+
+		ej := link.New(fmt.Sprintf("ej%d", id), cfg.LinkLatency, n.Ejector(), rtr.CreditSink(topology.LocalPort))
+		rtr.ConnectOutput(topology.LocalPort, ej, cfg.Router.VCs, cfg.Router.BufferDepth)
+		n.Ejector().ConnectReverse(ej)
+		nw.links = append(nw.links, ej)
+	}
+
+	// Global-buffer sinks past the east edge.
+	if cfg.EastSinks {
+		nw.sinks = make([]*EdgeSink, cfg.Rows)
+		for row := 0; row < cfg.Rows; row++ {
+			edge := nw.routers[mesh.ID(topology.Coord{Row: row, Col: cfg.Cols - 1})]
+			s := &EdgeSink{
+				id:  nw.RowSinkID(row),
+				row: row,
+				ej:  nic.NewEjector(fmt.Sprintf("sink%d", row), cfg.Router.VCs, cfg.Router.BufferDepth, cfg.SinkDrainRate),
+			}
+			s.ej.SetPacketOverhead(cfg.SinkPacketOverhead)
+			l := link.New(fmt.Sprintf("sinklink%d", row), cfg.LinkLatency, s.ej, edge.CreditSink(topology.EastPort))
+			edge.ConnectOutput(topology.EastPort, l, cfg.Router.VCs, cfg.Router.BufferDepth)
+			s.ej.ConnectReverse(l)
+			nw.sinks[row] = s
+			nw.links = append(nw.links, l)
+		}
+	}
+
+	// Engine registration: routers, sinks, then NICs as tickers; all links
+	// as committers. Controllers added by callers tick after NICs.
+	for _, r := range nw.routers {
+		nw.engine.AddTicker(r)
+	}
+	for _, s := range nw.sinks {
+		nw.engine.AddTicker(s)
+	}
+	for _, n := range nw.nics {
+		nw.engine.AddTicker(n)
+	}
+	for _, l := range nw.links {
+		nw.engine.AddCommitter(l)
+	}
+	return nw, nil
+}
+
+func (nw *Network) wireRouterPair(src, dst *router.Router, out topology.Port) {
+	in := out.Opposite()
+	l := link.New(
+		fmt.Sprintf("r%d%s->r%d", src.ID(), out, dst.ID()),
+		nw.cfg.LinkLatency,
+		dst.InputSink(in),
+		src.CreditSink(out),
+	)
+	src.ConnectOutput(out, l, nw.cfg.Router.VCs, nw.cfg.Router.BufferDepth)
+	dst.ConnectInput(in, l)
+	nw.links = append(nw.links, l)
+}
+
+func (nw *Network) nextPacketID() uint64 {
+	nw.packetSeq++
+	return nw.packetSeq
+}
+
+// Config returns the network's configuration.
+func (nw *Network) Config() Config { return nw.cfg }
+
+// Mesh returns the underlying topology.
+func (nw *Network) Mesh() *topology.Mesh { return nw.mesh }
+
+// Format returns the wire format.
+func (nw *Network) Format() *flit.Format { return nw.format }
+
+// Engine returns the cycle engine, for registering controllers.
+func (nw *Network) Engine() *sim.Engine { return nw.engine }
+
+// Router returns the router at node id.
+func (nw *Network) Router(id topology.NodeID) *router.Router { return nw.routers[id] }
+
+// NIC returns the network interface at node id.
+func (nw *Network) NIC(id topology.NodeID) *nic.NIC { return nw.nics[id] }
+
+// Sink returns the global-buffer sink of the given row, or nil when east
+// sinks are disabled.
+func (nw *Network) Sink(row int) *EdgeSink {
+	if row < 0 || row >= len(nw.sinks) {
+		return nil
+	}
+	return nw.sinks[row]
+}
+
+// RowSinkID returns the virtual node id addressing the global-buffer sink
+// of the given row. Sink ids live just past the PE id space.
+func (nw *Network) RowSinkID(row int) topology.NodeID {
+	return topology.NodeID(nw.mesh.NumNodes() + row)
+}
+
+// IsSinkID reports whether id addresses an edge sink.
+func (nw *Network) IsSinkID(id topology.NodeID) bool {
+	n := nw.mesh.NumNodes()
+	return int(id) >= n && int(id) < n+len(nw.sinks)
+}
+
+// routeFlit is the RoutingFunc shared by all routers: XY (or adaptive
+// west-first, per Config.Routing) for unicast and gather — extended to the
+// virtual sink nodes past the east edge — and XY-tree branching for
+// multicast.
+func (nw *Network) routeFlit(cur topology.NodeID, f *flit.Flit) router.Route {
+	if f.PT == flit.Multicast {
+		branches, local := nw.mesh.MulticastRoute(cur, f.MDst)
+		rt := router.Route{Branches: branches}
+		if local {
+			rt.Branches = append(rt.Branches, topology.MulticastBranch{Out: topology.LocalPort})
+		}
+		return rt
+	}
+	dst := f.Dst
+	if nw.IsSinkID(dst) {
+		row := int(dst) - nw.mesh.NumNodes()
+		edge := nw.mesh.ID(topology.Coord{Row: row, Col: nw.cfg.Cols - 1})
+		if cur == edge {
+			return router.Route{Branches: []topology.MulticastBranch{{Out: topology.EastPort}}}
+		}
+		return nw.unicastRoute(cur, edge)
+	}
+	return nw.unicastRoute(cur, dst)
+}
+
+func (nw *Network) unicastRoute(cur, dst topology.NodeID) router.Route {
+	if nw.cfg.Routing == "westfirst" && cur != dst {
+		ports := nw.mesh.WestFirstPorts(cur, dst)
+		if len(ports) == 1 {
+			return router.Route{Branches: []topology.MulticastBranch{{Out: ports[0]}}}
+		}
+		return router.Route{Adaptive: ports}
+	}
+	return router.Route{Branches: []topology.MulticastBranch{{Out: nw.mesh.XYRoute(cur, dst)}}}
+}
+
+// InFlight reports the total flits buffered in routers, traversing links,
+// or waiting in ejection buffers.
+func (nw *Network) InFlight() int {
+	n := 0
+	for _, r := range nw.routers {
+		n += r.BufferedFlits()
+	}
+	for _, l := range nw.links {
+		n += l.InFlight()
+	}
+	for _, s := range nw.sinks {
+		n += s.ej.Buffered()
+	}
+	return n
+}
+
+// Quiescent reports whether no packet activity remains anywhere: NIC
+// queues, router buffers, links, sinks and gather stations are all empty.
+func (nw *Network) Quiescent() bool {
+	for _, n := range nw.nics {
+		if n.Pending() {
+			return false
+		}
+	}
+	for _, r := range nw.routers {
+		if r.GatherBacklog() > 0 {
+			return false
+		}
+	}
+	if nw.InFlight() != 0 {
+		return false
+	}
+	for _, s := range nw.sinks {
+		if s.ej.PendingPackets() > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// RunUntilQuiescent steps the network until it drains or the cycle budget
+// is exhausted (returning sim.ErrMaxCyclesExceeded).
+func (nw *Network) RunUntilQuiescent(maxCycles int64) (int64, error) {
+	return nw.engine.RunUntil(nw.Quiescent, maxCycles)
+}
+
+// CheckInvariants validates every router's internal consistency (see
+// router.CheckInvariants); intended for tests and debugging runs.
+func (nw *Network) CheckInvariants() error {
+	for _, r := range nw.routers {
+		if err := r.CheckInvariants(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Activity aggregates the event counts the power model consumes.
+type Activity struct {
+	BufferWrites   uint64
+	BufferReads    uint64
+	RCComputations uint64
+	VAAllocations  uint64
+	SAGrants       uint64
+	Crossings      uint64
+	LinkFlits      uint64
+	GatherUploads  uint64
+	PacketsSent    uint64
+	FlitsSent      uint64
+}
+
+// Activity sums the per-component counters across the network.
+func (nw *Network) Activity() Activity {
+	var a Activity
+	for _, r := range nw.routers {
+		a.BufferWrites += r.Counters.BufferWrites.Value()
+		a.BufferReads += r.Counters.BufferReads.Value()
+		a.RCComputations += r.Counters.RCComputations.Value()
+		a.VAAllocations += r.Counters.VAAllocations.Value()
+		a.SAGrants += r.Counters.SAGrants.Value()
+		a.Crossings += r.Counters.Crossings.Value()
+		a.GatherUploads += r.Counters.GatherUploads.Value()
+	}
+	for _, l := range nw.links {
+		a.LinkFlits += l.FlitsCarried.Value()
+	}
+	for _, n := range nw.nics {
+		a.PacketsSent += n.PacketsInjected.Value()
+		a.FlitsSent += n.FlitsInjected.Value()
+	}
+	return a
+}

@@ -1,0 +1,87 @@
+package router
+
+import (
+	"fmt"
+
+	"gathernoc/internal/topology"
+)
+
+// CheckInvariants validates the router's internal consistency and returns
+// the first violation found. It is intended for tests and debugging runs
+// (call between cycles); a healthy router never violates these:
+//
+//   - input buffers never exceed the configured depth;
+//   - credit counters stay within [0, downstream depth];
+//   - an input VC past route computation has at least one branch;
+//   - every downstream-VC ownership entry points back at an input VC that
+//     actually holds that allocation;
+//   - a raised gather Load signal has a reserved station entry.
+func (r *Router) CheckInvariants() error {
+	for p := 0; p < topology.NumPorts; p++ {
+		for v, vc := range r.inputs[p] {
+			if len(vc.buf) > r.cfg.BufferDepth {
+				return fmt.Errorf("router %d: input %s vc%d holds %d flits (depth %d)",
+					r.id, topology.Port(p), v, len(vc.buf), r.cfg.BufferDepth)
+			}
+			if (vc.stage == vcActive) && len(vc.branches) == 0 {
+				return fmt.Errorf("router %d: input %s vc%d active without branches",
+					r.id, topology.Port(p), v)
+			}
+			if vc.gatherLoad && vc.gatherEntry == nil {
+				return fmt.Errorf("router %d: input %s vc%d load raised without reservation",
+					r.id, topology.Port(p), v)
+			}
+			head := vc.head()
+			for bi := range vc.branches {
+				br := &vc.branches[bi]
+				if br.vc < 0 {
+					continue
+				}
+				out := &r.outputs[br.out]
+				if !out.connected() {
+					return fmt.Errorf("router %d: branch to unconnected port %s", r.id, br.out)
+				}
+				// A branch that already forwarded the packet's tail has
+				// released its downstream VC (per-branch wormhole
+				// teardown) even while sibling branches are pending.
+				if br.sent && head != nil && head.IsTail() {
+					continue
+				}
+				if out.ownerPort[br.vc] != p || out.ownerVC[br.vc] != v {
+					return fmt.Errorf("router %d: output %s vc%d owned by (%d,%d), branch claims (%d,%d)",
+						r.id, br.out, br.vc, out.ownerPort[br.vc], out.ownerVC[br.vc], p, v)
+				}
+			}
+		}
+	}
+	for p := 0; p < topology.NumPorts; p++ {
+		out := &r.outputs[p]
+		if !out.connected() {
+			continue
+		}
+		for v, c := range out.credits {
+			if c < 0 {
+				return fmt.Errorf("router %d: output %s vc%d credit %d < 0",
+					r.id, topology.Port(p), v, c)
+			}
+		}
+		for v := range out.ownerPort {
+			op, ov := out.ownerPort[v], out.ownerVC[v]
+			if op < 0 {
+				continue
+			}
+			vc := r.inputs[op][ov]
+			held := false
+			for bi := range vc.branches {
+				if vc.branches[bi].out == topology.Port(p) && vc.branches[bi].vc == v {
+					held = true
+				}
+			}
+			if !held {
+				return fmt.Errorf("router %d: output %s vc%d allocated to (%d,%d) which does not hold it",
+					r.id, topology.Port(p), v, op, ov)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,653 @@
+// Package router implements the virtual-channel wormhole mesh router of
+// Sec. IV of the paper: a Fig. 5 pipeline (route computation, VC
+// allocation, switch allocation, switch traversal) with credit-based flow
+// control, round-robin separable allocators, XY-tree multicast forking, and
+// the gather extensions — the Gather Load Generator and Gather Payload
+// blocks of Fig. 6 that let a passing gather packet pick up the local PE's
+// partial-sum payload with zero added pipeline latency (the upload uses the
+// body/tail flits' idle RC/VA stage slots).
+package router
+
+import (
+	"fmt"
+
+	"gathernoc/internal/flit"
+	"gathernoc/internal/link"
+	"gathernoc/internal/stats"
+	"gathernoc/internal/topology"
+)
+
+// Config holds the microarchitectural parameters of one router. The zero
+// value is not valid; use DefaultConfig as a base.
+type Config struct {
+	// VCs is the number of virtual channels per input port (Table I: 4).
+	VCs int
+	// BufferDepth is the per-VC buffer depth in flits (Table I: 4).
+	BufferDepth int
+	// RCDelay and VADelay are the route-computation and VC-allocation
+	// stage occupancies in cycles (>= 1 each). With 1/1 the per-hop header
+	// latency is RC+VA+SA/ST+link = 4 cycles, the κ that reproduces the
+	// paper's Table II estimates.
+	RCDelay int
+	VADelay int
+	// GatherVC, when >= 0, dedicates that VC index to gather packets:
+	// gather packets allocate only it and other traffic never does. This
+	// is the mitigation sketched in the paper's conclusion for δ timeouts
+	// under mixed traffic. -1 disables the reservation.
+	GatherVC int
+	// GatherQueueCap bounds the Gather Payload station queue (>= 1).
+	GatherQueueCap int
+}
+
+// DefaultConfig returns the Table I router configuration.
+func DefaultConfig() Config {
+	return Config{
+		VCs:            4,
+		BufferDepth:    4,
+		RCDelay:        1,
+		VADelay:        1,
+		GatherVC:       -1,
+		GatherQueueCap: 4,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.VCs < 1:
+		return fmt.Errorf("router: VCs must be >= 1, got %d", c.VCs)
+	case c.BufferDepth < 1:
+		return fmt.Errorf("router: BufferDepth must be >= 1, got %d", c.BufferDepth)
+	case c.RCDelay < 1 || c.VADelay < 1:
+		return fmt.Errorf("router: stage delays must be >= 1, got RC=%d VA=%d", c.RCDelay, c.VADelay)
+	case c.GatherVC >= c.VCs:
+		return fmt.Errorf("router: GatherVC %d out of range (VCs=%d)", c.GatherVC, c.VCs)
+	}
+	return nil
+}
+
+// Route describes where a flit leaves the router: one branch for unicast
+// and gather packets, one or more for multicast, with LocalPort used for
+// ejection to the attached NIC or edge sink.
+//
+// For adaptive routing algorithms, Adaptive lists alternative productive
+// output ports for a single-destination packet; the router then selects
+// the alternative with the most downstream credit at route-computation
+// time (deterministic: ties break toward the earlier entry) and ignores
+// Branches.
+type Route struct {
+	Branches []topology.MulticastBranch
+	Adaptive []topology.Port
+}
+
+// RoutingFunc computes the Route for a packet's head flit at node cur. The
+// network layer supplies it, which lets the fabric extend node addressing
+// beyond the raw mesh (e.g. global-buffer sinks past the east edge).
+type RoutingFunc func(cur topology.NodeID, f *flit.Flit) Route
+
+// Counters are the router's activity counts; the power model derives
+// dynamic energy from them.
+type Counters struct {
+	BufferWrites   stats.Counter
+	BufferReads    stats.Counter
+	RCComputations stats.Counter
+	VAAllocations  stats.Counter
+	SAGrants       stats.Counter
+	Crossings      stats.Counter // crossbar traversals (one per staged flit copy)
+	GatherUploads  stats.Counter
+	GatherReserves stats.Counter
+}
+
+type vcStage uint8
+
+const (
+	vcIdle vcStage = iota
+	vcRC
+	vcVA
+	vcActive
+)
+
+// branchState tracks one output branch of the packet currently holding an
+// input VC.
+type branchState struct {
+	out    topology.Port
+	dsts   *topology.DestSet // multicast subset forwarded on this branch
+	vc     int               // allocated downstream VC (-1 until VA)
+	sent   bool              // current head-of-buffer flit already copied here
+	headMD *topology.DestSet // MDst for the head copy on this branch
+}
+
+type inputVC struct {
+	buf   []*flit.Flit
+	stage vcStage
+	wait  int // remaining cycles in the current multi-cycle stage
+
+	branches []branchState
+
+	// Gather Load Generator state (Fig. 3b / Algorithm 1).
+	gatherLoad  bool
+	gatherEntry *stationEntry
+}
+
+func (v *inputVC) head() *flit.Flit {
+	if len(v.buf) == 0 {
+		return nil
+	}
+	return v.buf[0]
+}
+
+type outputPort struct {
+	link    *link.Link
+	credits []int // per downstream VC
+	// owner[vc] identifies the (inPort, inVC) currently holding the
+	// downstream VC; -1 when free.
+	ownerPort []int
+	ownerVC   []int
+}
+
+func (o *outputPort) connected() bool { return o.link != nil }
+
+func (o *outputPort) vcFree(vc int) bool { return o.ownerPort[vc] < 0 }
+
+// Router is one mesh node's switch. It is a phase-1 (tick) component; its
+// outgoing links are the matching phase-2 components.
+type Router struct {
+	id    topology.NodeID
+	cfg   Config
+	route RoutingFunc
+
+	inputs  [topology.NumPorts][]*inputVC
+	inLinks [topology.NumPorts]*link.Link // reverse channels for credit return
+	outputs [topology.NumPorts]outputPort
+
+	station *gatherStation
+
+	saInputArb  [topology.NumPorts]*rrArbiter // per input port, across its VCs
+	saOutputArb [topology.NumPorts]*rrArbiter // per output port, across input-port candidates
+	vaArb       *rrArbiter                    // rotation over (port,vc) pairs for VA fairness
+
+	// Counters is exported for the power model and reports.
+	Counters Counters
+}
+
+// New constructs a router for node id using the given routing function.
+func New(id topology.NodeID, cfg Config, routeFn RoutingFunc) (*Router, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if routeFn == nil {
+		return nil, fmt.Errorf("router %d: nil routing function", id)
+	}
+	r := &Router{id: id, cfg: cfg, route: routeFn}
+	for p := 0; p < topology.NumPorts; p++ {
+		r.inputs[p] = make([]*inputVC, cfg.VCs)
+		for v := 0; v < cfg.VCs; v++ {
+			r.inputs[p][v] = &inputVC{}
+		}
+		r.saInputArb[p] = newRRArbiter(cfg.VCs)
+		r.saOutputArb[p] = newRRArbiter(topology.NumPorts)
+	}
+	r.vaArb = newRRArbiter(topology.NumPorts * cfg.VCs)
+	r.station = newGatherStation(cfg.GatherQueueCap)
+	return r, nil
+}
+
+// ID returns the node this router serves.
+func (r *Router) ID() topology.NodeID { return r.id }
+
+// ConnectOutput attaches l as the outgoing channel on port p; downstreamDepth
+// is the buffer depth of the receiving input VCs (credit initialization).
+func (r *Router) ConnectOutput(p topology.Port, l *link.Link, downstreamVCs, downstreamDepth int) {
+	o := &r.outputs[p]
+	o.link = l
+	o.credits = make([]int, downstreamVCs)
+	o.ownerPort = make([]int, downstreamVCs)
+	o.ownerVC = make([]int, downstreamVCs)
+	for v := 0; v < downstreamVCs; v++ {
+		o.credits[v] = downstreamDepth
+		o.ownerPort[v] = -1
+		o.ownerVC[v] = -1
+	}
+}
+
+// ConnectInput records the reverse channel used to return credits for
+// flits consumed from input port p.
+func (r *Router) ConnectInput(p topology.Port, reverse *link.Link) {
+	r.inLinks[p] = reverse
+}
+
+// InputSink returns a link.FlitSink delivering into input port p.
+func (r *Router) InputSink(p topology.Port) link.FlitSink {
+	return &portSink{r: r, port: p}
+}
+
+// CreditSink returns a link.CreditSink crediting output port p.
+func (r *Router) CreditSink(p topology.Port) link.CreditSink {
+	return &portCredit{r: r, port: p}
+}
+
+type portSink struct {
+	r    *Router
+	port topology.Port
+}
+
+func (s *portSink) AcceptFlit(f *flit.Flit, vc int) { s.r.acceptFlit(s.port, f, vc) }
+
+type portCredit struct {
+	r    *Router
+	port topology.Port
+}
+
+func (s *portCredit) AcceptCredit(vc int) { s.r.acceptCredit(s.port, vc) }
+
+func (r *Router) acceptFlit(p topology.Port, f *flit.Flit, vc int) {
+	in := r.inputs[p][vc]
+	if len(in.buf) >= r.cfg.BufferDepth {
+		// Credit-protocol violation: upstream sent into a full buffer.
+		// This is an internal simulator bug, not a runtime condition.
+		panic(fmt.Sprintf("router %d: input %s vc%d overflow (%s)", r.id, p, vc, f))
+	}
+	in.buf = append(in.buf, f)
+	f.Hops++
+	r.Counters.BufferWrites.Inc()
+}
+
+func (r *Router) acceptCredit(p topology.Port, vc int) {
+	o := &r.outputs[p]
+	if vc < len(o.credits) {
+		o.credits[vc]++
+	}
+}
+
+// OfferGatherPayload hands the local PE's payload to the Gather Payload
+// station; ack fires when a passing gather packet picked it up. It returns
+// false when the station queue is full.
+func (r *Router) OfferGatherPayload(p flit.Payload, ack AckFunc) bool {
+	return r.station.offer(p, ack)
+}
+
+// RetractGatherPayload removes a not-yet-reserved payload from the station
+// (δ-timeout path). It returns false when the payload is gone or already
+// reserved by an in-flight packet.
+func (r *Router) RetractGatherPayload(seq uint64) bool {
+	return r.station.retract(seq)
+}
+
+// GatherBacklog reports how many payloads sit in the station.
+func (r *Router) GatherBacklog() int { return r.station.pendingLen() }
+
+// BufferedFlits reports the total flits currently held in input buffers;
+// the network layer uses it for drain detection.
+func (r *Router) BufferedFlits() int {
+	n := 0
+	for p := 0; p < topology.NumPorts; p++ {
+		for _, vc := range r.inputs[p] {
+			n += len(vc.buf)
+		}
+	}
+	return n
+}
+
+// Tick advances the router by one cycle. Stages run in reverse pipeline
+// order (gather upload, SA/ST, VA, RC) so a flit progresses through at most
+// one stage per cycle.
+func (r *Router) Tick(cycle int64) {
+	r.gatherUploadStage()
+	r.switchStage(cycle)
+	r.vaStage()
+	r.rcStage()
+}
+
+// gatherUploadStage writes reserved payloads into head-of-buffer body/tail
+// flits of loaded gather packets. Per Sec. IV this reuses the RC/VA slots
+// that body flits leave idle, so it costs no extra cycles: the upload
+// happens while the flit waits for switch allocation.
+func (r *Router) gatherUploadStage() {
+	for p := 0; p < topology.NumPorts; p++ {
+		for _, vc := range r.inputs[p] {
+			if !vc.gatherLoad || vc.gatherEntry == nil {
+				continue
+			}
+			f := vc.head()
+			if f == nil || f.PT != flit.Gather || f.Type.IsHead() {
+				continue
+			}
+			if f.AddPayload(vc.gatherEntry.payload) {
+				r.station.complete(vc.gatherEntry)
+				r.Counters.GatherUploads.Inc()
+				vc.gatherEntry = nil
+				vc.gatherLoad = false
+			}
+		}
+	}
+}
+
+// rcStage starts and completes route computation for heads of newly
+// arrived packets, and runs the Gather Load Generator on gather headers
+// (Algorithm 1, lines 1-4).
+func (r *Router) rcStage() {
+	for p := 0; p < topology.NumPorts; p++ {
+		for _, vc := range r.inputs[p] {
+			switch vc.stage {
+			case vcIdle:
+				f := vc.head()
+				if f == nil || !f.IsHead() {
+					continue
+				}
+				vc.stage = vcRC
+				vc.wait = r.cfg.RCDelay - 1
+				if vc.wait == 0 {
+					r.completeRC(vc)
+				}
+			case vcRC:
+				if vc.wait > 0 {
+					vc.wait--
+				}
+				if vc.wait == 0 {
+					r.completeRC(vc)
+				}
+			}
+		}
+	}
+}
+
+func (r *Router) completeRC(vc *inputVC) {
+	f := vc.head()
+	rt := r.route(r.id, f)
+	vc.branches = vc.branches[:0]
+	if len(rt.Adaptive) > 0 {
+		vc.branches = append(vc.branches, branchState{out: r.pickAdaptive(rt.Adaptive), vc: -1})
+	} else {
+		for _, br := range rt.Branches {
+			bs := branchState{out: br.Out, dsts: br.Dsts, vc: -1}
+			if f.PT == flit.Multicast {
+				bs.headMD = br.Dsts
+			}
+			vc.branches = append(vc.branches, bs)
+		}
+	}
+	r.Counters.RCComputations.Inc()
+
+	// Gather Load Generator: reserve the local payload against this packet
+	// and decrement ASpace in the header (Fig. 3b). The paper splits the
+	// load-signal generation (RC stage) and the ASpace update (VA stage);
+	// both are internal to the head's pipeline transit, so we apply them
+	// together at RC completion with identical external timing.
+	if f.PT == flit.Gather && f.IsHead() && f.ASpace >= 1 {
+		if e, ok := r.station.reserve(f.Dst); ok {
+			f.ASpace--
+			vc.gatherLoad = true
+			vc.gatherEntry = e
+			r.Counters.GatherReserves.Inc()
+		}
+	}
+
+	vc.stage = vcVA
+	vc.wait = r.cfg.VADelay - 1
+}
+
+// vaStage allocates downstream VCs to packets that completed RC. Multicast
+// packets must secure a VC on every branch before activating; partial
+// allocations persist across cycles.
+func (r *Router) vaStage() {
+	total := topology.NumPorts * r.cfg.VCs
+	start := r.vaArb.next
+	for off := 0; off < total; off++ {
+		idx := (start + off) % total
+		p := idx / r.cfg.VCs
+		v := idx % r.cfg.VCs
+		vc := r.inputs[p][v]
+		if vc.stage != vcVA {
+			continue
+		}
+		if vc.wait > 0 {
+			vc.wait--
+			continue
+		}
+		f := vc.head()
+		if f == nil {
+			continue
+		}
+		done := true
+		for i := range vc.branches {
+			br := &vc.branches[i]
+			if br.vc >= 0 {
+				continue
+			}
+			out := &r.outputs[br.out]
+			if !out.connected() {
+				panic(fmt.Sprintf("router %d: route to unconnected port %s for %s", r.id, br.out, f))
+			}
+			alloc := -1
+			for dv := 0; dv < len(out.credits); dv++ {
+				if !r.vcAllowed(f.PT, dv, len(out.credits)) {
+					continue
+				}
+				if out.vcFree(dv) {
+					alloc = dv
+					break
+				}
+			}
+			if alloc < 0 {
+				done = false
+				continue
+			}
+			out.ownerPort[alloc] = p
+			out.ownerVC[alloc] = v
+			br.vc = alloc
+			r.Counters.VAAllocations.Inc()
+		}
+		if done {
+			vc.stage = vcActive
+		}
+	}
+	r.vaArb.next = (start + 1) % total
+}
+
+// pickAdaptive selects the productive port with the most downstream
+// credit; ties break toward the earlier alternative, keeping the
+// simulation deterministic.
+func (r *Router) pickAdaptive(alts []topology.Port) topology.Port {
+	best := alts[0]
+	bestCredit := -1
+	for _, p := range alts {
+		out := &r.outputs[p]
+		if !out.connected() {
+			continue
+		}
+		total := 0
+		for _, c := range out.credits {
+			total += c
+		}
+		if total > bestCredit {
+			best = p
+			bestCredit = total
+		}
+	}
+	return best
+}
+
+// vcAllowed applies the dedicated-gather-VC policy for a downstream
+// channel with nVCs virtual channels.
+func (r *Router) vcAllowed(pt flit.PacketType, vc, nVCs int) bool {
+	g := r.cfg.GatherVC
+	if g < 0 || g >= nVCs {
+		return true
+	}
+	if pt == flit.Gather {
+		return vc == g
+	}
+	return vc != g
+}
+
+// switchStage performs switch allocation and traversal: per input port one
+// candidate VC (round-robin), per output port one grant (round-robin);
+// granted flits are copied onto their branch links and retired once every
+// branch has been served.
+func (r *Router) switchStage(cycle int64) {
+	// Input arbitration: one candidate VC per input port.
+	var candidate [topology.NumPorts]int
+	for p := 0; p < topology.NumPorts; p++ {
+		candidate[p] = r.saInputArb[p].pick(func(v int) bool {
+			return r.vcReady(r.inputs[p][v])
+		})
+	}
+
+	// Output arbitration: for each output port, grant one requesting input.
+	type grant struct {
+		inPort int
+		inVC   int
+		branch int
+	}
+	var grants [topology.NumPorts]grant
+	nGrants := 0
+	for out := 0; out < topology.NumPorts; out++ {
+		o := &r.outputs[out]
+		if !o.connected() {
+			continue
+		}
+		win := r.saOutputArb[out].pick(func(p int) bool {
+			v := candidate[p]
+			if v < 0 {
+				return false
+			}
+			bi := r.branchRequesting(r.inputs[p][v], topology.Port(out))
+			return bi >= 0
+		})
+		if win < 0 {
+			continue
+		}
+		v := candidate[win]
+		bi := r.branchRequesting(r.inputs[win][v], topology.Port(out))
+		grants[nGrants] = grant{inPort: win, inVC: v, branch: bi}
+		nGrants++
+		r.Counters.SAGrants.Inc()
+	}
+
+	// Switch traversal: copy flits onto links, then retire fully-served
+	// flits. touched records input VCs that sent at least one copy this
+	// cycle (a multicast flit may win several output ports at once); it is
+	// iterated in input-port order to keep the simulation deterministic.
+	var touched [topology.NumPorts]int
+	for p := range touched {
+		touched[p] = -1
+	}
+	for _, g := range grants[:nGrants] {
+		vc := r.inputs[g.inPort][g.inVC]
+		f := vc.head()
+		br := &vc.branches[g.branch]
+		out := &r.outputs[br.out]
+
+		copyF := r.flitForBranch(f, br, len(vc.branches) > 1)
+		out.link.Send(copyF, br.vc, cycle)
+		out.credits[br.vc]--
+		if out.credits[br.vc] < 0 {
+			panic(fmt.Sprintf("router %d: negative credit on %s vc%d", r.id, br.out, br.vc))
+		}
+		br.sent = true
+		r.Counters.Crossings.Inc()
+
+		if f.IsTail() || f.Type == flit.HeadTail {
+			// Free the downstream VC at this branch once its copy of the
+			// tail has departed.
+			out.ownerPort[br.vc] = -1
+			out.ownerVC[br.vc] = -1
+		}
+		touched[g.inPort] = g.inVC
+	}
+
+	for p, v := range touched {
+		if v < 0 {
+			continue
+		}
+		vc := r.inputs[p][v]
+		if !r.allBranchesSent(vc) {
+			continue
+		}
+		f := vc.buf[0]
+		vc.buf = vc.buf[1:]
+		r.Counters.BufferReads.Inc()
+		if r.inLinks[p] != nil {
+			r.inLinks[p].ReturnCredit(v, cycle)
+		}
+		for i := range vc.branches {
+			vc.branches[i].sent = false
+		}
+		if f.IsTail() {
+			if vc.gatherLoad && vc.gatherEntry != nil {
+				// The packet left before the upload could complete;
+				// return the payload so the δ-timeout can recover it.
+				r.station.release(vc.gatherEntry)
+				vc.gatherEntry = nil
+			}
+			vc.gatherLoad = false
+			vc.branches = vc.branches[:0]
+			vc.stage = vcIdle
+		}
+	}
+}
+
+// vcReady reports whether the input VC has a flit that can move this
+// cycle: it is active and at least one unserved branch has downstream
+// credit.
+func (r *Router) vcReady(vc *inputVC) bool {
+	if vc.stage != vcActive || vc.head() == nil {
+		return false
+	}
+	for i := range vc.branches {
+		br := &vc.branches[i]
+		if !br.sent && r.outputs[br.out].credits[br.vc] > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// branchRequesting returns the index of the unserved credited branch of vc
+// aimed at out, or -1.
+func (r *Router) branchRequesting(vc *inputVC, out topology.Port) int {
+	if vc.stage != vcActive || vc.head() == nil {
+		return -1
+	}
+	for i := range vc.branches {
+		br := &vc.branches[i]
+		if br.out == out && !br.sent && r.outputs[br.out].credits[br.vc] > 0 {
+			return i
+		}
+	}
+	return -1
+}
+
+// allBranchesSent reports whether the head flit has been copied to every
+// branch.
+func (r *Router) allBranchesSent(vc *inputVC) bool {
+	if len(vc.branches) == 0 {
+		return false
+	}
+	for i := range vc.branches {
+		if !vc.branches[i].sent {
+			return false
+		}
+	}
+	return true
+}
+
+// flitForBranch returns the flit instance to send on a branch: the original
+// for single-branch packets, a copy (with the branch's MDst subset on head
+// flits) when the packet forks.
+func (r *Router) flitForBranch(f *flit.Flit, br *branchState, fork bool) *flit.Flit {
+	if !fork {
+		if f.IsHead() && f.PT == flit.Multicast && br.headMD != nil {
+			f.MDst = br.headMD
+		}
+		return f
+	}
+	c := *f
+	if len(f.Payloads) > 0 {
+		c.Payloads = append([]flit.Payload(nil), f.Payloads...)
+	}
+	if c.IsHead() && c.PT == flit.Multicast {
+		c.MDst = br.headMD
+	}
+	return &c
+}

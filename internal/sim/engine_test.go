@@ -1,0 +1,90 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+)
+
+type recorder struct {
+	log   *[]string
+	name  string
+	phase string
+}
+
+func (r *recorder) Tick(cycle int64)   { *r.log = append(*r.log, r.name+"-tick") }
+func (r *recorder) Commit(cycle int64) { *r.log = append(*r.log, r.name+"-commit") }
+
+func TestEngineStepOrdering(t *testing.T) {
+	var log []string
+	e := NewEngine()
+	e.AddTicker(&recorder{log: &log, name: "a"})
+	e.AddTicker(&recorder{log: &log, name: "b"})
+	e.AddCommitter(&recorder{log: &log, name: "c"})
+	e.AddCommitter(&recorder{log: &log, name: "d"})
+
+	e.Step()
+
+	want := []string{"a-tick", "b-tick", "c-commit", "d-commit"}
+	if len(log) != len(want) {
+		t.Fatalf("log = %v, want %v", log, want)
+	}
+	for i := range want {
+		if log[i] != want[i] {
+			t.Errorf("log[%d] = %q, want %q", i, log[i], want[i])
+		}
+	}
+	if e.Cycle() != 1 {
+		t.Errorf("Cycle() = %d, want 1", e.Cycle())
+	}
+}
+
+func TestEngineRun(t *testing.T) {
+	e := NewEngine()
+	e.Run(10)
+	if e.Cycle() != 10 {
+		t.Errorf("Cycle() = %d, want 10", e.Cycle())
+	}
+}
+
+type countdown struct {
+	n int
+}
+
+func (c *countdown) Tick(cycle int64) {
+	if c.n > 0 {
+		c.n--
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	c := &countdown{n: 7}
+	e.AddTicker(c)
+
+	got, err := e.RunUntil(func() bool { return c.n == 0 }, 100)
+	if err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	if got != 7 {
+		t.Errorf("exit cycle = %d, want 7", got)
+	}
+}
+
+func TestEngineRunUntilBudget(t *testing.T) {
+	e := NewEngine()
+	_, err := e.RunUntil(func() bool { return false }, 5)
+	if !errors.Is(err, ErrMaxCyclesExceeded) {
+		t.Fatalf("err = %v, want ErrMaxCyclesExceeded", err)
+	}
+	if e.Cycle() != 5 {
+		t.Errorf("Cycle() = %d, want 5", e.Cycle())
+	}
+}
+
+func TestEngineRunUntilAlreadyDone(t *testing.T) {
+	e := NewEngine()
+	got, err := e.RunUntil(func() bool { return true }, 0)
+	if err != nil || got != 0 {
+		t.Fatalf("RunUntil = (%d, %v), want (0, nil)", got, err)
+	}
+}

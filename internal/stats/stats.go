@@ -1,0 +1,187 @@
+// Package stats provides the measurement primitives the simulator reports
+// through: counters, scalar samples with min/mean/max/percentiles, and
+// small fixed-bucket histograms. All types have useful zero values and are
+// not safe for concurrent use (the simulator is single-threaded).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Counter is a monotonically increasing event count.
+type Counter struct {
+	n uint64
+}
+
+// Add increments the counter by delta (negative deltas are ignored).
+func (c *Counter) Add(delta int) {
+	if delta > 0 {
+		c.n += uint64(delta)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.n++ }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.n }
+
+// Sample accumulates scalar observations and reports summary statistics.
+// Observations are retained so percentiles are exact.
+type Sample struct {
+	values []float64
+	sum    float64
+	sorted bool
+}
+
+// Observe records one observation.
+func (s *Sample) Observe(v float64) {
+	s.values = append(s.values, v)
+	s.sum += v
+	s.sorted = false
+}
+
+// N returns the observation count.
+func (s *Sample) N() int { return len(s.values) }
+
+// Sum returns the sum of observations.
+func (s *Sample) Sum() float64 { return s.sum }
+
+// Mean returns the arithmetic mean, or 0 with no observations.
+func (s *Sample) Mean() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	return s.sum / float64(len(s.values))
+}
+
+// Min returns the smallest observation, or 0 with no observations.
+func (s *Sample) Min() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	return s.values[0]
+}
+
+// Max returns the largest observation, or 0 with no observations.
+func (s *Sample) Max() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	return s.values[len(s.values)-1]
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) using
+// nearest-rank on the sorted observations, or 0 with no observations.
+func (s *Sample) Percentile(p float64) float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	if p <= 0 {
+		return s.values[0]
+	}
+	if p >= 100 {
+		return s.values[len(s.values)-1]
+	}
+	rank := int(math.Ceil(p/100*float64(len(s.values)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return s.values[rank]
+}
+
+// StdDev returns the population standard deviation, or 0 with fewer than
+// two observations.
+func (s *Sample) StdDev() float64 {
+	if len(s.values) < 2 {
+		return 0
+	}
+	mean := s.Mean()
+	var ss float64
+	for _, v := range s.values {
+		d := v - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(s.values)))
+}
+
+// String summarizes the sample for reports.
+func (s *Sample) String() string {
+	return fmt.Sprintf("n=%d mean=%.2f min=%.0f p50=%.0f p99=%.0f max=%.0f",
+		s.N(), s.Mean(), s.Min(), s.Percentile(50), s.Percentile(99), s.Max())
+}
+
+func (s *Sample) ensureSorted() {
+	if !s.sorted {
+		sort.Float64s(s.values)
+		s.sorted = true
+	}
+}
+
+// Histogram counts observations into uniform-width buckets over [0, width*n)
+// with an overflow bucket at the end.
+type Histogram struct {
+	width   float64
+	buckets []uint64
+	over    uint64
+	n       uint64
+}
+
+// NewHistogram returns a histogram of n buckets each width wide.
+func NewHistogram(width float64, n int) *Histogram {
+	if n < 1 {
+		n = 1
+	}
+	if width <= 0 {
+		width = 1
+	}
+	return &Histogram{width: width, buckets: make([]uint64, n)}
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	h.n++
+	if v < 0 {
+		v = 0
+	}
+	i := int(v / h.width)
+	if i >= len(h.buckets) {
+		h.over++
+		return
+	}
+	h.buckets[i]++
+}
+
+// N returns the observation count.
+func (h *Histogram) N() uint64 { return h.n }
+
+// Bucket returns the count in bucket i.
+func (h *Histogram) Bucket(i int) uint64 {
+	if i < 0 || i >= len(h.buckets) {
+		return 0
+	}
+	return h.buckets[i]
+}
+
+// Overflow returns the count of observations beyond the last bucket.
+func (h *Histogram) Overflow() uint64 { return h.over }
+
+// String renders an ASCII sparkline-style summary.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "hist n=%d [", h.n)
+	for i, c := range h.buckets {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d", c)
+	}
+	fmt.Fprintf(&b, " |%d]", h.over)
+	return b.String()
+}

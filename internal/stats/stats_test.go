@@ -1,0 +1,143 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // ignored
+	if c.Value() != 5 {
+		t.Errorf("Value = %d, want 5", c.Value())
+	}
+}
+
+func TestSampleSummary(t *testing.T) {
+	var s Sample
+	for _, v := range []float64{4, 1, 3, 2, 5} {
+		s.Observe(v)
+	}
+	if s.N() != 5 || s.Sum() != 15 {
+		t.Fatalf("N=%d Sum=%v", s.N(), s.Sum())
+	}
+	if s.Mean() != 3 {
+		t.Errorf("Mean = %v, want 3", s.Mean())
+	}
+	if s.Min() != 1 || s.Max() != 5 {
+		t.Errorf("Min/Max = %v/%v, want 1/5", s.Min(), s.Max())
+	}
+	if got := s.Percentile(50); got != 3 {
+		t.Errorf("p50 = %v, want 3", got)
+	}
+	if got := s.Percentile(100); got != 5 {
+		t.Errorf("p100 = %v, want 5", got)
+	}
+	if got := s.Percentile(0); got != 1 {
+		t.Errorf("p0 = %v, want 1", got)
+	}
+}
+
+func TestSampleEmpty(t *testing.T) {
+	var s Sample
+	if s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 || s.Percentile(50) != 0 || s.StdDev() != 0 {
+		t.Error("empty sample should report zeros")
+	}
+}
+
+func TestSampleObserveAfterSort(t *testing.T) {
+	var s Sample
+	s.Observe(10)
+	_ = s.Min() // forces sort
+	s.Observe(1)
+	if s.Min() != 1 {
+		t.Errorf("Min after late observation = %v, want 1", s.Min())
+	}
+}
+
+func TestSampleStdDev(t *testing.T) {
+	var s Sample
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Observe(v)
+	}
+	if got := s.StdDev(); math.Abs(got-2) > 1e-9 {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+}
+
+// Property: percentiles are monotone in p and bracketed by min/max.
+func TestPercentileMonotone(t *testing.T) {
+	f := func(raw []float64) bool {
+		var s Sample
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			s.Observe(v)
+		}
+		if s.N() == 0 {
+			return true
+		}
+		prev := s.Min()
+		for p := 0.0; p <= 100; p += 10 {
+			cur := s.Percentile(p)
+			if cur < prev || cur > s.Max() {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(10, 3) // buckets [0,10) [10,20) [20,30), overflow beyond
+	for _, v := range []float64{0, 5, 9.99, 10, 25, 31, 100, -1} {
+		h.Observe(v)
+	}
+	if h.N() != 8 {
+		t.Fatalf("N = %d, want 8", h.N())
+	}
+	if h.Bucket(0) != 4 { // 0, 5, 9.99, -1(clamped)
+		t.Errorf("bucket0 = %d, want 4", h.Bucket(0))
+	}
+	if h.Bucket(1) != 1 {
+		t.Errorf("bucket1 = %d, want 1", h.Bucket(1))
+	}
+	if h.Bucket(2) != 1 {
+		t.Errorf("bucket2 = %d, want 1", h.Bucket(2))
+	}
+	if h.Overflow() != 2 {
+		t.Errorf("overflow = %d, want 2", h.Overflow())
+	}
+	if h.Bucket(-1) != 0 || h.Bucket(99) != 0 {
+		t.Error("out-of-range Bucket should return 0")
+	}
+}
+
+func TestHistogramDegenerateConfig(t *testing.T) {
+	h := NewHistogram(0, 0) // coerced to 1 bucket of width 1
+	h.Observe(0.5)
+	if h.Bucket(0) != 1 {
+		t.Errorf("bucket0 = %d, want 1", h.Bucket(0))
+	}
+}
+
+func TestStringerOutputs(t *testing.T) {
+	var s Sample
+	s.Observe(1)
+	if s.String() == "" {
+		t.Error("Sample.String empty")
+	}
+	h := NewHistogram(1, 2)
+	h.Observe(0)
+	if h.String() == "" {
+		t.Error("Histogram.String empty")
+	}
+}

@@ -1,0 +1,470 @@
+// Package systolic implements the output-stationary (OS) dataflow engine
+// of Sec. III-A: per round, input feature-map operands stream from the
+// west edge and filter weights from the north edge in a wavefront (Fig. 2),
+// every PE performs C·R·R multiply-accumulates, and the partial-convolution
+// results return to the global buffer on the east edge (Fig. 4's pipelined
+// input/MAC/result schedule) — either as per-PE repetitive-unicast packets
+// or via the paper's gather packets.
+//
+// Streaming and MAC are modeled as a deterministic wavefront (they use
+// dedicated systolic forwarding paths, not the router pipeline); the
+// result-collection phase is simulated flit by flit on the NoC. This
+// matches the structure of Eqs. (2)/(3), where streaming contributes
+// C·R·R + T_MAC per round and only collection interacts with the network.
+// Streaming energy is accounted as operand-hops for the power model, since
+// the paper's Orion traces include the streamed operands (DESIGN.md §3).
+package systolic
+
+import (
+	"fmt"
+
+	"gathernoc/internal/cnn"
+	"gathernoc/internal/flit"
+	"gathernoc/internal/nic"
+	"gathernoc/internal/noc"
+	"gathernoc/internal/stats"
+	"gathernoc/internal/topology"
+)
+
+// Mode selects the result-collection scheme.
+type Mode uint8
+
+// Collection modes.
+const (
+	// RepetitiveUnicast is the baseline: every PE unicasts its result to
+	// the global buffer.
+	RepetitiveUnicast Mode = iota + 1
+	// GatherMode uses the paper's gather packets: the leftmost PE of each
+	// row initiates one, intermediate PEs piggyback (Algorithm 1).
+	GatherMode
+)
+
+// String names the mode as in the paper ("RU", "Gather").
+func (m Mode) String() string {
+	switch m {
+	case RepetitiveUnicast:
+		return "RU"
+	case GatherMode:
+		return "Gather"
+	default:
+		return fmt.Sprintf("Mode(%d)", uint8(m))
+	}
+}
+
+// Dataflow selects the systolic mapping of the convolution onto the PE
+// array.
+type Dataflow uint8
+
+// Dataflows. The zero value selects OutputStationary (the paper's
+// evaluation setting).
+const (
+	// OutputStationary (Sec. III-A): every PE accumulates one output
+	// position; all N·M PEs return a result every round.
+	OutputStationary Dataflow = iota
+	// WeightStationary is the paper's future-work dataflow: weights are
+	// pinned in PEs, partial sums cascade down each column, and only the
+	// bottom-row PEs emit results — one completed output per column per
+	// round. Result collection concentrates in a single row, which is an
+	// even more aggressive many-to-one pattern than OS.
+	WeightStationary
+)
+
+// String names the dataflow.
+func (d Dataflow) String() string {
+	switch d {
+	case OutputStationary:
+		return "OS"
+	case WeightStationary:
+		return "WS"
+	default:
+		return fmt.Sprintf("Dataflow(%d)", uint8(d))
+	}
+}
+
+// Config parameterizes one layer run.
+type Config struct {
+	// Layer is the convolution layer to execute.
+	Layer cnn.LayerConfig
+	// Mode selects RU or gather collection.
+	Mode Mode
+	// Dataflow selects the systolic mapping (default OutputStationary).
+	Dataflow Dataflow
+	// TMAC is the MAC latency in cycles (Table I: 5).
+	TMAC int
+	// MaxRounds bounds how many rounds are actually simulated; the
+	// remaining rounds are extrapolated (every round is statistically
+	// identical — same schedule, drained network). 0 means 2.
+	MaxRounds int
+	// SimulateAllRounds disables extrapolation (exact mode).
+	SimulateAllRounds bool
+	// FlatDelta disables the per-column δ scaling, applying the network
+	// config's base δ uniformly — the literal reading of Table I,
+	// exercised by the δ ablation.
+	FlatDelta bool
+	// SkewPerHop staggers PE completion by this many cycles per hop of
+	// systolic distance (row+col). The paper's Eq. (2) models result
+	// collection as a synchronized phase, so the default is 0. Positive
+	// values model the operand wavefront's completion stagger; the skew
+	// ablation shows how the stagger interacts with the buffer's
+	// per-packet transaction serialization (a stagger equal to κ aligns a
+	// row's arrivals at the buffer and maximizes RU serialization).
+	SkewPerHop int
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if err := c.Layer.Validate(); err != nil {
+		return err
+	}
+	switch {
+	case c.Mode != RepetitiveUnicast && c.Mode != GatherMode:
+		return fmt.Errorf("systolic: invalid mode %d", c.Mode)
+	case c.TMAC < 0:
+		return fmt.Errorf("systolic: TMAC %d invalid", c.TMAC)
+	case c.MaxRounds < 0:
+		return fmt.Errorf("systolic: MaxRounds %d invalid", c.MaxRounds)
+	case c.SkewPerHop < 0:
+		return fmt.Errorf("systolic: SkewPerHop %d invalid", c.SkewPerHop)
+	case c.Dataflow != OutputStationary && c.Dataflow != WeightStationary:
+		return fmt.Errorf("systolic: invalid dataflow %d", c.Dataflow)
+	}
+	return nil
+}
+
+// totalRounds returns the round count for the configured dataflow on an
+// rows×cols array: OS computes N·M outputs per round (⌈P/N⌉·⌈Q/M⌉ rounds,
+// Eq. 2/3); WS completes one output per column per round (⌈P·Q/M⌉ rounds).
+func (c Config) totalRounds(rows, cols int) int64 {
+	if c.Dataflow == WeightStationary {
+		total := int64(c.Layer.OutputPositions()) * int64(c.Layer.OutKernels)
+		return (total + int64(cols) - 1) / int64(cols)
+	}
+	return c.Layer.Rounds(rows, cols)
+}
+
+// resultsPerRound returns how many results return to the buffer per round.
+func (c Config) resultsPerRound(rows, cols int) int {
+	if c.Dataflow == WeightStationary {
+		return cols
+	}
+	return rows * cols
+}
+
+// computeLatency returns the streaming+compute time of one round before
+// results are ready, excluding wavefront skew.
+func (c Config) computeLatency(rows int) int {
+	if c.Dataflow == WeightStationary {
+		// Operands split across the column's rows, then the partial sums
+		// cascade down the column before the final accumulation.
+		return (c.Layer.MACsPerPE()+rows-1)/rows + rows + c.TMAC
+	}
+	return c.Layer.MACsPerPE() + c.TMAC
+}
+
+// Result summarizes a layer run.
+type Result struct {
+	// Layer, Mode, Dataflow, Rows, Cols echo the run parameters.
+	Layer    cnn.LayerConfig
+	Mode     Mode
+	Dataflow Dataflow
+	Rows     int
+	Cols     int
+
+	// TotalRounds is ⌈P/N⌉·⌈Q/M⌉; RoundsSimulated is how many were run
+	// on the simulator before extrapolation.
+	TotalRounds     int64
+	RoundsSimulated int
+
+	// RoundCycles samples the simulated rounds' full latencies
+	// (streaming + MAC + collection); CollectionCycles samples just the
+	// collection phases.
+	RoundCycles      stats.Sample
+	CollectionCycles stats.Sample
+
+	// TotalCycles is the extrapolated whole-layer latency
+	// (mean round latency × TotalRounds); MeasuredCycles is the simulated
+	// portion.
+	TotalCycles    int64
+	MeasuredCycles int64
+
+	// Activity holds the NoC event counts of the simulated rounds;
+	// StreamHops and MACs the corresponding systolic-side counts.
+	Activity   noc.Activity
+	StreamHops uint64
+	MACs       uint64
+
+	// SelfInitiatedGathers and PiggybackAcks describe gather-protocol
+	// behaviour; PayloadErrors counts integrity violations (must be 0).
+	SelfInitiatedGathers uint64
+	PiggybackAcks        uint64
+	PayloadErrors        int
+}
+
+// ScaleFactor returns TotalRounds / RoundsSimulated for extrapolating
+// event counts to the whole layer.
+func (r *Result) ScaleFactor() float64 {
+	if r.RoundsSimulated == 0 {
+		return 0
+	}
+	return float64(r.TotalRounds) / float64(r.RoundsSimulated)
+}
+
+type phase uint8
+
+const (
+	phaseStream phase = iota
+	phaseCollect
+	phaseDone
+)
+
+// Controller drives one layer run on a network. Register it as an engine
+// ticker (after the network's own components) and call Run, or embed it in
+// a larger schedule via Tick/Done.
+type Controller struct {
+	nw  *noc.Network
+	cfg Config
+
+	rows, cols int
+	crr        int
+	expected   int
+
+	phase      phase
+	round      int
+	roundStart int64
+	roundsToDo int
+
+	// doneAt[i] is the cycle PE i finishes its MACs in the current round.
+	doneAt    []int64
+	submitted []bool
+
+	collected   int
+	seenSeq     map[uint64]bool
+	seenSrc     map[topology.NodeID]bool
+	payloadSeq  uint64
+	payloadErrs int
+
+	res Result
+}
+
+// NewController prepares a layer run on nw. It wires the sink callbacks
+// and the per-column δ configuration (δ scaled by distance from the row's
+// gather initiator, DESIGN.md §3).
+func NewController(nw *noc.Network, cfg Config) (*Controller, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	nc := nw.Config()
+	if !nc.EastSinks {
+		return nil, fmt.Errorf("systolic: network needs east-edge global-buffer sinks")
+	}
+	c := &Controller{
+		nw:   nw,
+		cfg:  cfg,
+		rows: nc.Rows,
+		cols: nc.Cols,
+		crr:  cfg.Layer.MACsPerPE(),
+	}
+	c.expected = cfg.resultsPerRound(c.rows, c.cols)
+	c.doneAt = make([]int64, c.rows*c.cols)
+	c.submitted = make([]bool, c.rows*c.cols)
+	c.seenSeq = make(map[uint64]bool, c.expected)
+	c.seenSrc = make(map[topology.NodeID]bool, c.expected)
+
+	total := cfg.totalRounds(c.rows, c.cols)
+	sim := cfg.MaxRounds
+	if sim == 0 {
+		sim = 2
+	}
+	if cfg.SimulateAllRounds || int64(sim) > total {
+		if total > int64(int(^uint(0)>>1)) {
+			return nil, fmt.Errorf("systolic: round count %d too large to simulate exactly", total)
+		}
+		sim = int(total)
+	}
+	c.roundsToDo = sim
+
+	c.res = Result{
+		Layer: cfg.Layer, Mode: cfg.Mode, Dataflow: cfg.Dataflow,
+		Rows: c.rows, Cols: c.cols,
+		TotalRounds: total, RoundsSimulated: sim,
+	}
+
+	// Per-column δ (gather mode): column c waits δ·(1+c) for the packet
+	// launched at column 0 before self-initiating.
+	if cfg.Mode == GatherMode && !cfg.FlatDelta {
+		base := nc.Delta
+		for row := 0; row < c.rows; row++ {
+			for col := 0; col < c.cols; col++ {
+				id := nw.Mesh().ID(topology.Coord{Row: row, Col: col})
+				nw.NIC(id).SetDelta(base * int64(1+col))
+			}
+		}
+	}
+
+	for row := 0; row < c.rows; row++ {
+		sink := nw.Sink(row)
+		sink.OnReceive(c.onPacket)
+	}
+
+	c.startRound(0)
+	return c, nil
+}
+
+// onPacket accounts results arriving at the global buffer and checks
+// payload integrity: every PE's payload must arrive exactly once per
+// round, whatever mix of gather, self-initiated-gather and unicast packets
+// carried it.
+func (c *Controller) onPacket(p *nic.ReceivedPacket) {
+	for _, pl := range p.Payloads {
+		if c.seenSeq[pl.Seq] || c.seenSrc[pl.Src] {
+			c.payloadErrs++
+			continue
+		}
+		c.seenSeq[pl.Seq] = true
+		c.seenSrc[pl.Src] = true
+		c.collected++
+	}
+	if p.PT == flit.Unicast && len(p.Payloads) == 0 {
+		// A result packet without its payload is an integrity failure.
+		c.payloadErrs++
+	}
+}
+
+// Run registers the controller with the network's engine and executes the
+// configured rounds, returning the finalized result. Call at most once.
+func (c *Controller) Run(maxCycles int64) (*Result, error) {
+	c.nw.Engine().AddTicker(c)
+	if _, err := c.nw.Engine().RunUntil(c.Done, maxCycles); err != nil {
+		return nil, fmt.Errorf("systolic: %s %s on %dx%d: %w",
+			c.cfg.Layer.Name, c.cfg.Mode, c.rows, c.cols, err)
+	}
+	return c.Result(), nil
+}
+
+func (c *Controller) startRound(now int64) {
+	c.roundStart = now
+	c.collected = 0
+	clearBoolSlice(c.submitted)
+	for k := range c.seenSeq {
+		delete(c.seenSeq, k)
+	}
+	for k := range c.seenSrc {
+		delete(c.seenSrc, k)
+	}
+	// Completion schedule: participating PEs finish the round's
+	// streaming+compute time after the round start, optionally staggered
+	// by the wavefront skew (SkewPerHop × systolic distance). Under WS
+	// only the bottom row emits results; the other PEs are pre-marked
+	// submitted so the release loop skips them.
+	base := c.cfg.computeLatency(c.rows)
+	for row := 0; row < c.rows; row++ {
+		for col := 0; col < c.cols; col++ {
+			id := int(c.nw.Mesh().ID(topology.Coord{Row: row, Col: col}))
+			if c.cfg.Dataflow == WeightStationary && row != c.rows-1 {
+				c.submitted[id] = true
+				continue
+			}
+			c.doneAt[id] = now + int64(c.cfg.SkewPerHop*(row+col)+base)
+		}
+	}
+	c.phase = phaseStream
+}
+
+// Done reports whether all simulated rounds completed.
+func (c *Controller) Done() bool { return c.phase == phaseDone }
+
+// Result finalizes and returns the run summary. Call after Done.
+func (c *Controller) Result() *Result {
+	r := c.res
+	r.Activity = c.nw.Activity()
+	mesh := c.nw.Mesh()
+	for id := 0; id < mesh.NumNodes(); id++ {
+		n := c.nw.NIC(topology.NodeID(id))
+		r.SelfInitiatedGathers += n.SelfInitiatedGathers.Value()
+		r.PiggybackAcks += n.PiggybackAcks.Value()
+	}
+	r.PayloadErrors = c.payloadErrs
+	// Streaming and compute activity per round. OS: every PE receives
+	// C·R·R inputs from the west and C·R·R weights from the north (one
+	// hop each) and performs C·R·R MACs. WS: each column consumes C·R·R
+	// operands split across its rows and cascades N partial sums; weights
+	// stay put.
+	var streamPerRound, macsPerRound uint64
+	streams := uint64(c.cfg.Layer.Kind.StreamFactor())
+	if c.cfg.Dataflow == WeightStationary {
+		macsPerRound = uint64(c.crr) * uint64(c.cols)
+		streamPerRound = macsPerRound + uint64(c.rows*c.cols)
+	} else {
+		macsPerRound = uint64(c.crr) * uint64(c.rows*c.cols)
+		streamPerRound = streams * macsPerRound
+	}
+	r.StreamHops = streamPerRound * uint64(r.RoundsSimulated)
+	r.MACs = macsPerRound * uint64(r.RoundsSimulated)
+	if r.RoundCycles.N() > 0 {
+		r.MeasuredCycles = int64(r.RoundCycles.Sum())
+		r.TotalCycles = int64(r.RoundCycles.Mean()*float64(r.TotalRounds) + 0.5)
+	}
+	return &r
+}
+
+// Tick advances the controller: it releases results as PEs finish and
+// closes rounds when the global buffer has every payload.
+func (c *Controller) Tick(cycle int64) {
+	switch c.phase {
+	case phaseDone:
+		return
+	case phaseStream, phaseCollect:
+		c.releaseResults(cycle)
+		if c.collected >= c.expected {
+			c.finishRound(cycle)
+		}
+	}
+}
+
+func (c *Controller) releaseResults(cycle int64) {
+	mesh := c.nw.Mesh()
+	for id := 0; id < mesh.NumNodes(); id++ {
+		if c.submitted[id] || c.doneAt[id] > cycle {
+			continue
+		}
+		c.submitted[id] = true
+		c.phase = phaseCollect
+		node := topology.NodeID(id)
+		coord := mesh.Coord(node)
+		dst := c.nw.RowSinkID(coord.Row)
+		c.payloadSeq++
+		p := flit.Payload{
+			Seq: c.payloadSeq, Src: node, Dst: dst,
+			Bits:       c.nw.Config().PayloadBits,
+			Value:      uint64(id)<<32 | uint64(c.round),
+			ReadyCycle: cycle,
+		}
+		nicAt := c.nw.NIC(node)
+		switch {
+		case c.cfg.Mode == RepetitiveUnicast:
+			nicAt.SendUnicastPayload(dst, p)
+		case coord.Col == 0:
+			nicAt.SendGather(dst, &p)
+		default:
+			nicAt.SubmitGatherPayload(p)
+		}
+	}
+}
+
+func (c *Controller) finishRound(cycle int64) {
+	latency := cycle - c.roundStart
+	c.res.RoundCycles.Observe(float64(latency))
+	c.res.CollectionCycles.Observe(float64(latency) - float64(c.cfg.computeLatency(c.rows)))
+	c.round++
+	if c.round >= c.roundsToDo {
+		c.phase = phaseDone
+		return
+	}
+	c.startRound(cycle)
+}
+
+func clearBoolSlice(s []bool) {
+	for i := range s {
+		s[i] = false
+	}
+}

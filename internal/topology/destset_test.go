@@ -1,0 +1,185 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDestSetBasics(t *testing.T) {
+	s := NewDestSet(128)
+	if !s.Empty() || s.Len() != 0 {
+		t.Fatal("new set not empty")
+	}
+	s.Add(0)
+	s.Add(63)
+	s.Add(64)
+	s.Add(127)
+	if s.Len() != 4 {
+		t.Errorf("Len = %d, want 4", s.Len())
+	}
+	for _, id := range []NodeID{0, 63, 64, 127} {
+		if !s.Contains(id) {
+			t.Errorf("Contains(%d) = false", id)
+		}
+	}
+	s.Remove(63)
+	if s.Contains(63) || s.Len() != 3 {
+		t.Error("Remove(63) did not remove")
+	}
+	// Duplicate add is idempotent.
+	s.Add(0)
+	if s.Len() != 3 {
+		t.Errorf("Len after duplicate add = %d, want 3", s.Len())
+	}
+}
+
+func TestDestSetOutOfRangeIgnored(t *testing.T) {
+	s := NewDestSet(10)
+	s.Add(-1)
+	s.Add(1000)
+	if !s.Empty() {
+		t.Error("out-of-range adds changed the set")
+	}
+	if s.Contains(-1) || s.Contains(1000) {
+		t.Error("out-of-range Contains returned true")
+	}
+	s.Remove(-1) // must not panic
+	s.Remove(1000)
+}
+
+func TestDestSetNodesSorted(t *testing.T) {
+	s := DestSetOf(64, 9, 3, 41, 0)
+	got := s.Nodes()
+	want := []NodeID{0, 3, 9, 41}
+	if len(got) != len(want) {
+		t.Fatalf("Nodes() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Nodes() = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestDestSetClone(t *testing.T) {
+	s := DestSetOf(64, 5)
+	c := s.Clone()
+	c.Add(6)
+	if s.Contains(6) {
+		t.Error("Clone shares storage with original")
+	}
+}
+
+func TestDestSetString(t *testing.T) {
+	if got := DestSetOf(64, 2, 10).String(); got != "{2,10}" {
+		t.Errorf("String() = %q, want {2,10}", got)
+	}
+	if got := NewDestSet(8).String(); got != "{}" {
+		t.Errorf("empty String() = %q, want {}", got)
+	}
+}
+
+// Property: every destination in a multicast set appears in exactly one
+// branch (or locally), so the XY multicast forms a tree with no duplicate
+// delivery and no loss.
+func TestMulticastRoutePartitions(t *testing.T) {
+	m := MustMesh(8, 8)
+	f := func(curRaw uint8, seed int64) bool {
+		cur := NodeID(int(curRaw) % m.NumNodes())
+		rng := rand.New(rand.NewSource(seed))
+		dsts := NewDestSet(m.NumNodes())
+		for i := 0; i < 10; i++ {
+			dsts.Add(NodeID(rng.Intn(m.NumNodes())))
+		}
+		branches, local := m.MulticastRoute(cur, dsts)
+
+		seen := NewDestSet(m.NumNodes())
+		count := 0
+		for _, br := range branches {
+			if br.Out == LocalPort {
+				return false // local deliveries must use the flag, not a branch
+			}
+			for _, d := range br.Dsts.Nodes() {
+				if seen.Contains(d) {
+					return false // duplicate across branches
+				}
+				seen.Add(d)
+				count++
+				// Branch port must match this destination's XY route.
+				if m.XYRoute(cur, d) != br.Out {
+					return false
+				}
+			}
+		}
+		if local {
+			if !dsts.Contains(cur) {
+				return false
+			}
+			count++
+		}
+		return count == dsts.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: following the multicast tree recursively delivers to every
+// destination exactly once.
+func TestMulticastTreeDeliversAll(t *testing.T) {
+	m := MustMesh(6, 6)
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		src := NodeID(rng.Intn(m.NumNodes()))
+		dsts := NewDestSet(m.NumNodes())
+		for i := 0; i < 1+rng.Intn(12); i++ {
+			dsts.Add(NodeID(rng.Intn(m.NumNodes())))
+		}
+		delivered := make(map[NodeID]int)
+		linkUses := 0
+
+		var walk func(cur NodeID, set *DestSet)
+		walk = func(cur NodeID, set *DestSet) {
+			branches, local := m.MulticastRoute(cur, set)
+			if local {
+				delivered[cur]++
+			}
+			for _, br := range branches {
+				next, ok := m.Neighbor(cur, br.Out)
+				if !ok {
+					t.Fatalf("branch through edge at node %d port %s", cur, br.Out)
+				}
+				linkUses++
+				walk(next, br.Dsts)
+			}
+		}
+		walk(src, dsts)
+
+		for _, d := range dsts.Nodes() {
+			if delivered[d] != 1 {
+				t.Fatalf("dst %d delivered %d times", d, delivered[d])
+			}
+		}
+		if len(delivered) != dsts.Len() {
+			t.Fatalf("delivered to %d nodes, want %d", len(delivered), dsts.Len())
+		}
+		// Tree property: link uses can't exceed sum of individual route hops.
+		sumHops := 0
+		for _, d := range dsts.Nodes() {
+			sumHops += m.Hops(src, d)
+		}
+		if linkUses > sumHops {
+			t.Fatalf("tree used %d links, unicast union would use %d", linkUses, sumHops)
+		}
+	}
+}
+
+func TestDestSetBits(t *testing.T) {
+	if got := NewDestSet(64).Bits(); got != 64 {
+		t.Errorf("Bits(64 nodes) = %d, want 64", got)
+	}
+	if got := NewDestSet(65).Bits(); got != 128 {
+		t.Errorf("Bits(65 nodes) = %d, want 128", got)
+	}
+}

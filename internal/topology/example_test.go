@@ -1,0 +1,41 @@
+package topology_test
+
+import (
+	"fmt"
+
+	"gathernoc/internal/topology"
+)
+
+// XY dimension-order routing corrects the column before the row.
+func ExampleMesh_XYRoute() {
+	m := topology.MustMesh(4, 4)
+	src := m.ID(topology.Coord{Row: 0, Col: 0})
+	dst := m.ID(topology.Coord{Row: 2, Col: 3})
+	for _, n := range m.RoutePath(src, dst) {
+		fmt.Print(m.Coord(n), " ")
+	}
+	fmt.Println()
+	// Output:
+	// (0,0) (0,1) (0,2) (0,3) (1,3) (2,3)
+}
+
+// An XY multicast partitions its destination set into tree branches, each
+// destination reached exactly once.
+func ExampleMesh_MulticastRoute() {
+	m := topology.MustMesh(4, 4)
+	dsts := topology.DestSetOf(m.NumNodes(),
+		m.ID(topology.Coord{Row: 0, Col: 3}),
+		m.ID(topology.Coord{Row: 2, Col: 0}),
+		m.ID(topology.Coord{Row: 3, Col: 1}),
+	)
+	branches, local := m.MulticastRoute(m.ID(topology.Coord{Row: 1, Col: 1}), dsts)
+	fmt.Println("deliver locally:", local)
+	for _, br := range branches {
+		fmt.Printf("port %s -> %s\n", br.Out, br.Dsts)
+	}
+	// Output:
+	// deliver locally: false
+	// port E -> {3}
+	// port S -> {13}
+	// port W -> {8}
+}

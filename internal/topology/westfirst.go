@@ -1,0 +1,34 @@
+package topology
+
+// WestFirstPorts returns the productive output ports a packet at cur may
+// take toward dst under the west-first turn model (Glass & Ni): any turn
+// into the west direction is forbidden, so westward correction must happen
+// first, after which the packet may route adaptively among the remaining
+// productive directions. The result is empty only when cur == dst.
+//
+// West-first routing is deadlock-free on a mesh: prohibiting the two
+// turns into west breaks every cycle in the turn graph. It is also
+// minimal and livelock-free: every returned port strictly reduces the
+// Manhattan distance to dst.
+func (m *Mesh) WestFirstPorts(cur, dst NodeID) []Port {
+	cc, cd := m.Coord(cur), m.Coord(dst)
+	if cc == cd {
+		return nil
+	}
+	// Westward travel cannot be entered by turning, so while the
+	// destination lies west the only legal move is west.
+	if cd.Col < cc.Col {
+		return []Port{WestPort}
+	}
+	var ports []Port
+	if cd.Col > cc.Col {
+		ports = append(ports, EastPort)
+	}
+	if cd.Row > cc.Row {
+		ports = append(ports, SouthPort)
+	}
+	if cd.Row < cc.Row {
+		ports = append(ports, NorthPort)
+	}
+	return ports
+}

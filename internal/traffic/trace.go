@@ -1,0 +1,194 @@
+package traffic
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"gathernoc/internal/cnn"
+	"gathernoc/internal/flit"
+	"gathernoc/internal/noc"
+	"gathernoc/internal/topology"
+)
+
+// Event kinds in a trace.
+const (
+	// EventUnicast injects a unicast packet (optionally carrying a result
+	// payload).
+	EventUnicast = "unicast"
+	// EventMulticast injects a multicast packet to Dsts.
+	EventMulticast = "multicast"
+	// EventGather injects a gather packet carrying the source's payload.
+	EventGather = "gather"
+	// EventPayload deposits a gather payload for piggybacking (the
+	// Algorithm 1 path).
+	EventPayload = "payload"
+)
+
+// Event is one line of a JSON-lines traffic trace.
+type Event struct {
+	// Cycle is the injection cycle.
+	Cycle int64 `json:"cycle"`
+	// Type is one of the Event* kinds.
+	Type string `json:"type"`
+	// Src and Dst are node ids (Dst may address a row sink).
+	Src int `json:"src"`
+	Dst int `json:"dst,omitempty"`
+	// Dsts lists multicast destinations.
+	Dsts []int `json:"dsts,omitempty"`
+	// Flits overrides the packet length (0 = configured default).
+	Flits int `json:"flits,omitempty"`
+	// Seq and Value tag the carried payload for integrity checking.
+	Seq   uint64 `json:"seq,omitempty"`
+	Value uint64 `json:"value,omitempty"`
+}
+
+// Write streams events as JSON lines.
+func Write(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range events {
+		if err := enc.Encode(&events[i]); err != nil {
+			return fmt.Errorf("traffic: write event %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a JSON-lines trace.
+func Read(r io.Reader) ([]Event, error) {
+	var events []Event
+	dec := json.NewDecoder(r)
+	for {
+		var e Event
+		if err := dec.Decode(&e); err == io.EOF {
+			return events, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("traffic: read event %d: %w", len(events), err)
+		}
+		events = append(events, e)
+	}
+}
+
+// GenerateLayerTrace synthesizes the result-collection traffic of one
+// convolution round on a rows×cols array, in the given collection mode —
+// the equivalent of the paper's per-layer trace generation. startCycle is
+// when the round's results become ready (C·R·R + T_MAC after streaming
+// starts); sinkBase is the node id of row 0's buffer sink.
+func GenerateLayerTrace(layer cnn.LayerConfig, rows, cols int, gather bool, startCycle int64, sinkBase int) []Event {
+	var events []Event
+	seq := uint64(0)
+	for r := 0; r < rows; r++ {
+		dst := sinkBase + r
+		for c := 0; c < cols; c++ {
+			src := r*cols + c
+			seq++
+			switch {
+			case !gather:
+				events = append(events, Event{
+					Cycle: startCycle, Type: EventUnicast, Src: src, Dst: dst,
+					Seq: seq, Value: uint64(src),
+				})
+			case c == 0:
+				events = append(events, Event{
+					Cycle: startCycle, Type: EventGather, Src: src, Dst: dst,
+					Seq: seq, Value: uint64(src),
+				})
+			default:
+				events = append(events, Event{
+					Cycle: startCycle, Type: EventPayload, Src: src, Dst: dst,
+					Seq: seq, Value: uint64(src),
+				})
+			}
+		}
+	}
+	return events
+}
+
+// Replayer injects a recorded trace into a network at the recorded cycles.
+type Replayer struct {
+	nw     *noc.Network
+	events []Event
+	next   int
+	// Injected counts injected events.
+	Injected uint64
+}
+
+// NewReplayer validates the trace against the network and prepares the
+// replay. Events must be sorted by cycle.
+func NewReplayer(nw *noc.Network, events []Event) (*Replayer, error) {
+	nodes := nw.Mesh().NumNodes()
+	sinks := 0
+	if nw.Config().EastSinks {
+		sinks = nw.Config().Rows
+	}
+	last := int64(-1)
+	for i, e := range events {
+		if e.Cycle < last {
+			return nil, fmt.Errorf("traffic: event %d out of order (cycle %d after %d)", i, e.Cycle, last)
+		}
+		last = e.Cycle
+		if e.Src < 0 || e.Src >= nodes {
+			return nil, fmt.Errorf("traffic: event %d: src %d out of range", i, e.Src)
+		}
+		if e.Type != EventMulticast && (e.Dst < 0 || e.Dst >= nodes+sinks) {
+			return nil, fmt.Errorf("traffic: event %d: dst %d out of range", i, e.Dst)
+		}
+		switch e.Type {
+		case EventUnicast, EventMulticast, EventGather, EventPayload:
+		default:
+			return nil, fmt.Errorf("traffic: event %d: unknown type %q", i, e.Type)
+		}
+	}
+	return &Replayer{nw: nw, events: events}, nil
+}
+
+// Done reports whether every event has been injected.
+func (rp *Replayer) Done() bool { return rp.next >= len(rp.events) }
+
+// Tick injects all events scheduled at or before the current cycle.
+func (rp *Replayer) Tick(cycle int64) {
+	for rp.next < len(rp.events) && rp.events[rp.next].Cycle <= cycle {
+		e := rp.events[rp.next]
+		rp.next++
+		rp.Injected++
+		src := topology.NodeID(e.Src)
+		n := rp.nw.NIC(src)
+		payload := flit.Payload{
+			Seq: e.Seq, Src: src, Dst: topology.NodeID(e.Dst),
+			Bits: rp.nw.Config().PayloadBits, Value: e.Value, ReadyCycle: cycle,
+		}
+		switch e.Type {
+		case EventUnicast:
+			if e.Flits > 0 {
+				n.SendUnicastN(topology.NodeID(e.Dst), e.Flits)
+			} else {
+				n.SendUnicastPayload(topology.NodeID(e.Dst), payload)
+			}
+		case EventMulticast:
+			set := topology.NewDestSet(rp.nw.Mesh().NumNodes())
+			for _, d := range e.Dsts {
+				set.Add(topology.NodeID(d))
+			}
+			flits := e.Flits
+			if flits == 0 {
+				flits = rp.nw.Config().UnicastFlits
+			}
+			n.SendMulticast(set, flits)
+		case EventGather:
+			n.SendGather(topology.NodeID(e.Dst), &payload)
+		case EventPayload:
+			n.SubmitGatherPayload(payload)
+		}
+	}
+}
+
+// Run registers the replayer and runs until the trace is injected and the
+// network drains.
+func (rp *Replayer) Run(maxCycles int64) (int64, error) {
+	eng := rp.nw.Engine()
+	eng.AddTicker(rp)
+	done := func() bool { return rp.Done() && rp.nw.Quiescent() }
+	return eng.RunUntil(done, maxCycles)
+}

@@ -1,0 +1,49 @@
+// Top-level integration checks: the whole pipeline from configuration to
+// paper-shape assertions, exercised through the same entry points the
+// benchmarks use.
+package gathernoc
+
+import (
+	"testing"
+
+	"gathernoc/internal/cnn"
+	"gathernoc/internal/core"
+	"gathernoc/internal/flit"
+	"gathernoc/internal/topology"
+)
+
+// flitPayload builds a tagged gather payload (shared with bench_test.go).
+func flitPayload(seq uint64, src, dst topology.NodeID) flit.Payload {
+	return flit.Payload{Seq: seq, Src: src, Dst: dst, Bits: 32, Value: seq}
+}
+
+// TestHeadlineReproduction asserts the paper's headline claims end to end:
+// gather beats repetitive unicast on latency and power, the simulated
+// improvement exceeds the analytic estimate, and Conv1 dominates.
+func TestHeadlineReproduction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-layer comparison")
+	}
+	layers := cnn.AlexNetConvLayers()
+	var prev float64
+	for i, layer := range layers {
+		cmp, err := core.CompareLayer(8, 8, layer, core.Options{Rounds: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cmp.LatencyImprovementPct <= 0 || cmp.PowerImprovementPct <= 0 {
+			t.Errorf("%s: improvements %.2f%%/%.2f%% not positive",
+				layer.Name, cmp.LatencyImprovementPct, cmp.PowerImprovementPct)
+		}
+		if cmp.LatencyImprovementPct < cmp.EstimatedImprovementPct {
+			t.Errorf("%s: simulated %.2f%% below estimate %.2f%%",
+				layer.Name, cmp.LatencyImprovementPct, cmp.EstimatedImprovementPct)
+		}
+		if i == 0 {
+			prev = cmp.LatencyImprovementPct
+		} else if cmp.LatencyImprovementPct >= prev {
+			t.Errorf("%s: improvement %.2f%% >= Conv1's %.2f%% (Conv1 should dominate)",
+				layer.Name, cmp.LatencyImprovementPct, prev)
+		}
+	}
+}
