@@ -210,6 +210,83 @@ func BenchmarkRouterThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineStepping compares the naive always-tick engine against
+// activity-tracked sleep/wake scheduling on an 8x8 uniform-random workload.
+// At the low rate most components are quiescent most cycles, which is the
+// operating point the sleep/wake refactor targets; the high rate bounds
+// the scheduling overhead when nearly everything is busy.
+func BenchmarkEngineStepping(b *testing.B) {
+	cases := []struct {
+		name   string
+		always bool
+		rate   float64
+	}{
+		{"naive/low", true, 0.005},
+		{"activity/low", false, 0.005},
+		{"naive/high", true, 0.30},
+		{"activity/high", false, 0.30},
+	}
+	for _, tc := range cases {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			var cycles int64
+			var evaluated, skipped uint64
+			for i := 0; i < b.N; i++ {
+				cfg := noc.DefaultConfig(8, 8)
+				cfg.EastSinks = false
+				cfg.AlwaysTick = tc.always
+				nw, err := noc.New(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				gen, err := traffic.NewGenerator(nw, traffic.GeneratorConfig{
+					Pattern:       traffic.UniformRandom{Nodes: 64},
+					InjectionRate: tc.rate,
+					PacketFlits:   2,
+					Warmup:        100,
+					Measure:       4900,
+					Seed:          1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := gen.Run(1_000_000)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles = res.Cycles
+				evaluated = nw.Engine().Evaluated()
+				skipped = nw.Engine().Skipped()
+			}
+			b.ReportMetric(float64(cycles), "cycles")
+			total := evaluated + skipped
+			if total > 0 {
+				b.ReportMetric(float64(skipped)/float64(total)*100, "skipped-%")
+			}
+		})
+	}
+}
+
+// BenchmarkSweepFig7 regenerates the whole Fig. 7 grid through the
+// parallel sweep harness, serial vs all-cores — the end-to-end win of the
+// engine refactor plus worker-pool sweeps.
+func BenchmarkSweepFig7(b *testing.B) {
+	for _, workers := range []int{1, 0} {
+		workers := workers
+		name := "serial"
+		if workers == 0 {
+			name = "parallel"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.Fig7(experiments.Options{Rounds: 1, Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkGatherRowCollection measures one row-collection on the NoC: the
 // microbenchmark version of the paper's mechanism.
 func BenchmarkGatherRowCollection(b *testing.B) {

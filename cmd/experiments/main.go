@@ -14,18 +14,22 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
 
 	"gathernoc/internal/experiments"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
@@ -37,18 +41,19 @@ type artifact struct {
 	run  func() (data any, text string, err error)
 }
 
-func run(args []string, w io.Writer) error {
+func run(ctx context.Context, args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	exp := fs.String("exp", "all", "artifact to regenerate (all, table1, table2, table3, fig1, fig7, fig8, fig9, fig10, delta, eta, gathervc, vcs, depth, sinkcost, skew, dataflow, mixed, streaming, fullmodel)")
 	rounds := fs.Int("rounds", 2, "systolic rounds to simulate per run")
 	format := fs.String("format", "text", "output format (text, json)")
+	workers := fs.Int("workers", 0, "parallel simulation workers per sweep (0 = GOMAXPROCS, 1 = serial)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *format != "text" && *format != "json" {
 		return fmt.Errorf("unknown format %q (text, json)", *format)
 	}
-	opts := experiments.Options{Rounds: *rounds}
+	opts := experiments.Options{Rounds: *rounds, Workers: *workers, Ctx: ctx}
 
 	artifacts := []artifact{
 		{"table1", func() (any, string, error) {

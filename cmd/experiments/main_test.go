@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"strings"
 	"testing"
@@ -8,7 +9,7 @@ import (
 
 func TestRunSingleArtifact(t *testing.T) {
 	var b strings.Builder
-	if err := run([]string{"-exp", "fig1"}, &b); err != nil {
+	if err := run(context.Background(), []string{"-exp", "fig1"}, &b); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -20,7 +21,7 @@ func TestRunSingleArtifact(t *testing.T) {
 func TestRunStaticTables(t *testing.T) {
 	for _, exp := range []string{"table1", "table3"} {
 		var b strings.Builder
-		if err := run([]string{"-exp", exp}, &b); err != nil {
+		if err := run(context.Background(), []string{"-exp", exp}, &b); err != nil {
 			t.Fatalf("%s: %v", exp, err)
 		}
 		if !strings.Contains(b.String(), "== "+exp+" ==") {
@@ -31,7 +32,7 @@ func TestRunStaticTables(t *testing.T) {
 
 func TestRunSimulatedArtifact(t *testing.T) {
 	var b strings.Builder
-	if err := run([]string{"-exp", "table2", "-rounds", "1"}, &b); err != nil {
+	if err := run(context.Background(), []string{"-exp", "table2", "-rounds", "1"}, &b); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -40,9 +41,25 @@ func TestRunSimulatedArtifact(t *testing.T) {
 	}
 }
 
+func TestRunParallelWorkersMatchSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep; internal/experiments covers sweep determinism")
+	}
+	var serial, parallel strings.Builder
+	if err := run(context.Background(), []string{"-exp", "table2", "-rounds", "1", "-workers", "1"}, &serial); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), []string{"-exp", "table2", "-rounds", "1", "-workers", "4"}, &parallel); err != nil {
+		t.Fatal(err)
+	}
+	if serial.String() != parallel.String() {
+		t.Errorf("worker count changed output:\nserial:\n%s\nparallel:\n%s", serial.String(), parallel.String())
+	}
+}
+
 func TestRunUnknownExperiment(t *testing.T) {
 	var b strings.Builder
-	err := run([]string{"-exp", "nope"}, &b)
+	err := run(context.Background(), []string{"-exp", "nope"}, &b)
 	if err == nil || !strings.Contains(err.Error(), "unknown experiment") {
 		t.Errorf("err = %v, want unknown-experiment error", err)
 	}
@@ -50,14 +67,14 @@ func TestRunUnknownExperiment(t *testing.T) {
 
 func TestRunBadFlag(t *testing.T) {
 	var b strings.Builder
-	if err := run([]string{"-bogus"}, &b); err == nil {
+	if err := run(context.Background(), []string{"-bogus"}, &b); err == nil {
 		t.Error("bad flag accepted")
 	}
 }
 
 func TestRunJSONFormat(t *testing.T) {
 	var b strings.Builder
-	if err := run([]string{"-exp", "fig1", "-format", "json"}, &b); err != nil {
+	if err := run(context.Background(), []string{"-exp", "fig1", "-format", "json"}, &b); err != nil {
 		t.Fatal(err)
 	}
 	var out map[string]struct {
@@ -74,7 +91,7 @@ func TestRunJSONFormat(t *testing.T) {
 
 func TestRunRejectsBadFormat(t *testing.T) {
 	var b strings.Builder
-	if err := run([]string{"-format", "xml"}, &b); err == nil {
+	if err := run(context.Background(), []string{"-format", "xml"}, &b); err == nil {
 		t.Error("bad format accepted")
 	}
 }

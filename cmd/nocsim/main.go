@@ -6,6 +6,8 @@
 //
 //	nocsim -rows 8 -cols 8 -pattern uniform -rate 0.05
 //	nocsim -rows 8 -cols 8 -trace conv3.trace
+//	nocsim -rate 0.005 -cpuprofile cpu.out       # profile a run
+//	nocsim -rate 0.005 -alwaystick               # naive engine reference
 package main
 
 import (
@@ -13,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime/pprof"
 
 	"gathernoc/internal/noc"
 	"gathernoc/internal/traffic"
@@ -39,18 +42,33 @@ func run(args []string, w io.Writer) error {
 		vcs       = fs.Int("vcs", 4, "virtual channels")
 		depth     = fs.Int("depth", 4, "buffer depth in flits")
 		routing   = fs.String("routing", "xy", "routing algorithm (xy, westfirst)")
-		tracePath = fs.String("trace", "", "replay a JSON trace file instead of synthetic traffic")
-		maxCycles = fs.Int64("maxcycles", 10_000_000, "simulation cycle budget")
-		heatmap   = fs.Bool("heatmap", false, "print a per-router utilization heatmap after the run")
+		tracePath  = fs.String("trace", "", "replay a JSON trace file instead of synthetic traffic")
+		maxCycles  = fs.Int64("maxcycles", 10_000_000, "simulation cycle budget")
+		heatmap    = fs.Bool("heatmap", false, "print a per-router utilization heatmap after the run")
+		alwaysTick = fs.Bool("alwaystick", false, "disable sleep/wake scheduling (tick every component every cycle)")
+		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	cfg := noc.DefaultConfig(*rows, *cols)
 	cfg.Router.VCs = *vcs
 	cfg.Router.BufferDepth = *depth
 	cfg.Routing = *routing
+	cfg.AlwaysTick = *alwaysTick
 	nw, err := noc.New(cfg)
 	if err != nil {
 		return err
@@ -94,6 +112,11 @@ func run(args []string, w io.Writer) error {
 	fmt.Fprintf(w, "cycles         %d (incl. drain)\n", res.Cycles)
 	a := nw.Activity()
 	fmt.Fprintf(w, "link flits     %d\n", a.LinkFlits)
+	eng := nw.Engine()
+	if total := eng.Evaluated() + eng.Skipped(); total > 0 {
+		fmt.Fprintf(w, "evaluations    %d of %d (%.1f%% slept)\n",
+			eng.Evaluated(), total, float64(eng.Skipped())/float64(total)*100)
+	}
 	if *heatmap {
 		fmt.Fprint(w, nw.UtilizationHeatmap())
 	}

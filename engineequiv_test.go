@@ -1,0 +1,155 @@
+package gathernoc
+
+import (
+	"testing"
+
+	"gathernoc/internal/cnn"
+	"gathernoc/internal/core"
+	"gathernoc/internal/noc"
+	"gathernoc/internal/stats"
+	"gathernoc/internal/systolic"
+	"gathernoc/internal/traffic"
+)
+
+// sameSample reports whether two samples hold bit-identical statistics.
+func sameSample(a, b *stats.Sample) bool {
+	return a.N() == b.N() && a.Sum() == b.Sum() &&
+		a.Min() == b.Min() && a.Max() == b.Max() &&
+		a.Percentile(50) == b.Percentile(50) && a.Percentile(99) == b.Percentile(99)
+}
+
+// TestEngineEquivalenceLayers is the golden replay proof for the
+// sleep/wake engine: the activity-tracked scheduler must produce
+// bit-identical results to the naive always-tick engine for the paper's
+// workloads. Any divergence — one counter, one cycle — means a component
+// either mutated state in a tick it claimed was idle, or missed a wake.
+func TestEngineEquivalenceLayers(t *testing.T) {
+	layer, ok := cnn.LayerByName(cnn.AlexNetConvLayers(), "Conv1")
+	if !ok {
+		t.Fatal("Conv1 missing")
+	}
+	for _, mode := range []systolic.Mode{systolic.RepetitiveUnicast, systolic.GatherMode} {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			run := func(alwaysTick bool) *core.LayerReport {
+				t.Helper()
+				rep, err := core.RunLayer(8, 8, layer, mode, core.Options{
+					Rounds: 1,
+					MutateNetwork: func(c *noc.Config) { c.AlwaysTick = alwaysTick },
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return rep
+			}
+			naive := run(true)
+			tracked := run(false)
+
+			if naive.Events != tracked.Events {
+				t.Errorf("activity diverged:\nnaive   %+v\ntracked %+v", naive.Events, tracked.Events)
+			}
+			nr, tr := naive.Result, tracked.Result
+			if nr.TotalCycles != tr.TotalCycles || nr.MeasuredCycles != tr.MeasuredCycles {
+				t.Errorf("cycles diverged: naive total=%d measured=%d, tracked total=%d measured=%d",
+					nr.TotalCycles, nr.MeasuredCycles, tr.TotalCycles, tr.MeasuredCycles)
+			}
+			if nr.RoundCycles.Mean() != tr.RoundCycles.Mean() ||
+				nr.CollectionCycles.Mean() != tr.CollectionCycles.Mean() {
+				t.Errorf("round latencies diverged: naive %v/%v, tracked %v/%v",
+					nr.RoundCycles.Mean(), nr.CollectionCycles.Mean(),
+					tr.RoundCycles.Mean(), tr.CollectionCycles.Mean())
+			}
+			if nr.SelfInitiatedGathers != tr.SelfInitiatedGathers || nr.PiggybackAcks != tr.PiggybackAcks {
+				t.Errorf("gather protocol diverged: naive self=%d acks=%d, tracked self=%d acks=%d",
+					nr.SelfInitiatedGathers, nr.PiggybackAcks,
+					tr.SelfInitiatedGathers, tr.PiggybackAcks)
+			}
+			if nr.PayloadErrors != 0 || tr.PayloadErrors != 0 {
+				t.Errorf("payload errors: naive %d, tracked %d", nr.PayloadErrors, tr.PayloadErrors)
+			}
+		})
+	}
+}
+
+// TestEngineEquivalenceSyntheticTraffic replays identical seeded
+// uniform-random workloads on both engine paths across injection rates
+// (including saturation) and requires bit-identical packet accounting,
+// latency statistics and network activity.
+func TestEngineEquivalenceSyntheticTraffic(t *testing.T) {
+	for _, rate := range []float64{0.005, 0.05, 0.30} {
+		rate := rate
+		t.Run(ratename(rate), func(t *testing.T) {
+			type outcome struct {
+				res      *traffic.GeneratorResult
+				activity noc.Activity
+				skipped  uint64
+			}
+			run := func(alwaysTick bool) outcome {
+				t.Helper()
+				cfg := noc.DefaultConfig(8, 8)
+				cfg.EastSinks = false
+				cfg.AlwaysTick = alwaysTick
+				nw, err := noc.New(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				gen, err := traffic.NewGenerator(nw, traffic.GeneratorConfig{
+					Pattern:       traffic.UniformRandom{Nodes: 64},
+					InjectionRate: rate,
+					PacketFlits:   2,
+					Warmup:        200,
+					Measure:       1800,
+					Seed:          7,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := gen.Run(1_000_000)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return outcome{res: res, activity: nw.Activity(), skipped: nw.Engine().Skipped()}
+			}
+			naive := run(true)
+			tracked := run(false)
+
+			if naive.activity != tracked.activity {
+				t.Errorf("activity diverged:\nnaive   %+v\ntracked %+v", naive.activity, tracked.activity)
+			}
+			n, tr := naive.res, tracked.res
+			if n.Injected != tr.Injected || n.Received != tr.Received || n.Cycles != tr.Cycles {
+				t.Errorf("accounting diverged: naive inj=%d recv=%d cyc=%d, tracked inj=%d recv=%d cyc=%d",
+					n.Injected, n.Received, n.Cycles, tr.Injected, tr.Received, tr.Cycles)
+			}
+			for _, s := range []struct {
+				name         string
+				naive, track *stats.Sample
+			}{
+				{"latency", &n.Latency, &tr.Latency},
+				{"queue-latency", &n.QueueLatency, &tr.QueueLatency},
+				{"network-latency", &n.NetworkLatency, &tr.NetworkLatency},
+			} {
+				if !sameSample(s.naive, s.track) {
+					t.Errorf("%s sample diverged: naive %s, tracked %s", s.name, s.naive, s.track)
+				}
+			}
+			if naive.skipped != 0 {
+				t.Errorf("naive engine skipped %d evaluations, want 0", naive.skipped)
+			}
+			if tracked.skipped == 0 {
+				t.Error("tracked engine skipped nothing — sleep/wake not engaged, equivalence is vacuous")
+			}
+		})
+	}
+}
+
+func ratename(rate float64) string {
+	switch {
+	case rate < 0.01:
+		return "low"
+	case rate < 0.1:
+		return "mid"
+	default:
+		return "high"
+	}
+}

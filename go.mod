@@ -1,0 +1,3 @@
+module gathernoc
+
+go 1.22

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -28,22 +29,21 @@ func ablationLayer() cnn.LayerConfig {
 }
 
 func sweep(param string, values []int, opts Options, mutate func(v int, o *core.Options)) ([]AblationRow, error) {
-	var rows []AblationRow
-	for _, v := range values {
-		o := opts.core()
-		mutate(v, &o)
-		cmp, err := core.CompareLayer(8, 8, ablationLayer(), o)
-		if err != nil {
-			return nil, fmt.Errorf("ablation %s=%d: %w", param, v, err)
-		}
-		rows = append(rows, AblationRow{
-			Param: param, Value: v,
-			LatencyImprovement: cmp.LatencyImprovementPct,
-			PowerImprovement:   cmp.PowerImprovementPct,
-			SelfInitiated:      cmp.Gather.Result.SelfInitiatedGathers,
+	return Sweep(opts.ctx(), opts.Workers, values,
+		func(_ context.Context, _ int, v int) (AblationRow, error) {
+			o := opts.core()
+			mutate(v, &o)
+			cmp, err := core.CompareLayer(8, 8, ablationLayer(), o)
+			if err != nil {
+				return AblationRow{}, fmt.Errorf("ablation %s=%d: %w", param, v, err)
+			}
+			return AblationRow{
+				Param: param, Value: v,
+				LatencyImprovement: cmp.LatencyImprovementPct,
+				PowerImprovement:   cmp.PowerImprovementPct,
+				SelfInitiated:      cmp.Gather.Result.SelfInitiatedGathers,
+			}, nil
 		})
-	}
-	return rows, nil
 }
 
 // AblationDelta sweeps a flat δ timeout (the literal Table I policy,

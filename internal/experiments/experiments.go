@@ -5,6 +5,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -22,6 +23,15 @@ type Options struct {
 	// Meshes lists the mesh sizes to evaluate (nil = the paper's 8x8 and
 	// 16x16).
 	Meshes []int
+	// Workers bounds the sweep worker pool: each simulation point runs on
+	// its own Network, so points execute concurrently without affecting
+	// the per-point results or their ordering. 0 selects GOMAXPROCS; 1
+	// forces serial execution.
+	Workers int
+	// Ctx, when non-nil, stops sweeps between simulation points; a point
+	// already running completes before the cancellation error surfaces
+	// (nil = Background).
+	Ctx context.Context
 }
 
 func (o Options) meshes() []int {
@@ -33,6 +43,13 @@ func (o Options) meshes() []int {
 
 func (o Options) core() core.Options {
 	return core.Options{Rounds: o.Rounds}
+}
+
+func (o Options) ctx() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
 }
 
 // ImprovementRow is one bar of Figs. 7–10: a layer on a mesh size with its
@@ -54,17 +71,18 @@ type Table2Row struct {
 // Table2 reproduces Table II: estimated vs simulated total-latency
 // improvement for AlexNet's five convolution layers on the 8x8 mesh.
 func Table2(opts Options) ([]Table2Row, error) {
-	var rows []Table2Row
-	for _, layer := range cnn.AlexNetConvLayers() {
-		cmp, err := core.CompareLayer(8, 8, layer, opts.core())
-		if err != nil {
-			return nil, fmt.Errorf("table2 %s: %w", layer.Name, err)
-		}
-		rows = append(rows, Table2Row{
-			Layer:     layer.Name,
+	points := comparePoints(cnn.AlexNetConvLayers(), []int{8})
+	cmps, err := compareSweep(points, opts)
+	if err != nil {
+		return nil, fmt.Errorf("table2: %w", err)
+	}
+	rows := make([]Table2Row, len(points))
+	for i, cmp := range cmps {
+		rows[i] = Table2Row{
+			Layer:     points[i].layer.Name,
 			Estimated: cmp.EstimatedImprovementPct,
 			Simulated: cmp.LatencyImprovementPct,
-		})
+		}
 	}
 	return rows, nil
 }
@@ -89,41 +107,39 @@ func RenderTable2(rows []Table2Row) string {
 	return b.String()
 }
 
-// latencyFigure runs the gather-vs-RU latency comparison for a layer list
-// across mesh sizes (Figs. 7 and 8).
-func latencyFigure(layers []cnn.LayerConfig, opts Options) ([]ImprovementRow, error) {
-	var rows []ImprovementRow
-	for _, mesh := range opts.meshes() {
-		for _, layer := range layers {
-			cmp, err := core.CompareLayer(mesh, mesh, layer, opts.core())
-			if err != nil {
-				return nil, fmt.Errorf("%s %dx%d: %w", layer.Name, mesh, mesh, err)
-			}
-			rows = append(rows, ImprovementRow{
-				Model: layer.Model, Layer: layer.Name, Mesh: mesh,
-				Improvement: cmp.LatencyImprovementPct,
-			})
+// improvementFigure runs the gather-vs-RU comparison for a layer list
+// across mesh sizes on the sweep pool and projects one improvement metric
+// per point.
+func improvementFigure(layers []cnn.LayerConfig, opts Options, metric func(*core.Comparison) float64) ([]ImprovementRow, error) {
+	points := comparePoints(layers, opts.meshes())
+	cmps, err := compareSweep(points, opts)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]ImprovementRow, len(points))
+	for i, cmp := range cmps {
+		rows[i] = ImprovementRow{
+			Model: points[i].layer.Model, Layer: points[i].layer.Name,
+			Mesh:        points[i].mesh,
+			Improvement: metric(cmp),
 		}
 	}
 	return rows, nil
 }
 
+// latencyFigure runs the gather-vs-RU latency comparison for a layer list
+// across mesh sizes (Figs. 7 and 8).
+func latencyFigure(layers []cnn.LayerConfig, opts Options) ([]ImprovementRow, error) {
+	return improvementFigure(layers, opts, func(c *core.Comparison) float64 {
+		return c.LatencyImprovementPct
+	})
+}
+
 // powerFigure runs the gather-vs-RU NoC-energy comparison (Figs. 9 and 10).
 func powerFigure(layers []cnn.LayerConfig, opts Options) ([]ImprovementRow, error) {
-	var rows []ImprovementRow
-	for _, mesh := range opts.meshes() {
-		for _, layer := range layers {
-			cmp, err := core.CompareLayer(mesh, mesh, layer, opts.core())
-			if err != nil {
-				return nil, fmt.Errorf("%s %dx%d: %w", layer.Name, mesh, mesh, err)
-			}
-			rows = append(rows, ImprovementRow{
-				Model: layer.Model, Layer: layer.Name, Mesh: mesh,
-				Improvement: cmp.PowerImprovementPct,
-			})
-		}
-	}
-	return rows, nil
+	return improvementFigure(layers, opts, func(c *core.Comparison) float64 {
+		return c.PowerImprovementPct
+	})
 }
 
 // Fig7 reproduces Fig. 7: total-latency improvement for AlexNet on 8x8 and

@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"gathernoc/internal/cnn"
+	"gathernoc/internal/core"
+)
+
+// Sweep evaluates fn over every item on a bounded worker pool and returns
+// the results in input order: results[i] is fn's value for items[i],
+// whatever the worker count or scheduling. Each fn call must be
+// self-contained (every simulation point constructs its own Network), which
+// makes the per-point runs as deterministic in parallel as they are
+// serially.
+//
+// workers <= 0 selects runtime.GOMAXPROCS(0); the pool never exceeds
+// len(items). fn receives the item's index alongside the item so callers
+// can label results without closing over shared state.
+//
+// The sweep fails fast: the first error cancels the context passed to the
+// remaining fn calls, and no new item starts once cancellation is
+// observed (skipped items keep zero results). When several items fail
+// before cancellation lands, the error with the smallest item index is
+// returned. Cancelling ctx stops the sweep the same way, surfacing ctx's
+// error if no fn error preceded it. Items already inside fn when the
+// context is cancelled run to completion unless fn itself honors ctx —
+// simulation points here do not, so cancellation latency is one point.
+func Sweep[T, R any](ctx context.Context, workers int, items []T, fn func(ctx context.Context, i int, item T) (R, error)) ([]R, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	results := make([]R, len(items))
+	if len(items) == 0 {
+		return results, ctx.Err()
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(items) {
+		workers = len(items)
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	errs := make([]error, len(items))
+	next := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if ctx.Err() != nil {
+					// Drain handed-out indices without running them once
+					// the sweep is cancelled.
+					continue
+				}
+				r, err := fn(ctx, i, items[i])
+				if err != nil {
+					errs[i] = err
+					cancel()
+					continue
+				}
+				results[i] = r
+			}
+		}()
+	}
+
+feed:
+	for i := range items {
+		// Check cancellation with priority: a plain two-way select would
+		// pick randomly between a ready worker and a closed Done channel
+		// and could keep dispatching points after cancellation.
+		select {
+		case <-ctx.Done():
+			break feed
+		default:
+		}
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(next)
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, ctx.Err()
+}
+
+// comparePoint is one (mesh, layer) cell of a figure or table sweep.
+type comparePoint struct {
+	mesh  int
+	layer cnn.LayerConfig
+}
+
+// comparePoints enumerates the mesh-major point grid the figures iterate.
+func comparePoints(layers []cnn.LayerConfig, meshes []int) []comparePoint {
+	points := make([]comparePoint, 0, len(meshes)*len(layers))
+	for _, mesh := range meshes {
+		for _, layer := range layers {
+			points = append(points, comparePoint{mesh: mesh, layer: layer})
+		}
+	}
+	return points
+}
+
+// compareSweep runs core.CompareLayer for every point on the worker pool.
+func compareSweep(points []comparePoint, opts Options) ([]*core.Comparison, error) {
+	return Sweep(opts.ctx(), opts.Workers, points,
+		func(_ context.Context, _ int, p comparePoint) (*core.Comparison, error) {
+			cmp, err := core.CompareLayer(p.mesh, p.mesh, p.layer, opts.core())
+			if err != nil {
+				return nil, fmt.Errorf("%s %dx%d: %w", p.layer.Name, p.mesh, p.mesh, err)
+			}
+			return cmp, nil
+		})
+}

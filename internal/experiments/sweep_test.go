@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+func TestSweepPreservesInputOrder(t *testing.T) {
+	items := make([]int, 100)
+	for i := range items {
+		items[i] = i * 3
+	}
+	for _, workers := range []int{1, 2, 7, 64, 0} {
+		got, err := Sweep(context.Background(), workers, items,
+			func(_ context.Context, i int, item int) (string, error) {
+				return fmt.Sprintf("%d:%d", i, item), nil
+			})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range items {
+			want := fmt.Sprintf("%d:%d", i, items[i])
+			if got[i] != want {
+				t.Fatalf("workers=%d: got[%d] = %q, want %q", workers, i, got[i], want)
+			}
+		}
+	}
+}
+
+func TestSweepEmptyItems(t *testing.T) {
+	got, err := Sweep(context.Background(), 4, nil,
+		func(_ context.Context, i int, item int) (int, error) { return item, nil })
+	if err != nil || len(got) != 0 {
+		t.Fatalf("Sweep(nil items) = (%v, %v), want empty, nil", got, err)
+	}
+}
+
+func TestSweepReturnsSmallestIndexError(t *testing.T) {
+	items := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	// Serial execution reaches item 2 first; the sweep must surface its
+	// error (the smallest failing index) rather than a later one.
+	_, err := Sweep(context.Background(), 1, items,
+		func(ctx context.Context, i int, item int) (int, error) {
+			if i == 5 || i == 2 {
+				return 0, fmt.Errorf("boom %d", i)
+			}
+			return item, nil
+		})
+	if err == nil || err.Error() != "boom 2" {
+		t.Fatalf("err = %v, want boom 2", err)
+	}
+}
+
+func TestSweepFailFastSkipsRemainingItems(t *testing.T) {
+	var ran atomic.Int64
+	items := make([]int, 1000)
+	_, err := Sweep(context.Background(), 2, items,
+		func(ctx context.Context, i int, item int) (int, error) {
+			ran.Add(1)
+			if i == 0 {
+				return 0, errors.New("early failure")
+			}
+			return item, nil
+		})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if n := ran.Load(); n >= int64(len(items)) {
+		t.Errorf("ran %d items, expected fail-fast to skip some", n)
+	}
+}
+
+func TestSweepHonorsContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := Sweep(ctx, 4, []int{1, 2, 3},
+		func(ctx context.Context, i int, item int) (int, error) {
+			return item, nil
+		})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("results length = %d, want 3 (zero-valued)", len(res))
+	}
+}
+
+// TestTable2ParallelMatchesSerial proves the harness returns identical
+// results whatever the worker count: every simulation point owns its
+// network, so parallelism cannot perturb the simulated values.
+func TestTable2ParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	serial, err := Table2(Options{Rounds: 1, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Table2(Options{Rounds: 1, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Errorf("parallel sweep diverged:\nserial   %+v\nparallel %+v", serial, parallel)
+	}
+}

@@ -11,6 +11,7 @@ package link
 
 import (
 	"gathernoc/internal/flit"
+	"gathernoc/internal/sim"
 	"gathernoc/internal/stats"
 )
 
@@ -46,6 +47,8 @@ type Link struct {
 	flits   []inflightFlit
 	credits []inflightCredit
 
+	wake *sim.Handle // engine wake-up, armed when traffic is staged
+
 	// FlitsCarried counts flits that completed traversal, by the power
 	// model and utilization reports.
 	FlitsCarried stats.Counter
@@ -66,10 +69,20 @@ func New(name string, latency int, down FlitSink, up CreditSink) *Link {
 // Name returns the link's diagnostic name.
 func (l *Link) Name() string { return l.name }
 
+// SetWake attaches the engine wake handle; Send and ReturnCredit arm it so
+// a sleeping link is committed. Links work without one (nil handles ignore
+// Wake).
+func (l *Link) SetWake(h *sim.Handle) { l.wake = h }
+
+// Idle implements sim.Idler: with nothing in flight the commit is a pure
+// no-op, so the engine may skip the link until traffic is staged again.
+func (l *Link) Idle() bool { return len(l.flits) == 0 && len(l.credits) == 0 }
+
 // Send stages a flit for traversal; called by the upstream component
 // during its tick at cycle now.
 func (l *Link) Send(f *flit.Flit, vc int, now int64) {
 	l.flits = append(l.flits, inflightFlit{f: f, vc: vc, due: now + l.latency})
+	l.wake.Wake()
 }
 
 // ReturnCredit stages a credit for the upstream component; called by the
@@ -77,6 +90,7 @@ func (l *Link) Send(f *flit.Flit, vc int, now int64) {
 // slot on vc.
 func (l *Link) ReturnCredit(vc int, now int64) {
 	l.credits = append(l.credits, inflightCredit{vc: vc, due: now + 1})
+	l.wake.Wake()
 }
 
 // InFlight returns the number of flits currently traversing the link.

@@ -5,6 +5,7 @@ import (
 
 	"gathernoc/internal/flit"
 	"gathernoc/internal/link"
+	"gathernoc/internal/sim"
 	"gathernoc/internal/stats"
 	"gathernoc/internal/topology"
 )
@@ -67,6 +68,7 @@ type Ejector struct {
 	partial map[uint64]*partialPacket
 	recv    func(*ReceivedPacket)
 	drainRR int
+	wake    *sim.Handle // wakes the owning ticker (NIC or edge sink)
 
 	// packetOverhead stalls the drain for this many cycles after every
 	// completed packet, modeling a per-packet write transaction at the
@@ -102,6 +104,10 @@ func NewEjector(name string, vcs, depth, drainRate int) *Ejector {
 // ConnectReverse sets the link used to return credits to the router.
 func (e *Ejector) ConnectReverse(l *link.Link) { e.reverse = l }
 
+// SetWake attaches the wake handle of the ticker that drains this ejector
+// (the owning NIC or edge sink); flit deliveries arm it.
+func (e *Ejector) SetWake(h *sim.Handle) { e.wake = h }
+
 // SetPacketOverhead configures the per-packet transaction stall in cycles
 // (negative values are ignored).
 func (e *Ejector) SetPacketOverhead(cycles int64) {
@@ -119,6 +125,7 @@ func (e *Ejector) AcceptFlit(f *flit.Flit, vc int) {
 		panic(fmt.Sprintf("ejector %s: vc%d overflow (%s)", e.name, vc, f))
 	}
 	e.bufs[vc] = append(e.bufs[vc], f)
+	e.wake.Wake()
 }
 
 // Buffered reports the flits currently waiting to drain.

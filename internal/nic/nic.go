@@ -13,6 +13,7 @@ import (
 	"gathernoc/internal/flit"
 	"gathernoc/internal/link"
 	"gathernoc/internal/router"
+	"gathernoc/internal/sim"
 	"gathernoc/internal/stats"
 	"gathernoc/internal/topology"
 )
@@ -89,7 +90,13 @@ type NIC struct {
 	waiting []*gatherWait
 	sendRR  int
 
-	now int64
+	// now tracks the last observed tick; clock, when set, supersedes it so
+	// that work submitted from outside Tick (controllers enqueueing packets
+	// or offering gather payloads) is timestamped correctly even when
+	// sleep/wake scheduling skipped this NIC's recent ticks.
+	now   int64
+	clock sim.Clock
+	wake  *sim.Handle
 
 	// PacketsInjected / FlitsInjected count injection activity;
 	// SelfInitiatedGathers counts δ-timeout fallbacks; PiggybackAcks
@@ -134,8 +141,46 @@ func (n *NIC) Ejector() *Ejector { return n.eject }
 // ConnectInjection sets the NIC-to-router link.
 func (n *NIC) ConnectInjection(l *link.Link) { n.out = l }
 
+// SetClock attaches the engine clock used to timestamp externally
+// submitted work; without one the NIC falls back to the cycle of its last
+// tick (fine when it is ticked every cycle, as in standalone unit tests).
+func (n *NIC) SetClock(c sim.Clock) { n.clock = c }
+
+// SetWake attaches the engine wake handle; credit arrivals, enqueues and
+// gather-payload submissions arm it so a sleeping NIC is re-evaluated.
+func (n *NIC) SetWake(h *sim.Handle) { n.wake = h }
+
+// currentCycle returns the cycle to timestamp externally triggered work
+// with: the engine clock when attached, else the last observed tick.
+func (n *NIC) currentCycle() int64 {
+	if n.clock != nil {
+		return n.clock.Cycle()
+	}
+	return n.now
+}
+
+// Idle implements sim.Idler: with no queued packets, no streaming flits,
+// no payloads awaiting pickup and an empty ejection buffer, the NIC's tick
+// is a pure no-op, so the engine may skip it until new work arrives (wakes
+// come from enqueues, payload submissions, credit returns and ejection
+// deliveries).
+func (n *NIC) Idle() bool {
+	if len(n.queue) > 0 || len(n.waiting) > 0 || n.eject.Buffered() > 0 {
+		return false
+	}
+	for _, fl := range n.vcPkt {
+		if len(fl) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
 // AcceptCredit implements link.CreditSink for the injection channel.
-func (n *NIC) AcceptCredit(vc int) { n.credits[vc]++ }
+func (n *NIC) AcceptCredit(vc int) {
+	n.credits[vc]++
+	n.wake.Wake()
+}
 
 // OnReceive registers the completed-packet callback.
 func (n *NIC) OnReceive(fn func(*ReceivedPacket)) { n.eject.OnReceive(fn) }
@@ -202,7 +247,7 @@ func (n *NIC) SendGather(dst topology.NodeID, own *flit.Payload) uint64 {
 // packet picks it up within δ cycles the NIC retracts it and initiates its
 // own gather packet to the payload's destination.
 func (n *NIC) SubmitGatherPayload(p flit.Payload) {
-	w := &gatherWait{payload: p, deadline: n.now + n.cfg.Delta}
+	w := &gatherWait{payload: p, deadline: n.currentCycle() + n.cfg.Delta}
 	ok := n.rtr.OfferGatherPayload(p, func(flit.Payload) {
 		w.acked = true
 		n.PiggybackAcks.Inc()
@@ -213,6 +258,7 @@ func (n *NIC) SubmitGatherPayload(p flit.Payload) {
 		return
 	}
 	n.waiting = append(n.waiting, w)
+	n.wake.Wake()
 }
 
 // Pending reports whether the NIC still has packets queued, flits
@@ -270,9 +316,10 @@ func (n *NIC) selfInitiate(p flit.Payload) {
 
 func (n *NIC) enqueue(p flit.Packet) uint64 {
 	p.ID = n.nextID()
-	p.InjectCycle = n.now
+	p.InjectCycle = n.currentCycle()
 	n.queue = append(n.queue, p)
 	n.PacketsInjected.Inc()
+	n.wake.Wake()
 	return p.ID
 }
 

@@ -42,6 +42,12 @@ type Config struct {
 	// "westfirst" for minimal adaptive west-first turn-model routing with
 	// credit-based output selection. Multicast always uses the XY tree.
 	Routing string
+	// AlwaysTick disables the engine's sleep/wake scheduling, evaluating
+	// every router, link and NIC every cycle. The default (false) skips
+	// quiescent components, which is bit-identical but much faster at the
+	// paper's operating points; the naive mode exists as the reference
+	// path for the golden equivalence tests and for perf comparisons.
+	AlwaysTick bool
 	// SinkPacketOverhead is the per-packet write-transaction cost at the
 	// global buffer, in cycles: after a packet's tail is consumed, the
 	// buffer port stalls this long before accepting further flits. This

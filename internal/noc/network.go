@@ -39,6 +39,10 @@ func (s *EdgeSink) OnReceive(fn func(*nic.ReceivedPacket)) { s.ej.OnReceive(fn) 
 // Tick drains the sink's buffers.
 func (s *EdgeSink) Tick(cycle int64) { s.ej.Tick(cycle) }
 
+// Idle implements sim.Idler: with nothing buffered the sink's tick is a
+// pure no-op; flit deliveries wake it through the ejector's handle.
+func (s *EdgeSink) Idle() bool { return s.ej.Buffered() == 0 }
+
 // Network is a fully wired mesh NoC. Create with New, drive through
 // Engine() or the Run helpers.
 type Network struct {
@@ -151,19 +155,26 @@ func New(cfg Config) (*Network, error) {
 	}
 
 	// Engine registration: routers, sinks, then NICs as tickers; all links
-	// as committers. Controllers added by callers tick after NICs.
+	// as committers. Controllers added by callers tick after NICs. Every
+	// component gets its wake handle (and NICs the engine clock) so the
+	// activity-tracked engine can sleep idle components and re-evaluate
+	// them on flit/credit handoff or packet submission.
 	for _, r := range nw.routers {
-		nw.engine.AddTicker(r)
+		r.SetWake(nw.engine.AddTicker(r))
 	}
 	for _, s := range nw.sinks {
-		nw.engine.AddTicker(s)
+		s.ej.SetWake(nw.engine.AddTicker(s))
 	}
 	for _, n := range nw.nics {
-		nw.engine.AddTicker(n)
+		h := nw.engine.AddTicker(n)
+		n.SetWake(h)
+		n.Ejector().SetWake(h)
+		n.SetClock(nw.engine)
 	}
 	for _, l := range nw.links {
-		nw.engine.AddCommitter(l)
+		l.SetWake(nw.engine.AddCommitter(l))
 	}
+	nw.engine.SetAlwaysTick(cfg.AlwaysTick)
 	return nw, nil
 }
 

@@ -13,6 +13,7 @@ import (
 
 	"gathernoc/internal/flit"
 	"gathernoc/internal/link"
+	"gathernoc/internal/sim"
 	"gathernoc/internal/stats"
 	"gathernoc/internal/topology"
 )
@@ -164,7 +165,8 @@ type Router struct {
 
 	saInputArb  [topology.NumPorts]*rrArbiter // per input port, across its VCs
 	saOutputArb [topology.NumPorts]*rrArbiter // per output port, across input-port candidates
-	vaArb       *rrArbiter                    // rotation over (port,vc) pairs for VA fairness
+
+	wake *sim.Handle // engine wake-up, armed on flit/credit arrival
 
 	// Counters is exported for the power model and reports.
 	Counters Counters
@@ -187,13 +189,33 @@ func New(id topology.NodeID, cfg Config, routeFn RoutingFunc) (*Router, error) {
 		r.saInputArb[p] = newRRArbiter(cfg.VCs)
 		r.saOutputArb[p] = newRRArbiter(topology.NumPorts)
 	}
-	r.vaArb = newRRArbiter(topology.NumPorts * cfg.VCs)
 	r.station = newGatherStation(cfg.GatherQueueCap)
 	return r, nil
 }
 
 // ID returns the node this router serves.
 func (r *Router) ID() topology.NodeID { return r.id }
+
+// SetWake attaches the engine wake handle; flit and credit arrivals arm it
+// so a sleeping router is re-evaluated. Routers work without one (nil
+// handles ignore Wake), which standalone unit tests rely on.
+func (r *Router) SetWake(h *sim.Handle) { r.wake = h }
+
+// Idle implements sim.Idler: with every input buffer empty the router's
+// tick is a pure no-op (stages only act on buffered flits, the SA arbiters
+// only rotate past a winner, and the VA rotation is derived from the cycle
+// number), so the engine may skip the router until a flit or credit
+// arrives.
+func (r *Router) Idle() bool {
+	for p := 0; p < topology.NumPorts; p++ {
+		for _, vc := range r.inputs[p] {
+			if len(vc.buf) > 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
 
 // ConnectOutput attaches l as the outgoing channel on port p; downstreamDepth
 // is the buffer depth of the receiving input VCs (credit initialization).
@@ -250,6 +272,7 @@ func (r *Router) acceptFlit(p topology.Port, f *flit.Flit, vc int) {
 	in.buf = append(in.buf, f)
 	f.Hops++
 	r.Counters.BufferWrites.Inc()
+	r.wake.Wake()
 }
 
 func (r *Router) acceptCredit(p topology.Port, vc int) {
@@ -257,6 +280,7 @@ func (r *Router) acceptCredit(p topology.Port, vc int) {
 	if vc < len(o.credits) {
 		o.credits[vc]++
 	}
+	r.wake.Wake()
 }
 
 // OfferGatherPayload hands the local PE's payload to the Gather Payload
@@ -294,7 +318,7 @@ func (r *Router) BufferedFlits() int {
 func (r *Router) Tick(cycle int64) {
 	r.gatherUploadStage()
 	r.switchStage(cycle)
-	r.vaStage()
+	r.vaStage(cycle)
 	r.rcStage()
 }
 
@@ -389,9 +413,14 @@ func (r *Router) completeRC(vc *inputVC) {
 // vaStage allocates downstream VCs to packets that completed RC. Multicast
 // packets must secure a VC on every branch before activating; partial
 // allocations persist across cycles.
-func (r *Router) vaStage() {
+//
+// The (port,vc) scan rotation advances once per cycle for fairness. It is
+// derived from the cycle number rather than stored, which keeps an idle
+// router's tick stateless — a prerequisite for sleep/wake scheduling to be
+// bit-identical with the always-tick engine.
+func (r *Router) vaStage(cycle int64) {
 	total := topology.NumPorts * r.cfg.VCs
-	start := r.vaArb.next
+	start := int(cycle % int64(total))
 	for off := 0; off < total; off++ {
 		idx := (start + off) % total
 		p := idx / r.cfg.VCs
@@ -441,7 +470,6 @@ func (r *Router) vaStage() {
 			vc.stage = vcActive
 		}
 	}
-	r.vaArb.next = (start + 1) % total
 }
 
 // pickAdaptive selects the productive port with the most downstream

@@ -10,6 +10,25 @@
 // Components are iterated in registration order and all simulator state is
 // owned by the single goroutine calling Step, so identical configurations
 // replay bit-for-bit identically.
+//
+// # Activity tracking
+//
+// At the paper's operating points most routers, links and NICs are idle
+// most cycles, so the engine supports sleep/wake scheduling: a component
+// that also implements Idler is put to sleep whenever it reports Idle after
+// its evaluation, and is skipped on subsequent cycles until something wakes
+// it through the Handle returned at registration (a flit or credit arriving
+// on a link, a packet being enqueued at a NIC, ...).
+//
+// Sleeping preserves bit-exact determinism under one contract: a component
+// reporting Idle must make its next evaluation a pure no-op (no state
+// change, no counters, no external effects), and every transition out of
+// idleness must be accompanied by a Handle.Wake call. The engine still
+// walks the registration-order component list each cycle, so awake
+// components are always evaluated in exactly the order the naive engine
+// would use; SetAlwaysTick(true) disables the skipping entirely, which the
+// golden equivalence tests use to prove both paths produce identical
+// results.
 package sim
 
 import (
@@ -30,17 +49,62 @@ type Committer interface {
 	Commit(cycle int64)
 }
 
+// Idler is optionally implemented by Tickers and Committers that can sleep.
+// Idle is consulted right after the component's evaluation; returning true
+// promises that evaluating the component again — in any later cycle and
+// absent an intervening Wake — would be a pure no-op.
+type Idler interface {
+	Idle() bool
+}
+
+// Clock exposes the current cycle to components that are evaluated lazily:
+// a sleeping component cannot rely on having observed every cycle number,
+// so timestamps (injection cycles, δ deadlines) must come from the engine's
+// clock instead of a remembered tick argument. *Engine implements Clock.
+type Clock interface {
+	Cycle() int64
+}
+
+// node is one registered component with its activity state.
+type node struct {
+	ticker    Ticker
+	committer Committer
+	idler     Idler
+	awake     bool
+}
+
+// Handle wakes one registered component. Handles are safe to share with
+// the component's peers (links wake their downstream router, controllers
+// wake the NIC they enqueue into) and a nil *Handle ignores Wake calls, so
+// components can be used without an engine in unit tests.
+type Handle struct {
+	n *node
+}
+
+// Wake marks the component runnable again. Calling Wake on an already
+// awake component (or on a nil handle) is a cheap no-op, so callers wake
+// unconditionally on every potentially state-changing event.
+func (h *Handle) Wake() {
+	if h != nil && h.n != nil {
+		h.n.awake = true
+	}
+}
+
 // ErrMaxCyclesExceeded reports that RunUntil hit its cycle budget before
 // its predicate became true. Callers typically treat it as a deadlock or
 // livelock diagnosis.
 var ErrMaxCyclesExceeded = errors.New("sim: max cycles exceeded")
 
 // Engine owns the simulated clock and the component lists.
-// The zero value is ready to use.
+// The zero value is ready to use, with activity tracking enabled.
 type Engine struct {
 	cycle      int64
-	tickers    []Ticker
-	committers []Committer
+	tickers    []*node
+	committers []*node
+	alwaysTick bool
+
+	evaluated uint64
+	skipped   uint64
 }
 
 // NewEngine returns an empty engine at cycle 0.
@@ -48,30 +112,106 @@ func NewEngine() *Engine {
 	return &Engine{}
 }
 
-// Cycle returns the number of completed cycles.
+// Cycle returns the number of completed cycles. During a Step it returns
+// the cycle currently being evaluated, so it is the Clock components use
+// to timestamp externally triggered work.
 func (e *Engine) Cycle() int64 {
 	return e.cycle
 }
 
+// SetAlwaysTick disables (true) or re-enables (false) sleep/wake
+// scheduling. With alwaysTick every component is evaluated every cycle —
+// the naive reference path used by the golden equivalence tests.
+func (e *Engine) SetAlwaysTick(v bool) {
+	e.alwaysTick = v
+	if v {
+		// Components that slept while tracking was on must not stay
+		// skipped if tracking is re-enabled later mid-run: waking
+		// everything keeps both toggle orders correct (an idle
+		// evaluation is a no-op, so spurious wakes are harmless).
+		for _, n := range e.tickers {
+			n.awake = true
+		}
+		for _, n := range e.committers {
+			n.awake = true
+		}
+	}
+}
+
+// AlwaysTick reports whether sleep/wake scheduling is disabled.
+func (e *Engine) AlwaysTick() bool { return e.alwaysTick }
+
+// Evaluated returns how many component evaluations ran; Skipped how many
+// were elided by sleep/wake scheduling. Their sum is what the naive engine
+// would have run, which makes the split a direct measure of the win.
+func (e *Engine) Evaluated() uint64 { return e.evaluated }
+
+// Skipped returns the number of component evaluations elided because the
+// component was asleep.
+func (e *Engine) Skipped() uint64 { return e.skipped }
+
+func newNode(t Ticker, c Committer) *node {
+	n := &node{ticker: t, committer: c, awake: true}
+	if t != nil {
+		n.idler, _ = t.(Idler)
+	} else {
+		n.idler, _ = c.(Idler)
+	}
+	return n
+}
+
 // AddTicker registers a phase-1 component. Order of registration is the
-// order of evaluation.
-func (e *Engine) AddTicker(t Ticker) {
-	e.tickers = append(e.tickers, t)
+// order of evaluation. The returned handle wakes the component; callers
+// that never sleep (components not implementing Idler) may ignore it.
+func (e *Engine) AddTicker(t Ticker) *Handle {
+	n := newNode(t, nil)
+	e.tickers = append(e.tickers, n)
+	return &Handle{n: n}
 }
 
 // AddCommitter registers a phase-2 component. Order of registration is the
 // order of evaluation.
-func (e *Engine) AddCommitter(c Committer) {
-	e.committers = append(e.committers, c)
+func (e *Engine) AddCommitter(c Committer) *Handle {
+	n := newNode(nil, c)
+	e.committers = append(e.committers, n)
+	return &Handle{n: n}
 }
 
 // Step advances the simulation by exactly one cycle.
 func (e *Engine) Step() {
-	for _, t := range e.tickers {
-		t.Tick(e.cycle)
+	cycle := e.cycle
+	if e.alwaysTick {
+		for _, n := range e.tickers {
+			n.ticker.Tick(cycle)
+		}
+		for _, n := range e.committers {
+			n.committer.Commit(cycle)
+		}
+		e.evaluated += uint64(len(e.tickers) + len(e.committers))
+		e.cycle++
+		return
 	}
-	for _, c := range e.committers {
-		c.Commit(e.cycle)
+	for _, n := range e.tickers {
+		if !n.awake {
+			e.skipped++
+			continue
+		}
+		n.ticker.Tick(cycle)
+		e.evaluated++
+		if n.idler != nil && n.idler.Idle() {
+			n.awake = false
+		}
+	}
+	for _, n := range e.committers {
+		if !n.awake {
+			e.skipped++
+			continue
+		}
+		n.committer.Commit(cycle)
+		e.evaluated++
+		if n.idler != nil && n.idler.Idle() {
+			n.awake = false
+		}
 	}
 	e.cycle++
 }

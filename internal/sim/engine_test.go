@@ -88,3 +88,105 @@ func TestEngineRunUntilAlreadyDone(t *testing.T) {
 		t.Fatalf("RunUntil = (%d, %v), want (0, nil)", got, err)
 	}
 }
+
+// sleeper ticks, counts evaluations, and reports idle whenever it has no
+// pending work units.
+type sleeper struct {
+	work  int
+	ticks []int64
+}
+
+func (s *sleeper) Tick(cycle int64) {
+	s.ticks = append(s.ticks, cycle)
+	if s.work > 0 {
+		s.work--
+	}
+}
+
+func (s *sleeper) Idle() bool { return s.work == 0 }
+
+func TestEngineSleepsIdleComponents(t *testing.T) {
+	e := NewEngine()
+	s := &sleeper{work: 3}
+	e.AddTicker(s)
+
+	e.Run(10)
+
+	// Idle is checked after each tick: the cycle-2 tick drains the last
+	// work unit, so the component sleeps from cycle 3 on.
+	want := []int64{0, 1, 2}
+	if len(s.ticks) != len(want) {
+		t.Fatalf("ticks = %v, want %v", s.ticks, want)
+	}
+	if e.Skipped() != 7 {
+		t.Errorf("Skipped() = %d, want 7", e.Skipped())
+	}
+	if e.Evaluated() != 3 {
+		t.Errorf("Evaluated() = %d, want 3", e.Evaluated())
+	}
+}
+
+func TestEngineWakeResumesEvaluation(t *testing.T) {
+	e := NewEngine()
+	s := &sleeper{work: 1}
+	h := e.AddTicker(s)
+
+	e.Run(5) // ticks at cycle 0, sleeps from cycle 1
+	s.work = 2
+	h.Wake()
+	e.Run(5) // ticks at cycles 5,6, sleeps again
+
+	want := []int64{0, 5, 6}
+	if len(s.ticks) != len(want) {
+		t.Fatalf("ticks = %v, want %v", s.ticks, want)
+	}
+	for i := range want {
+		if s.ticks[i] != want[i] {
+			t.Errorf("ticks[%d] = %d, want %d", i, s.ticks[i], want[i])
+		}
+	}
+}
+
+func TestEngineAlwaysTickDisablesSleeping(t *testing.T) {
+	e := NewEngine()
+	s := &sleeper{}
+	e.AddTicker(s)
+	e.SetAlwaysTick(true)
+
+	e.Run(4)
+
+	if len(s.ticks) != 4 {
+		t.Fatalf("ticks = %v, want every cycle", s.ticks)
+	}
+	if e.Skipped() != 0 {
+		t.Errorf("Skipped() = %d, want 0", e.Skipped())
+	}
+}
+
+func TestEngineSetAlwaysTickWakesSleepers(t *testing.T) {
+	e := NewEngine()
+	s := &sleeper{}
+	e.AddTicker(s)
+
+	e.Run(3) // sleeps after cycle 0
+	e.SetAlwaysTick(true)
+	e.Run(2)
+
+	want := []int64{0, 3, 4}
+	if len(s.ticks) != len(want) {
+		t.Fatalf("ticks = %v, want %v", s.ticks, want)
+	}
+}
+
+func TestNilHandleWakeIsSafe(t *testing.T) {
+	var h *Handle
+	h.Wake() // must not panic
+	(&Handle{}).Wake()
+}
+
+func TestEngineImplementsClock(t *testing.T) {
+	var c Clock = NewEngine()
+	if c.Cycle() != 0 {
+		t.Errorf("Cycle() = %d, want 0", c.Cycle())
+	}
+}
