@@ -287,6 +287,58 @@ func BenchmarkSweepFig7(b *testing.B) {
 	}
 }
 
+// BenchmarkINAComparison regenerates the accumulation-phase comparison
+// (unicast vs gather vs in-network accumulation) on the 8x8 mesh through
+// the sweep harness, reporting INA's sink-flit advantage over gather.
+func BenchmarkINAComparison(b *testing.B) {
+	var gatherFlits, inaFlits float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.INAComparison(experiments.Options{Rounds: 1, Meshes: []int{8}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			switch r.Scheme {
+			case "gather":
+				gatherFlits = r.SinkFlitsPerRow
+			case "ina":
+				inaFlits = r.SinkFlitsPerRow
+			}
+		}
+	}
+	b.ReportMetric(gatherFlits, "gather-sinkflits/row")
+	b.ReportMetric(inaFlits, "ina-sinkflits/row")
+}
+
+// BenchmarkINARowReduction measures one in-network row reduction: the
+// microbenchmark version of the INA mechanism, the accumulate twin of
+// BenchmarkGatherRowCollection.
+func BenchmarkINARowReduction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := noc.DefaultConfig(8, 8)
+		cfg.EnableINA = true
+		nw, err := noc.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dst := nw.RowSinkID(0)
+		for col := 1; col < 8; col++ {
+			id := nw.Mesh().ID(topology.Coord{Row: 0, Col: col})
+			nw.NIC(id).SetReduceDelta(5 * int64(1+col))
+			p := flitPayload(uint64(col), id, dst)
+			p.Ops = 1
+			nw.NIC(id).SubmitReduceOperand(p)
+		}
+		left := nw.Mesh().ID(topology.Coord{Row: 0, Col: 0})
+		own := flitPayload(0, left, dst)
+		own.Ops = 1
+		nw.NIC(left).SendAccumulate(dst, 0, own)
+		if _, err := nw.RunUntilQuiescent(100000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkGatherRowCollection measures one row-collection on the NoC: the
 // microbenchmark version of the paper's mechanism.
 func BenchmarkGatherRowCollection(b *testing.B) {

@@ -1,0 +1,183 @@
+// Command benchreport measures the repository's headline performance
+// benchmarks — engine stepping (naive always-tick vs activity-tracked
+// sleep/wake) and the parallel Fig. 7 sweep (serial vs all cores) — and
+// writes the results as machine-readable JSON, starting the repository's
+// performance trajectory (BENCH_PR2.json and successors).
+//
+// Usage:
+//
+//	go run ./cmd/benchreport                     # print JSON to stdout
+//	go run ./cmd/benchreport -out BENCH_PR2.json # regenerate the pinned file
+//
+// The same workloads back BenchmarkEngineStepping and BenchmarkSweepFig7
+// in bench_test.go; this command exists so a single `go run` regenerates
+// the committed numbers without parsing `go test -bench` output.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"testing"
+
+	"gathernoc/internal/experiments"
+	"gathernoc/internal/noc"
+	"gathernoc/internal/traffic"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	// Metrics carries benchmark-specific extras (cycles simulated,
+	// skipped-evaluation percentage, ...).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the file layout of BENCH_PR2.json.
+type Report struct {
+	GeneratedBy string   `json:"generated_by"`
+	GoVersion   string   `json:"go_version"`
+	GOMAXPROCS  int      `json:"gomaxprocs"`
+	Benchmarks  []Result `json:"benchmarks"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("benchreport", flag.ContinueOnError)
+	out := fs.String("out", "", "write the JSON report to this file (default: stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	report := Report{
+		GeneratedBy: "go run ./cmd/benchreport",
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+	}
+
+	// Engine stepping: the BenchmarkEngineStepping grid.
+	for _, tc := range []struct {
+		name   string
+		always bool
+		rate   float64
+	}{
+		{"EngineStepping/naive/low", true, 0.005},
+		{"EngineStepping/activity/low", false, 0.005},
+		{"EngineStepping/naive/high", true, 0.30},
+		{"EngineStepping/activity/high", false, 0.30},
+	} {
+		var cycles int64
+		var evaluated, skipped uint64
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				cfg := noc.DefaultConfig(8, 8)
+				cfg.EastSinks = false
+				cfg.AlwaysTick = tc.always
+				nw, err := noc.New(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				gen, err := traffic.NewGenerator(nw, traffic.GeneratorConfig{
+					Pattern:       traffic.UniformRandom{Nodes: 64},
+					InjectionRate: tc.rate,
+					PacketFlits:   2,
+					Warmup:        100,
+					Measure:       4900,
+					Seed:          1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := gen.Run(1_000_000)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles = res.Cycles
+				evaluated = nw.Engine().Evaluated()
+				skipped = nw.Engine().Skipped()
+			}
+		})
+		metrics := map[string]float64{"cycles": float64(cycles)}
+		if total := evaluated + skipped; total > 0 {
+			metrics["skipped_pct"] = float64(skipped) / float64(total) * 100
+		}
+		report.Benchmarks = append(report.Benchmarks, toResult(tc.name, r, metrics))
+	}
+
+	// Fig. 7 sweep: serial vs all-cores, as in BenchmarkSweepFig7.
+	for _, tc := range []struct {
+		name    string
+		workers int
+	}{
+		{"SweepFig7/serial", 1},
+		{"SweepFig7/parallel", 0},
+	} {
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.Fig7(experiments.Options{Rounds: 1, Workers: tc.workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		report.Benchmarks = append(report.Benchmarks, toResult(tc.name, r, nil))
+	}
+
+	// INA comparison: the accumulation-phase sweep added with the INA
+	// subsystem, pinning its cost alongside the headline benchmarks.
+	{
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.INAComparison(experiments.Options{Rounds: 1, Meshes: []int{8}}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		report.Benchmarks = append(report.Benchmarks, toResult("INAComparison/8x8", r, nil))
+	}
+
+	var sink io.Writer = w
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		sink = f
+	}
+	enc := json.NewEncoder(sink)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		return err
+	}
+	if *out != "" {
+		fmt.Fprintf(w, "wrote %s (%d benchmarks)\n", *out, len(report.Benchmarks))
+	}
+	return nil
+}
+
+func toResult(name string, r testing.BenchmarkResult, metrics map[string]float64) Result {
+	return Result{
+		Name:        name,
+		Iterations:  r.N,
+		NsPerOp:     r.NsPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		Metrics:     metrics,
+	}
+}

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestReportShape exercises the full command against a temp file. The
+// benchmarks themselves run under testing.Benchmark's auto-scaling, so
+// this is the slowest test in the repository's cmd tree (~seconds); it
+// validates the JSON contract the committed BENCH_PR2.json follows.
+func TestReportShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchreport runs real benchmarks; skipped in -short")
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bench.json")
+	var b strings.Builder
+	if err := run([]string{"-out", path}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "wrote") {
+		t.Errorf("missing confirmation: %q", b.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.GoVersion == "" || rep.GeneratedBy == "" {
+		t.Errorf("missing provenance: %+v", rep)
+	}
+	want := map[string]bool{
+		"EngineStepping/naive/low":     false,
+		"EngineStepping/activity/low":  false,
+		"EngineStepping/naive/high":    false,
+		"EngineStepping/activity/high": false,
+		"SweepFig7/serial":             false,
+		"SweepFig7/parallel":           false,
+		"INAComparison/8x8":            false,
+	}
+	for _, r := range rep.Benchmarks {
+		if _, ok := want[r.Name]; ok {
+			want[r.Name] = true
+		}
+		if r.NsPerOp <= 0 || r.Iterations <= 0 {
+			t.Errorf("%s: implausible measurement %+v", r.Name, r)
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("benchmark %s missing from report", name)
+		}
+	}
+	// The activity-tracked engine must actually skip evaluations at the
+	// low rate — the trajectory's headline number.
+	for _, r := range rep.Benchmarks {
+		if r.Name == "EngineStepping/activity/low" {
+			if r.Metrics["skipped_pct"] < 50 {
+				t.Errorf("skipped_pct = %.1f, expected the sleep/wake win", r.Metrics["skipped_pct"])
+			}
+		}
+	}
+}

@@ -10,7 +10,7 @@
 //
 // Artifacts:  table1 table2 table3 fig1 fig7 fig8 fig9 fig10
 // Ablations:  delta eta gathervc vcs depth sinkcost skew
-// Extensions: dataflow mixed streaming fullmodel
+// Extensions: ina dataflow mixed streaming fullmodel
 package main
 
 import (
@@ -43,7 +43,7 @@ type artifact struct {
 
 func run(ctx context.Context, args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "artifact to regenerate (all, table1, table2, table3, fig1, fig7, fig8, fig9, fig10, delta, eta, gathervc, vcs, depth, sinkcost, skew, dataflow, mixed, streaming, fullmodel)")
+	exp := fs.String("exp", "all", "artifact to regenerate (all, table1, table2, table3, fig1, fig7, fig8, fig9, fig10, delta, eta, gathervc, vcs, depth, sinkcost, skew, ina, dataflow, mixed, streaming, fullmodel)")
 	rounds := fs.Int("rounds", 2, "systolic rounds to simulate per run")
 	format := fs.String("format", "text", "output format (text, json)")
 	workers := fs.Int("workers", 0, "parallel simulation workers per sweep (0 = GOMAXPROCS, 1 = serial)")
@@ -87,6 +87,13 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		ablation("sinkcost", "Ablation: buffer transaction cost per packet", experiments.AblationSinkCost, opts),
 		ablation("skew", "Ablation: completion stagger per hop", experiments.AblationSkew, opts),
 		ablation("routing", "Ablation: routing algorithm (0=XY, 1=west-first)", experiments.AblationRouting, opts),
+		{"ina", func() (any, string, error) {
+			rows, err := experiments.INAComparison(opts)
+			if err != nil {
+				return nil, "", err
+			}
+			return rows, experiments.RenderINA(rows), nil
+		}},
 		{"dataflow", func() (any, string, error) {
 			rows, err := experiments.Dataflows(opts)
 			if err != nil {

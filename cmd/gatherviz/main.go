@@ -1,11 +1,15 @@
 // Command gatherviz renders the paper's Fig. 1 motivating example as ASCII
 // art: collecting one mesh row's results into the global buffer with
-// repetitive unicast versus a single gather packet, with hop counts.
+// repetitive unicast versus a single gather packet, with hop counts. With
+// -merges it additionally simulates the row collection on the
+// cycle-accurate network in both gather and in-network-accumulation modes
+// and renders each router's measured payload uploads and operand merges.
 //
 // Usage:
 //
 //	gatherviz            # the paper's 6x6 example, row 2
 //	gatherviz -size 8 -row 0
+//	gatherviz -merges    # simulated per-router upload/merge counts
 package main
 
 import (
@@ -15,6 +19,8 @@ import (
 	"os"
 	"strings"
 
+	"gathernoc/internal/flit"
+	"gathernoc/internal/noc"
 	"gathernoc/internal/topology"
 )
 
@@ -29,6 +35,7 @@ func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("gatherviz", flag.ContinueOnError)
 	size := fs.Int("size", 6, "mesh dimension")
 	row := fs.Int("row", 2, "row whose PEs send to the global buffer")
+	merges := fs.Bool("merges", false, "simulate the row collection and render per-router gather uploads and accumulation merges")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -56,6 +63,81 @@ func run(args []string, w io.Writer) error {
 	drawMesh(w, *size, *row, 'g')
 	fmt.Fprintf(w, "    packets: 1, router-to-router hops: %d\n",
 		m.Hops(m.ID(topology.Coord{Row: *row, Col: 0}), dst))
+
+	if *merges {
+		fmt.Fprintf(w, "\n(c) simulated row collection: per-router payload pickups\n")
+		if err := drawPickups(w, *size, *row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// simulateRow runs one row collection on a size×size network in the given
+// scheme ("gather" or "ina") and returns each column's payload pickup
+// count — gather uploads or accumulation merges — plus the flits the sink
+// consumed.
+func simulateRow(size, row int, ina bool) ([]uint64, uint64, error) {
+	cfg := noc.DefaultConfig(size, size)
+	cfg.EnableINA = true
+	nw, err := noc.New(cfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	m := nw.Mesh()
+	dst := nw.RowSinkID(row)
+	for col := 1; col < size; col++ {
+		id := m.ID(topology.Coord{Row: row, Col: col})
+		p := flit.Payload{Seq: uint64(col), Src: id, Dst: dst, Value: uint64(col), Ops: 1}
+		if ina {
+			nw.NIC(id).SetReduceDelta(cfg.Delta * int64(1+col))
+			nw.NIC(id).SubmitReduceOperand(p)
+		} else {
+			nw.NIC(id).SetDelta(cfg.Delta * int64(1+col))
+			nw.NIC(id).SubmitGatherPayload(p)
+		}
+	}
+	left := m.ID(topology.Coord{Row: row, Col: 0})
+	own := flit.Payload{Seq: 0, Src: left, Dst: dst, Value: 0, Ops: 1}
+	if ina {
+		nw.NIC(left).SendAccumulate(dst, 0, own)
+	} else {
+		nw.NIC(left).SendGather(dst, &own)
+	}
+	if _, err := nw.RunUntilQuiescent(1_000_000); err != nil {
+		return nil, 0, err
+	}
+	counts := make([]uint64, size)
+	for col := 0; col < size; col++ {
+		r := nw.Router(m.ID(topology.Coord{Row: row, Col: col}))
+		if ina {
+			counts[col] = r.Counters.ReduceMerges.Value()
+		} else {
+			counts[col] = r.Counters.GatherUploads.Value()
+		}
+	}
+	return counts, nw.Sink(row).Ejector().FlitsEjected.Value(), nil
+}
+
+// drawPickups renders the simulated per-router pickup counts for the
+// gather and INA collections of one row.
+func drawPickups(w io.Writer, size, row int) error {
+	for _, mode := range []struct {
+		name string
+		ina  bool
+	}{{"gather uploads", false}, {"ina merges", true}} {
+		counts, sinkFlits, err := simulateRow(size, row, mode.ina)
+		if err != nil {
+			return err
+		}
+		cells := make([]string, size)
+		for col, c := range counts {
+			cells[col] = fmt.Sprintf("(%d)", c)
+		}
+		fmt.Fprintf(w, "    %-14s %s-->[%d sink flits]\n",
+			mode.name+":", strings.Join(cells, "---"), sinkFlits)
+	}
+	fmt.Fprintf(w, "    (n) = payloads picked up at that router as the packet passed\n")
 	return nil
 }
 

@@ -32,6 +32,25 @@ func TestRunCustomSize(t *testing.T) {
 	}
 }
 
+func TestRunMerges(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-size", "4", "-row", "1", "-merges"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, frag := range []string{
+		"per-router payload pickups",
+		// 4-wide row, columns 1..3 each piggyback/merge exactly once.
+		"gather uploads: (0)---(1)---(1)---(1)",
+		"ina merges:    (0)---(1)---(1)---(1)",
+		"[2 sink flits]",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
 func TestRunRejectsBadInputs(t *testing.T) {
 	cases := [][]string{
 		{"-size", "1"},

@@ -8,6 +8,7 @@
 //	nocsim -rows 8 -cols 8 -trace conv3.trace
 //	nocsim -rate 0.005 -cpuprofile cpu.out       # profile a run
 //	nocsim -rate 0.005 -alwaystick               # naive engine reference
+//	nocsim -ina -inamode ina -inarounds 4        # in-network accumulation
 package main
 
 import (
@@ -47,6 +48,9 @@ func run(args []string, w io.Writer) error {
 		heatmap    = fs.Bool("heatmap", false, "print a per-router utilization heatmap after the run")
 		alwaysTick = fs.Bool("alwaystick", false, "disable sleep/wake scheduling (tick every component every cycle)")
 		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		ina        = fs.Bool("ina", false, "run the in-network accumulation workload instead of synthetic traffic")
+		inaMode    = fs.String("inamode", "ina", "accumulation collection scheme (unicast, gather, ina)")
+		inaRounds  = fs.Int("inarounds", 4, "accumulation rounds to simulate")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -69,9 +73,20 @@ func run(args []string, w io.Writer) error {
 	cfg.Router.BufferDepth = *depth
 	cfg.Routing = *routing
 	cfg.AlwaysTick = *alwaysTick
+	cfg.EnableINA = *ina
 	nw, err := noc.New(cfg)
 	if err != nil {
 		return err
+	}
+
+	if *ina {
+		if err := runINA(nw, *inaMode, *inaRounds, *maxCycles, w); err != nil {
+			return err
+		}
+		if *heatmap {
+			fmt.Fprint(w, nw.UtilizationHeatmap())
+		}
+		return nil
 	}
 
 	if *tracePath != "" {
@@ -119,6 +134,45 @@ func run(args []string, w io.Writer) error {
 	}
 	if *heatmap {
 		fmt.Fprint(w, nw.UtilizationHeatmap())
+	}
+	return nil
+}
+
+// runINA drives the accumulation-phase workload: every round each PE
+// produces a partial sum and the row's reduction must land at the east
+// sink, collected by the chosen scheme and checked against the software
+// reduction oracle.
+func runINA(nw *noc.Network, mode string, rounds int, maxCycles int64, w io.Writer) error {
+	scheme, err := traffic.SchemeByName(mode)
+	if err != nil {
+		return err
+	}
+	ctl, err := traffic.NewAccumulationController(nw, traffic.AccumulationConfig{
+		Scheme: scheme, Rounds: rounds, ComputeLatency: 10,
+	})
+	if err != nil {
+		return err
+	}
+	res, err := ctl.Run(maxCycles)
+	if err != nil {
+		return err
+	}
+	oracle := "exact"
+	if res.OracleErrors != 0 {
+		oracle = fmt.Sprintf("%d ERRORS", res.OracleErrors)
+	}
+	cfg := nw.Config()
+	fmt.Fprintf(w, "mesh           %dx%d, scheme %s, %d rounds\n", cfg.Rows, cfg.Cols, scheme, res.Rounds)
+	fmt.Fprintf(w, "round latency  %s\n", res.RoundCycles.String())
+	fmt.Fprintf(w, "packet latency %s\n", res.PacketLatency.String())
+	fmt.Fprintf(w, "sink flits     %d (%.2f per row-reduction)\n", res.SinkFlits, res.SinkFlitsPerRow())
+	fmt.Fprintf(w, "sink packets   %d\n", res.SinkPackets)
+	fmt.Fprintf(w, "merges         %d in-network, %d self-initiated fallbacks\n", res.Merges, res.SelfInitiated)
+	fmt.Fprintf(w, "savings        %s\n", res.Reduction.String())
+	fmt.Fprintf(w, "oracle         %s row sums\n", oracle)
+	fmt.Fprintf(w, "cycles         %d\n", res.Cycles)
+	if res.OracleErrors != 0 {
+		return fmt.Errorf("reduction oracle mismatch: %d errors", res.OracleErrors)
 	}
 	return nil
 }

@@ -79,6 +79,31 @@ func TestRunTraceReplay(t *testing.T) {
 	}
 }
 
+func TestRunINA(t *testing.T) {
+	for _, mode := range []string{"unicast", "gather", "ina"} {
+		var b strings.Builder
+		err := run([]string{
+			"-rows", "4", "-cols", "4", "-ina", "-inamode", mode, "-inarounds", "2",
+		}, &b)
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		out := b.String()
+		for _, frag := range []string{"scheme " + mode, "round latency", "sink flits", "exact row sums"} {
+			if !strings.Contains(out, frag) {
+				t.Errorf("%s output missing %q:\n%s", mode, frag, out)
+			}
+		}
+	}
+}
+
+func TestRunINARejectsBadMode(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-ina", "-inamode", "bogus"}, &b); err == nil {
+		t.Error("bogus -inamode accepted")
+	}
+}
+
 func TestRunTraceMissingFile(t *testing.T) {
 	var b strings.Builder
 	if err := run([]string{"-trace", "/nonexistent/file"}, &b); err == nil {

@@ -6,6 +6,22 @@
 // on AlexNet and VGG-16 convolution workloads mapped as output-stationary
 // systolic arrays.
 //
+// Beyond the paper, internal/reduce implements the follow-on in-network
+// accumulation (INA) idea (arXiv:2209.10056) as a fourth packet type,
+// flit.Accumulate: a constant 2-flit packet whose tail flit carries a
+// running sum that routers extend in place. A packet's walk down a row
+// looks like this — the leftmost PE launches the packet seeded with its
+// own partial sum and a merge budget in the header's ASpace field; at
+// each hop, route computation reserves the local accumulation station's
+// operand when the destination and reduction ID match, decrementing
+// ASpace; the reserved operand's value is added into the accumulator
+// during the tail flit's idle RC/VA pipeline slots (exact wrap-around
+// uint64 arithmetic, one adder event in the power model); operands the
+// packet misses fall back to self-initiated accumulate packets after a
+// reduce-δ timeout. The east sink thus receives the row's bit-exact sum
+// in one 2-flit packet instead of η gathered payloads, checked against a
+// software reduction oracle (reduce.Oracle).
+//
 // The root package carries the integration tests and the benchmark harness
 // (one benchmark per paper table/figure); the implementation lives under
 // internal/ — see README.md for the architecture map and DESIGN.md /

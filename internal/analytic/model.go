@@ -21,6 +21,14 @@ type Params struct {
 	GatherFlits int
 	// Eta is η, the payload capacity of one gather packet.
 	Eta int
+	// AccumulateFlits is the (constant) accumulate packet length in flits;
+	// 0 selects the wire format's 2 (head + accumulator). Used by the INA
+	// bound only.
+	AccumulateFlits int
+	// ReduceCapacity is the merge budget of one accumulate packet; 0
+	// selects M (one packet reduces a full row). Used by the INA bound
+	// only.
+	ReduceCapacity int
 	// TMAC is the MAC time in cycles (Table I: 5).
 	TMAC int
 	// CRR is C·R·R, the per-round input/weight streaming time in cycles.
@@ -45,10 +53,29 @@ func (p Params) Validate() error {
 		return fmt.Errorf("analytic: packet lengths %d/%d invalid", p.UnicastFlits, p.GatherFlits)
 	case p.Eta < 1:
 		return fmt.Errorf("analytic: eta %d invalid", p.Eta)
+	case p.AccumulateFlits < 0 || p.ReduceCapacity < 0:
+		return fmt.Errorf("analytic: INA parameters %d/%d invalid", p.AccumulateFlits, p.ReduceCapacity)
 	case p.CRR < 0 || p.TMAC < 0 || p.TDelta < 0 || p.DeltaR < 0 || p.DeltaG < 0:
 		return fmt.Errorf("analytic: negative latency component")
 	}
 	return nil
+}
+
+// accFlits resolves the accumulate packet length default (head + one
+// accumulator flit).
+func (p Params) accFlits() int {
+	if p.AccumulateFlits > 0 {
+		return p.AccumulateFlits
+	}
+	return 2
+}
+
+// reduceCapacity resolves the merge-budget default (the row width M).
+func (p Params) reduceCapacity() int {
+	if p.ReduceCapacity > 0 {
+		return p.ReduceCapacity
+	}
+	return p.M
 }
 
 // RUCollection returns the repetitive-unicast result-collection term of
@@ -72,6 +99,48 @@ func (p Params) GatherCollection() int {
 		total += (p.M-i*eta)*p.Kappa + p.GatherFlits - 1 + p.TDelta + p.DeltaG
 	}
 	return total
+}
+
+// INACollection returns the in-network-accumulation collection bound: the
+// row splits into ⌈M/capacity⌉ accumulate packets (one when the merge
+// budget covers the row, the common case); packet i starts M − i·capacity
+// hops from the sink and stays a constant AccumulateFlits long however
+// many operands it absorbs, since merging happens in place. Each packet
+// pays the same tδ and ΔG penalties as a gather packet. With the default
+// capacity this collapses to M·κ + AccumulateFlits − 1 + tδ + ΔG —
+// strictly below GatherCollection whenever the gather packet is longer
+// than an accumulate packet, which is the whole-row case for every mesh
+// the paper evaluates.
+func (p Params) INACollection() int {
+	budget := p.reduceCapacity()
+	packets := (p.M + budget - 1) / budget
+	total := 0
+	for i := 0; i < packets; i++ {
+		total += (p.M-i*budget)*p.Kappa + p.accFlits() - 1 + p.TDelta + p.DeltaG
+	}
+	return total
+}
+
+// INARound returns one round's latency under in-network accumulation.
+func (p Params) INARound() int {
+	return p.CRR + p.TMAC + p.INACollection()
+}
+
+// TotalINA returns the INA analogue of Eq. (3): the INA round latency
+// times the round count.
+func (p Params) TotalINA(rounds int64) int64 {
+	return int64(p.INARound()) * rounds
+}
+
+// INAImprovement returns the collection-latency saving of INA over gather
+// collection relative to the INA round latency, in percent (the Eq. (4)
+// form with gather as the baseline).
+func (p Params) INAImprovement() float64 {
+	r := p.INARound()
+	if r == 0 {
+		return 0
+	}
+	return float64(p.GatherCollection()-p.INACollection()) / float64(r) * 100
 }
 
 // RURound returns one round's latency under repetitive unicast:

@@ -161,3 +161,67 @@ func TestImprovementZeroGuard(t *testing.T) {
 	}
 	_ = p.Improvement() // must not divide by zero
 }
+
+// inaParams returns the Table I parameters with the INA extension's
+// defaults (2-flit accumulate packets, whole-row merge budget).
+func inaParams() Params {
+	return Params{
+		N: 8, M: 8, Kappa: 4, UnicastFlits: 2, GatherFlits: 4,
+		Eta: 8, TMAC: 5, CRR: 100,
+	}
+}
+
+func TestINACollectionBound(t *testing.T) {
+	p := inaParams()
+	// One accumulate packet covers the row: M·κ + 2 − 1 = 33.
+	if got := p.INACollection(); got != 33 {
+		t.Errorf("INACollection = %d, want 33", got)
+	}
+	// Strictly below the gather bound whenever the accumulate packet is
+	// shorter than the gather packet.
+	if p.INACollection() >= p.GatherCollection() {
+		t.Errorf("INA bound %d not below gather bound %d",
+			p.INACollection(), p.GatherCollection())
+	}
+	if got, want := p.INARound(), 100+5+33; got != want {
+		t.Errorf("INARound = %d, want %d", got, want)
+	}
+	if got, want := p.TotalINA(10), int64(10*(100+5+33)); got != want {
+		t.Errorf("TotalINA = %d, want %d", got, want)
+	}
+}
+
+func TestINACollectionSplitsOnBudget(t *testing.T) {
+	p := inaParams()
+	p.ReduceCapacity = 4
+	// Two packets: (8·4 + 1) + (4·4 + 1) = 33 + 17 = 50.
+	if got := p.INACollection(); got != 50 {
+		t.Errorf("INACollection with budget 4 = %d, want 50", got)
+	}
+}
+
+func TestINAImprovementPositive(t *testing.T) {
+	p := inaParams()
+	if got := p.INAImprovement(); got <= 0 {
+		t.Errorf("INAImprovement = %.2f, want > 0", got)
+	}
+	// The penalties apply per packet to both schemes; the gap is the
+	// flit-length difference.
+	want := float64(p.GatherCollection()-p.INACollection()) / float64(p.INARound()) * 100
+	if got := p.INAImprovement(); got != want {
+		t.Errorf("INAImprovement = %v, want %v", got, want)
+	}
+}
+
+func TestINAValidation(t *testing.T) {
+	p := inaParams()
+	p.AccumulateFlits = -1
+	if err := p.Validate(); err == nil {
+		t.Error("negative AccumulateFlits accepted")
+	}
+	p = inaParams()
+	p.ReduceCapacity = -1
+	if err := p.Validate(); err == nil {
+		t.Error("negative ReduceCapacity accepted")
+	}
+}

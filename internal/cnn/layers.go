@@ -81,6 +81,31 @@ func (l LayerConfig) TotalMACs() int64 {
 	return int64(l.OutputPositions()) * int64(l.OutKernels) * int64(l.MACsPerPE())
 }
 
+// AccumulationRounds returns the round count of the layer's accumulation
+// phase under an input-channel-partitioned mapping on an N-row array: the
+// C·R·R MACs of one output are split across a row's M PEs, each row
+// completes one output per round and reduces its M partial sums into the
+// global buffer, so the P·Q outputs take ⌈P·Q/N⌉ rounds. This is the
+// many-to-one partial-sum traffic the in-network accumulation subsystem
+// targets (DESIGN.md §5).
+func (l LayerConfig) AccumulationRounds(rows int) int64 {
+	if rows < 1 {
+		return 0
+	}
+	total := int64(l.OutputPositions()) * int64(l.OutKernels)
+	return (total + int64(rows) - 1) / int64(rows)
+}
+
+// PartialMACsPerPE returns ⌈C·R·R/M⌉, the per-PE compute time of one
+// accumulation-phase round when the output's MACs are partitioned across
+// the row's M columns.
+func (l LayerConfig) PartialMACsPerPE(cols int) int {
+	if cols < 1 {
+		return 0
+	}
+	return (l.MACsPerPE() + cols - 1) / cols
+}
+
 // ExpectedOutputSize applies the standard convolution shape formula
 // ⌊(H + 2·pad − R)/stride⌋ + 1.
 func (l LayerConfig) ExpectedOutputSize() int {

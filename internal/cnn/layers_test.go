@@ -148,3 +148,31 @@ func TestStringFormat(t *testing.T) {
 		}
 	}
 }
+
+func TestAccumulationRounds(t *testing.T) {
+	l := LayerConfig{Model: "x", Name: "x", InChannels: 8, OutKernels: 10,
+		Kernel: 3, InputSize: 6, OutputSize: 6, Stride: 1, Pad: 1}
+	// P·Q = 36·10 = 360 outputs over 8 rows: ⌈360/8⌉ = 45 rounds.
+	if got := l.AccumulationRounds(8); got != 45 {
+		t.Errorf("AccumulationRounds(8) = %d, want 45", got)
+	}
+	if got := l.AccumulationRounds(7); got != 52 {
+		t.Errorf("AccumulationRounds(7) = %d, want ceil(360/7)=52", got)
+	}
+	if got := l.AccumulationRounds(0); got != 0 {
+		t.Errorf("AccumulationRounds(0) = %d, want 0", got)
+	}
+}
+
+func TestPartialMACsPerPE(t *testing.T) {
+	l := LayerConfig{InChannels: 8, Kernel: 3} // C·R·R = 72
+	if got := l.PartialMACsPerPE(8); got != 9 {
+		t.Errorf("PartialMACsPerPE(8) = %d, want 9", got)
+	}
+	if got := l.PartialMACsPerPE(7); got != 11 {
+		t.Errorf("PartialMACsPerPE(7) = %d, want ceil(72/7)=11", got)
+	}
+	if got := l.PartialMACsPerPE(0); got != 0 {
+		t.Errorf("PartialMACsPerPE(0) = %d, want 0", got)
+	}
+}

@@ -120,6 +120,7 @@ func RunLayer(rows, cols int, layer cnn.LayerConfig, mode systolic.Mode, opts Op
 		Crossings:      a.Crossings,
 		LinkFlits:      a.LinkFlits,
 		GatherUploads:  a.GatherUploads,
+		ReduceMerges:   a.ReduceMerges,
 		StreamHops:     res.StreamHops,
 		MACs:           res.MACs,
 	}

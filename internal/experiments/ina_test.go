@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"gathernoc/internal/traffic"
+)
+
+// TestINAComparisonAcceptance pins the PR's acceptance criterion: on the
+// 8x8 mesh accumulation workload the INA scheme's sinks receive bit-exact
+// row sums (oracle-checked inside the run) with strictly fewer per-row
+// sink flit transactions and strictly lower average packet latency than
+// gather collection, for every layer.
+func TestINAComparisonAcceptance(t *testing.T) {
+	rows, err := INAComparison(Options{Rounds: 1, Meshes: []int{8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byScheme := func(layer, scheme string) *INARow {
+		for i := range rows {
+			if rows[i].Layer == layer && rows[i].Scheme == scheme {
+				return &rows[i]
+			}
+		}
+		t.Fatalf("missing row %s/%s", layer, scheme)
+		return nil
+	}
+	layers := map[string]bool{}
+	for _, r := range rows {
+		layers[r.Layer] = true
+	}
+	if len(layers) == 0 {
+		t.Fatal("no layers in comparison")
+	}
+	for layer := range layers {
+		g := byScheme(layer, "gather")
+		a := byScheme(layer, "ina")
+		u := byScheme(layer, "unicast")
+		if a.SinkFlitsPerRow >= g.SinkFlitsPerRow {
+			t.Errorf("%s: INA sink flits/row %.2f not below gather %.2f",
+				layer, a.SinkFlitsPerRow, g.SinkFlitsPerRow)
+		}
+		if a.PacketLatency >= g.PacketLatency {
+			t.Errorf("%s: INA packet latency %.1f not below gather %.1f",
+				layer, a.PacketLatency, g.PacketLatency)
+		}
+		if a.RoundCycles >= u.RoundCycles {
+			t.Errorf("%s: INA round %.1f not below unicast %.1f",
+				layer, a.RoundCycles, u.RoundCycles)
+		}
+		if a.Merges == 0 || g.Merges != 0 || u.Merges != 0 {
+			t.Errorf("%s: merges ina/gather/unicast = %d/%d/%d, want >0/0/0",
+				layer, a.Merges, g.Merges, u.Merges)
+		}
+		if a.Reduction.PayloadsMerged != a.Merges {
+			t.Errorf("%s: reduction account %d != merges %d",
+				layer, a.Reduction.PayloadsMerged, a.Merges)
+		}
+	}
+}
+
+// TestINAComparisonDeterministic verifies the sweep yields identical rows
+// on a rerun, whatever the worker scheduling.
+func TestINAComparisonDeterministic(t *testing.T) {
+	opts := Options{Rounds: 1, Meshes: []int{8}}
+	a, err := INAComparison(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Workers = 1
+	b, err := INAComparison(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("row counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("row %d diverged:\n%+v\n%+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestINAComparisonCancellation verifies ctx cancellation surfaces.
+func TestINAComparisonCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := INAComparison(Options{Rounds: 1, Meshes: []int{8}, Ctx: ctx}); err == nil {
+		t.Fatal("cancelled comparison must error")
+	}
+}
+
+func TestRenderINA(t *testing.T) {
+	rows := []INARow{{
+		Layer: "Conv1", Mesh: 8, Scheme: traffic.CollectINA.String(),
+		RoundCycles: 100, SinkFlitsPerRow: 2, PacketLatency: 30, Merges: 7,
+	}}
+	out := RenderINA(rows)
+	if !strings.Contains(out, "Conv1") || !strings.Contains(out, "ina") {
+		t.Errorf("render missing content:\n%s", out)
+	}
+}

@@ -48,17 +48,23 @@ func (t Type) IsHead() bool { return t == Head || t == HeadTail }
 // IsTail reports whether the flit closes a packet (Tail or HeadTail).
 func (t Type) IsTail() bool { return t == Tail || t == HeadTail }
 
-// PacketType is the PT field: unicast (U), multicast (M) or gather (G).
+// PacketType is the PT field: unicast (U), multicast (M), gather (G) or
+// accumulate (A).
 type PacketType uint8
 
-// Packet types.
+// Packet types. Accumulate is the in-network-accumulation (INA) extension:
+// instead of appending each PE's payload into its own slot like a gather
+// packet, routers fold their local partial sum into the packet's single
+// accumulator payload, so the packet length stays constant whatever the
+// row width.
 const (
 	Unicast PacketType = iota + 1
 	Multicast
 	Gather
+	Accumulate
 )
 
-// String returns the PT mnemonic used in the paper (U/M/G).
+// String returns the PT mnemonic (U/M/G from the paper, A for INA).
 func (p PacketType) String() string {
 	switch p {
 	case Unicast:
@@ -67,6 +73,8 @@ func (p PacketType) String() string {
 		return "M"
 	case Gather:
 		return "G"
+	case Accumulate:
+		return "A"
 	default:
 		return fmt.Sprintf("PacketType(%d)", uint8(p))
 	}
@@ -90,6 +98,23 @@ type Payload struct {
 	// ReadyCycle is the cycle the producing PE finished its MAC; used for
 	// per-payload collection-latency statistics.
 	ReadyCycle int64
+	// ReduceID tags the reduction this payload belongs to (accumulation
+	// traffic only): operands with the same ReduceID may be folded into
+	// one another, operands with different ReduceIDs never mix.
+	ReduceID uint64
+	// Ops counts the operands folded into this payload: 1 for a plain
+	// operand, the merge count plus one for an accumulator that absorbed
+	// partial sums en route. Gather payloads leave it 0 (one operand).
+	Ops int
+}
+
+// OpsCount returns the number of operands this payload represents,
+// treating the zero value (pre-INA payloads) as a single operand.
+func (p Payload) OpsCount() int {
+	if p.Ops < 1 {
+		return 1
+	}
+	return p.Ops
 }
 
 // Flit is a single flow-control unit. Flits are created by the network
@@ -116,9 +141,16 @@ type Flit struct {
 	MDst *topology.DestSet
 
 	// ASpace is the available payload space counter (head flits of gather
-	// packets only). It counts remaining payload slots, each PayloadBits
-	// wide, across the packet's body/tail flits.
+	// and accumulate packets only). For gather packets it counts remaining
+	// payload slots, each PayloadBits wide, across the packet's body/tail
+	// flits; for accumulate packets it counts the remaining merge budget
+	// (merged operands occupy no wire space, but the budget bounds how many
+	// reservations the header hands out).
 	ASpace int
+	// ReduceID is the reduction the packet serves (head flits of
+	// accumulate packets only); routers only fold local operands tagged
+	// with the same ReduceID into the packet.
+	ReduceID uint64
 	// SlotCap is the number of payload slots this body/tail flit offers.
 	SlotCap int
 	// Payloads are the gather payloads uploaded into this flit so far
@@ -152,6 +184,24 @@ func (f *Flit) AddPayload(p Payload) bool {
 		return false
 	}
 	f.Payloads = append(f.Payloads, p)
+	return true
+}
+
+// MergePayload folds operand p into the flit's accumulator payload: the
+// operand's value is added (exact wrap-around uint64 arithmetic, matching
+// the software reduction oracle) and its operand count absorbed. It
+// returns false without modifying the flit when the flit carries no
+// accumulator or the reduction IDs differ.
+func (f *Flit) MergePayload(p Payload) bool {
+	if len(f.Payloads) == 0 {
+		return false
+	}
+	acc := &f.Payloads[0]
+	if acc.ReduceID != p.ReduceID {
+		return false
+	}
+	acc.Value += p.Value
+	acc.Ops = acc.OpsCount() + p.OpsCount()
 	return true
 }
 

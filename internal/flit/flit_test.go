@@ -211,3 +211,78 @@ func TestFlitString(t *testing.T) {
 		t.Errorf("String() = %q", got)
 	}
 }
+
+func TestPacketizeAccumulate(t *testing.T) {
+	format := MustFormat(DefaultFlitBits, DefaultPayloadBits, 64)
+	own := Payload{Seq: 1, Src: 3, Dst: 9, Value: 42}
+	flits, err := Packetize(Packet{
+		ID: 5, PT: Accumulate, Src: 3, Dst: 9,
+		Flits: AccumulateFlits, GatherCapacity: 8, ReduceID: 77, Carried: &own,
+	}, format)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flits) != 2 {
+		t.Fatalf("accumulate packet has %d flits, want 2", len(flits))
+	}
+	head, tail := flits[0], flits[1]
+	if head.Type != Head || tail.Type != Tail {
+		t.Errorf("types = %s/%s, want H/T", head.Type, tail.Type)
+	}
+	// Own operand consumes one unit of the merge budget.
+	if head.ASpace != 7 {
+		t.Errorf("ASpace = %d, want 7", head.ASpace)
+	}
+	if head.ReduceID != 77 {
+		t.Errorf("head ReduceID = %d, want 77", head.ReduceID)
+	}
+	if len(tail.Payloads) != 1 {
+		t.Fatalf("accumulator payloads = %d, want 1", len(tail.Payloads))
+	}
+	acc := tail.Payloads[0]
+	if acc.ReduceID != 77 || acc.Value != 42 || acc.Ops != 1 {
+		t.Errorf("accumulator = %+v, want ReduceID 77, Value 42, Ops 1", acc)
+	}
+	// The accumulator flit is full: merging mutates in place, nothing is
+	// ever appended.
+	if tail.FreeSlots() != 0 {
+		t.Errorf("FreeSlots = %d, want 0", tail.FreeSlots())
+	}
+}
+
+func TestPacketizeAccumulateRejectsBadShapes(t *testing.T) {
+	format := MustFormat(DefaultFlitBits, DefaultPayloadBits, 64)
+	own := Payload{Seq: 1}
+	if _, err := Packetize(Packet{
+		ID: 1, PT: Accumulate, Flits: 3, GatherCapacity: 8, Carried: &own,
+	}, format); err == nil {
+		t.Error("wrong flit count accepted")
+	}
+	if _, err := Packetize(Packet{
+		ID: 1, PT: Accumulate, Flits: AccumulateFlits, GatherCapacity: 8,
+	}, format); err == nil {
+		t.Error("missing accumulator payload accepted")
+	}
+}
+
+func TestMergePayloadRequiresAccumulator(t *testing.T) {
+	f := &Flit{PT: Accumulate, Type: Tail}
+	if f.MergePayload(Payload{ReduceID: 1, Value: 5}) {
+		t.Error("merge into an empty flit accepted")
+	}
+}
+
+func TestPayloadOpsCount(t *testing.T) {
+	if (Payload{}).OpsCount() != 1 {
+		t.Error("zero-value payload must count as one operand")
+	}
+	if (Payload{Ops: 3}).OpsCount() != 3 {
+		t.Error("explicit Ops not honored")
+	}
+}
+
+func TestAccumulatePacketTypeString(t *testing.T) {
+	if Accumulate.String() != "A" {
+		t.Errorf("Accumulate.String() = %q, want A", Accumulate.String())
+	}
+}

@@ -23,6 +23,13 @@ const (
 // ErrBadFormat reports an unsatisfiable flit format configuration.
 var ErrBadFormat = errors.New("flit: invalid format")
 
+// AccumulateFlits is the fixed length of an accumulate packet: a head flit
+// plus one tail flit carrying the running sum. Merging happens in place,
+// so the length is independent of how many operands the packet absorbs —
+// the wire-level advantage of in-network accumulation over gather packets,
+// whose length grows as 1 + ⌈η/slots⌉.
+const AccumulateFlits = 2
+
 // Format captures the wire-format arithmetic of the packet layout: how many
 // gather payload slots fit in one body/tail flit and how long packets of
 // each kind are. It is immutable after creation.

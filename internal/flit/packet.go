@@ -19,10 +19,14 @@ type Packet struct {
 	MDst *topology.DestSet
 	// Flits is the total length in flits, including the head.
 	Flits int
-	// GatherCapacity is the payload capacity η of a gather packet.
+	// GatherCapacity is the payload capacity η of a gather packet, or the
+	// merge budget of an accumulate packet.
 	GatherCapacity int
-	// Carried is the payload the source itself contributes (gather only;
-	// nil for an empty gather packet).
+	// ReduceID tags the reduction an accumulate packet serves.
+	ReduceID uint64
+	// Carried is the payload the source itself contributes (nil for an
+	// empty gather packet; required for accumulate packets, whose body
+	// flit carries the running sum).
 	Carried *Payload
 	// InjectCycle is when the packet entered the injection queue.
 	InjectCycle int64
@@ -41,12 +45,27 @@ type Packet struct {
 // Unicast packets may also carry a single payload (in the tail flit): the
 // repetitive-unicast baseline transports one partial-sum result per packet,
 // and carrying it lets integrity checks cover both collection schemes.
+//
+// Accumulate packets (the INA extension) are always two flits: a head
+// carrying the merge budget in ASpace and the reduction ID, and one tail
+// flit whose single payload slot holds the running sum. Routers fold local
+// operands into that payload in place, so the length never grows with the
+// number of merged operands.
 func Packetize(p Packet, format *Format) ([]*Flit, error) {
 	if p.Flits < 1 {
 		return nil, fmt.Errorf("%w: packet %d has %d flits", ErrBadFormat, p.ID, p.Flits)
 	}
 	if p.PT == Gather && p.Flits < 2 {
 		return nil, fmt.Errorf("%w: gather packet %d needs a head and at least one payload flit", ErrBadFormat, p.ID)
+	}
+	if p.PT == Accumulate {
+		if p.Flits != AccumulateFlits {
+			return nil, fmt.Errorf("%w: accumulate packet %d must be %d flits, got %d",
+				ErrBadFormat, p.ID, AccumulateFlits, p.Flits)
+		}
+		if p.Carried == nil {
+			return nil, fmt.Errorf("%w: accumulate packet %d needs its accumulator payload", ErrBadFormat, p.ID)
+		}
 	}
 	flits := make([]*Flit, 0, p.Flits)
 	for i := 0; i < p.Flits; i++ {
@@ -84,6 +103,16 @@ func Packetize(p Packet, format *Format) ([]*Flit, error) {
 			}
 			flits[0].ASpace--
 		}
+	case p.PT == Accumulate:
+		// The source's own operand seeds the accumulator and consumes one
+		// unit of merge budget, mirroring the gather initiator path.
+		flits[0].ASpace = p.GatherCapacity - 1
+		flits[0].ReduceID = p.ReduceID
+		acc := *p.Carried
+		acc.ReduceID = p.ReduceID
+		acc.Ops = acc.OpsCount()
+		flits[1].SlotCap = 1
+		flits[1].AddPayload(acc)
 	case p.Carried != nil:
 		last := flits[len(flits)-1]
 		last.SlotCap = 1

@@ -4,7 +4,10 @@
 // reassembly, and the PE side of the gather protocol — offering the
 // partial-sum payload to the router's Gather Payload station and falling
 // back to a self-initiated gather packet when the δ-cycle timeout of
-// Algorithm 1 expires without an ack.
+// Algorithm 1 expires without an ack. The in-network accumulation (INA)
+// protocol mirrors it operand for payload: SubmitReduceOperand offers the
+// partial sum to the router's accumulation station and SendAccumulate is
+// both the row-initiator path and the reduce-δ fallback.
 package nic
 
 import (
@@ -35,8 +38,21 @@ type Config struct {
 	UnicastFlits int
 	// GatherCapacity is η, the payload capacity of a gather packet.
 	GatherCapacity int
-	// GatherVC, when >= 0, restricts gather packets to that VC at
-	// injection and keeps other packets off it.
+	// EnableINA permits accumulate traffic on this NIC; with it off,
+	// SendAccumulate and SubmitReduceOperand are programming errors, so
+	// no accumulate packet can enter the fabric.
+	EnableINA bool
+	// ReduceCapacity is the merge budget of an accumulate packet (INA):
+	// how many operands one packet may absorb, its own included. The
+	// network layer owns the default (noc.Config.EffectiveReduceCapacity
+	// resolves 0 to the row width); here it must be >= 1 when EnableINA
+	// is set.
+	ReduceCapacity int
+	// ReduceDelta is the δ timeout for reduce operands awaiting a merge;
+	// 0 falls back to Delta.
+	ReduceDelta int64
+	// GatherVC, when >= 0, restricts gather and accumulate packets to
+	// that VC at injection and keeps other packets off it.
 	GatherVC int
 	// Format supplies the wire-format arithmetic.
 	Format *flit.Format
@@ -55,8 +71,14 @@ func (c Config) Validate() error {
 		return fmt.Errorf("nic: UnicastFlits must be >= 1, got %d", c.UnicastFlits)
 	case c.GatherCapacity < 1:
 		return fmt.Errorf("nic: GatherCapacity must be >= 1, got %d", c.GatherCapacity)
+	case c.ReduceCapacity < 0:
+		return fmt.Errorf("nic: ReduceCapacity must be >= 0, got %d", c.ReduceCapacity)
+	case c.EnableINA && c.ReduceCapacity < 1:
+		return fmt.Errorf("nic: EnableINA needs ReduceCapacity >= 1, got %d", c.ReduceCapacity)
 	case c.Delta < 0:
 		return fmt.Errorf("nic: Delta must be >= 0, got %d", c.Delta)
+	case c.ReduceDelta < 0:
+		return fmt.Errorf("nic: ReduceDelta must be >= 0, got %d", c.ReduceDelta)
 	case c.Format == nil:
 		return fmt.Errorf("nic: Format is required")
 	case c.GatherVC >= c.VCs:
@@ -65,6 +87,8 @@ func (c Config) Validate() error {
 	return nil
 }
 
+// gatherWait tracks one payload or operand awaiting pickup by a passing
+// collective packet (gather upload or INA merge), with its δ deadline.
 type gatherWait struct {
 	payload  flit.Payload
 	deadline int64
@@ -85,10 +109,11 @@ type NIC struct {
 	credits []int
 	// vcPkt holds the remaining flits of the packet currently streaming on
 	// each injection VC; nil means the VC is free.
-	vcPkt   [][]*flit.Flit
-	queue   []flit.Packet
-	waiting []*gatherWait
-	sendRR  int
+	vcPkt    [][]*flit.Flit
+	queue    []flit.Packet
+	waiting  []*gatherWait
+	rwaiting []*gatherWait // reduce operands awaiting an INA merge
+	sendRR   int
 
 	// now tracks the last observed tick; clock, when set, supersedes it so
 	// that work submitted from outside Tick (controllers enqueueing packets
@@ -100,11 +125,15 @@ type NIC struct {
 
 	// PacketsInjected / FlitsInjected count injection activity;
 	// SelfInitiatedGathers counts δ-timeout fallbacks; PiggybackAcks
-	// counts payloads picked up by passing gather packets.
+	// counts payloads picked up by passing gather packets. The INA twins:
+	// SelfInitiatedReduces counts reduce-δ fallback accumulate packets,
+	// MergeAcks operands folded into passing accumulate packets.
 	PacketsInjected      stats.Counter
 	FlitsInjected        stats.Counter
 	SelfInitiatedGathers stats.Counter
 	PiggybackAcks        stats.Counter
+	SelfInitiatedReduces stats.Counter
+	MergeAcks            stats.Counter
 }
 
 // New constructs a NIC for node id attached to rtr. nextID must return
@@ -165,7 +194,7 @@ func (n *NIC) currentCycle() int64 {
 // come from enqueues, payload submissions, credit returns and ejection
 // deliveries).
 func (n *NIC) Idle() bool {
-	if len(n.queue) > 0 || len(n.waiting) > 0 || n.eject.Buffered() > 0 {
+	if len(n.queue) > 0 || len(n.waiting) > 0 || len(n.rwaiting) > 0 || n.eject.Buffered() > 0 {
 		return false
 	}
 	for _, fl := range n.vcPkt {
@@ -261,10 +290,73 @@ func (n *NIC) SubmitGatherPayload(p flit.Payload) {
 	n.wake.Wake()
 }
 
+// requireINA guards the accumulate entry points: calling them on a NIC
+// whose network has INA disabled is a programming error, like mis-sized
+// packets.
+func (n *NIC) requireINA(op string) {
+	if !n.cfg.EnableINA {
+		panic(fmt.Sprintf("nic %d: %s without Config.EnableINA", n.id, op))
+	}
+}
+
+// reduceDelta returns the δ applied to reduce operands (ReduceDelta,
+// falling back to the gather Delta).
+func (n *NIC) reduceDelta() int64 {
+	if n.cfg.ReduceDelta > 0 {
+		return n.cfg.ReduceDelta
+	}
+	return n.cfg.Delta
+}
+
+// SetReduceDelta overrides this NIC's reduce-operand δ timeout; like
+// SetDelta it lets workload layers scale the timeout with the node's
+// distance from its row's accumulate initiator.
+func (n *NIC) SetReduceDelta(d int64) {
+	if d >= 0 {
+		n.cfg.ReduceDelta = d
+	}
+}
+
+// SendAccumulate queues an accumulate packet to dst seeded with the
+// sender's own operand — the INA initiator path: in the row-based scheme
+// the leftmost PE of each row launches the packet toward the global
+// buffer, and every router en route folds its local partial sum in.
+func (n *NIC) SendAccumulate(dst topology.NodeID, reduceID uint64, own flit.Payload) uint64 {
+	n.requireINA("SendAccumulate")
+	return n.enqueue(flit.Packet{
+		PT: flit.Accumulate, Src: n.id, Dst: dst,
+		Flits:          flit.AccumulateFlits,
+		GatherCapacity: n.cfg.ReduceCapacity,
+		ReduceID:       reduceID,
+		Carried:        &own,
+	})
+}
+
+// SubmitReduceOperand is the INA merge path: the operand is offered to the
+// router's accumulation station; if no passing accumulate packet folds it
+// in within the reduce δ the NIC retracts it and initiates its own
+// accumulate packet carrying the operand.
+func (n *NIC) SubmitReduceOperand(p flit.Payload) {
+	n.requireINA("SubmitReduceOperand")
+	p.Ops = p.OpsCount()
+	w := &gatherWait{payload: p, deadline: n.currentCycle() + n.reduceDelta()}
+	ok := n.rtr.OfferReduceOperand(p, func(flit.Payload) {
+		w.acked = true
+		n.MergeAcks.Inc()
+	})
+	if !ok {
+		n.selfInitiateReduce(p)
+		return
+	}
+	n.rwaiting = append(n.rwaiting, w)
+	n.wake.Wake()
+}
+
 // Pending reports whether the NIC still has packets queued, flits
 // streaming, or payloads awaiting pickup.
 func (n *NIC) Pending() bool {
-	if len(n.queue) > 0 || len(n.waiting) > 0 || n.eject.Buffered() > 0 || n.eject.PendingPackets() > 0 {
+	if len(n.queue) > 0 || len(n.waiting) > 0 || len(n.rwaiting) > 0 ||
+		n.eject.Buffered() > 0 || n.eject.PendingPackets() > 0 {
 		return true
 	}
 	for _, fl := range n.vcPkt {
@@ -286,32 +378,41 @@ func (n *NIC) Tick(cycle int64) {
 }
 
 func (n *NIC) checkTimeouts() {
-	if len(n.waiting) == 0 {
-		return
+	n.waiting = n.sweepTimeouts(n.waiting, n.rtr.RetractGatherPayload, n.selfInitiate)
+	n.rwaiting = n.sweepTimeouts(n.rwaiting, n.rtr.RetractReduceOperand, n.selfInitiateReduce)
+}
+
+// sweepTimeouts drops acked waiters and fires the δ fallback for expired
+// ones. Retract succeeds only while the payload is still pending at the
+// station; if a packet reserved it, the ack is imminent and we keep
+// waiting (retry next cycle if the reservation is released).
+func (n *NIC) sweepTimeouts(waiting []*gatherWait, retract func(uint64) bool, fallback func(flit.Payload)) []*gatherWait {
+	if len(waiting) == 0 {
+		return waiting
 	}
-	keep := n.waiting[:0]
-	for _, w := range n.waiting {
+	keep := waiting[:0]
+	for _, w := range waiting {
 		if w.acked {
 			continue
 		}
-		if n.now >= w.deadline {
-			// Retract succeeds only while the payload is still pending;
-			// if a packet reserved it, the ack is imminent and we keep
-			// waiting (retry next cycle if the reservation is released).
-			if n.rtr.RetractGatherPayload(w.payload.Seq) {
-				n.selfInitiate(w.payload)
-				continue
-			}
+		if n.now >= w.deadline && retract(w.payload.Seq) {
+			fallback(w.payload)
+			continue
 		}
 		keep = append(keep, w)
 	}
-	n.waiting = keep
+	return keep
 }
 
 func (n *NIC) selfInitiate(p flit.Payload) {
 	own := p
 	n.SendGather(p.Dst, &own)
 	n.SelfInitiatedGathers.Inc()
+}
+
+func (n *NIC) selfInitiateReduce(p flit.Payload) {
+	n.SendAccumulate(p.Dst, p.ReduceID, p)
+	n.SelfInitiatedReduces.Inc()
 }
 
 func (n *NIC) enqueue(p flit.Packet) uint64 {
@@ -364,7 +465,7 @@ func (n *NIC) vcAllowed(pt flit.PacketType, vc int) bool {
 	if g < 0 {
 		return true
 	}
-	if pt == flit.Gather {
+	if pt == flit.Gather || pt == flit.Accumulate {
 		return vc == g
 	}
 	return vc != g

@@ -260,3 +260,59 @@ func seq() func() uint64 {
 		return n
 	}
 }
+
+func TestNICConfigRejectsBadReduceKnobs(t *testing.T) {
+	cfg := validConfig()
+	cfg.ReduceCapacity = -1
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative ReduceCapacity accepted")
+	}
+	cfg = validConfig()
+	cfg.ReduceDelta = -1
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative ReduceDelta accepted")
+	}
+}
+
+func TestNICReduceDefaults(t *testing.T) {
+	cfg := validConfig()
+	n, err := New(0, cfg, nil, func() uint64 { return 1 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.SetReduceDelta(17)
+	n.SetReduceDelta(-1) // ignored
+	if got := n.reduceDelta(); got != 17 {
+		t.Errorf("reduceDelta = %d, want 17", got)
+	}
+}
+
+func TestNICConfigEnableINANeedsCapacity(t *testing.T) {
+	cfg := validConfig()
+	cfg.EnableINA = true
+	if err := cfg.Validate(); err == nil {
+		t.Error("EnableINA without ReduceCapacity accepted")
+	}
+	cfg.ReduceCapacity = 8
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("valid INA config rejected: %v", err)
+	}
+}
+
+func TestNICRejectsAccumulateWithoutINA(t *testing.T) {
+	cfg := validConfig()
+	n, err := New(0, cfg, nil, func() uint64 { return 1 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s without EnableINA did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("SendAccumulate", func() { n.SendAccumulate(9, 1, flit.Payload{}) })
+	mustPanic("SubmitReduceOperand", func() { n.SubmitReduceOperand(flit.Payload{}) })
+}

@@ -112,6 +112,9 @@ func New(cfg Config) (*Network, error) {
 		Delta:             cfg.Delta,
 		UnicastFlits:      cfg.UnicastFlits,
 		GatherCapacity:    cfg.EffectiveGatherCapacity(),
+		EnableINA:         cfg.EnableINA,
+		ReduceCapacity:    cfg.EffectiveReduceCapacity(),
+		ReduceDelta:       cfg.EffectiveReduceDelta(),
 		GatherVC:          cfg.Router.GatherVC,
 		Format:            format,
 	}
@@ -296,7 +299,7 @@ func (nw *Network) Quiescent() bool {
 		}
 	}
 	for _, r := range nw.routers {
-		if r.GatherBacklog() > 0 {
+		if r.GatherBacklog() > 0 || r.ReduceBacklog() > 0 {
 			return false
 		}
 	}
@@ -338,6 +341,7 @@ type Activity struct {
 	Crossings      uint64
 	LinkFlits      uint64
 	GatherUploads  uint64
+	ReduceMerges   uint64
 	PacketsSent    uint64
 	FlitsSent      uint64
 }
@@ -353,6 +357,7 @@ func (nw *Network) Activity() Activity {
 		a.SAGrants += r.Counters.SAGrants.Value()
 		a.Crossings += r.Counters.Crossings.Value()
 		a.GatherUploads += r.Counters.GatherUploads.Value()
+		a.ReduceMerges += r.Counters.ReduceMerges.Value()
 	}
 	for _, l := range nw.links {
 		a.LinkFlits += l.FlitsCarried.Value()

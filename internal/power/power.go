@@ -27,6 +27,11 @@ type Coefficients struct {
 	LinkTraversal float64
 	// GatherUpload is per payload written into a passing flit.
 	GatherUpload float64
+	// ReduceMerge is per operand folded into a passing accumulate packet:
+	// one 32-bit adder operation plus the station read (INA). The merge
+	// energy is paid inside the router so the saved link/buffer energy of
+	// the operand's own packet can be weighed against it.
+	ReduceMerge float64
 	// StreamHop is per operand forwarded one hop on the systolic
 	// streaming paths (register + short wire).
 	StreamHop float64
@@ -54,6 +59,7 @@ func DefaultCoefficients() Coefficients {
 		CrossbarTraversal: 1.20,
 		LinkTraversal:     1.75,
 		GatherUpload:      0.05,
+		ReduceMerge:       0.18, // 32-bit ripple add + station read, well under one MAC
 		StreamHop:         4.35,
 		MAC:               0.90,
 	}
@@ -70,6 +76,7 @@ type Events struct {
 	Crossings      uint64
 	LinkFlits      uint64
 	GatherUploads  uint64
+	ReduceMerges   uint64
 	StreamHops     uint64
 	MACs           uint64
 }
@@ -85,6 +92,7 @@ func (e Events) Add(o Events) Events {
 		Crossings:      e.Crossings + o.Crossings,
 		LinkFlits:      e.LinkFlits + o.LinkFlits,
 		GatherUploads:  e.GatherUploads + o.GatherUploads,
+		ReduceMerges:   e.ReduceMerges + o.ReduceMerges,
 		StreamHops:     e.StreamHops + o.StreamHops,
 		MACs:           e.MACs + o.MACs,
 	}
@@ -103,6 +111,7 @@ func (e Events) Scale(k float64) Events {
 		Crossings:      s(e.Crossings),
 		LinkFlits:      s(e.LinkFlits),
 		GatherUploads:  s(e.GatherUploads),
+		ReduceMerges:   s(e.ReduceMerges),
 		StreamHops:     s(e.StreamHops),
 		MACs:           s(e.MACs),
 	}
@@ -141,7 +150,8 @@ func Compute(e Events, c Coefficients, cycles int64, freqGHz float64) Report {
 		float64(e.VAAllocations)*c.VAAllocation +
 		float64(e.SAGrants)*c.SAArbitration +
 		float64(e.Crossings)*c.CrossbarTraversal +
-		float64(e.GatherUploads)*c.GatherUpload
+		float64(e.GatherUploads)*c.GatherUpload +
+		float64(e.ReduceMerges)*c.ReduceMerge
 	r.LinkPJ = float64(e.LinkFlits) * c.LinkTraversal
 	r.StreamPJ = float64(e.StreamHops) * c.StreamHop
 	r.ComputePJ = float64(e.MACs) * c.MAC

@@ -127,3 +127,64 @@ func TestReportString(t *testing.T) {
 		t.Error("empty String()")
 	}
 }
+
+// TestEventsScaleRounding pins the half-up rounding of Scale across edge
+// cases: exact halves round up, k=0 zeroes everything, k=1 is identity.
+func TestEventsScaleRounding(t *testing.T) {
+	e := Events{BufferWrites: 1, LinkFlits: 3, ReduceMerges: 5}
+	half := e.Scale(0.5)
+	// 0.5 rounds to 1, 1.5 to 2, 2.5 to 3 (round half up, not banker's).
+	if half.BufferWrites != 1 || half.LinkFlits != 2 || half.ReduceMerges != 3 {
+		t.Errorf("Scale(0.5) = %+v, want 1/2/3", half)
+	}
+	if z := e.Scale(0); z != (Events{}) {
+		t.Errorf("Scale(0) = %+v, want zero", z)
+	}
+	if id := e.Scale(1); id != e {
+		t.Errorf("Scale(1) = %+v, want identity", id)
+	}
+}
+
+func TestImprovementPercentZeroBaseline(t *testing.T) {
+	if got := ImprovementPercent(0, 0); got != 0 {
+		t.Errorf("ImprovementPercent(0,0) = %v, want 0", got)
+	}
+	if got := ImprovementPercent(0, -5); got != 0 {
+		t.Errorf("ImprovementPercent(0,-5) = %v, want 0", got)
+	}
+	if got := ImprovementPercent(100, 100); got != 0 {
+		t.Errorf("identical runs should improve 0%%, got %v", got)
+	}
+	if got := ImprovementPercent(100, 0); got != 100 {
+		t.Errorf("eliminating all energy should be 100%%, got %v", got)
+	}
+}
+
+// TestReduceMergeEnergy pins the INA adder-per-merge accounting: merges
+// contribute to router energy, and the per-merge cost is far below the
+// per-hop traversal energy a merged operand's own packet would have paid —
+// the sign condition that makes in-network accumulation an energy win.
+func TestReduceMergeEnergy(t *testing.T) {
+	c := DefaultCoefficients()
+	base := Compute(Events{}, c, 1, 1)
+	merged := Compute(Events{ReduceMerges: 10}, c, 1, 1)
+	if got, want := merged.RouterPJ-base.RouterPJ, 10*c.ReduceMerge; math.Abs(got-want) > 1e-9 {
+		t.Errorf("10 merges added %.3f pJ, want %.3f", got, want)
+	}
+	perHop := c.BufferWrite + c.BufferRead + c.CrossbarTraversal + c.LinkTraversal
+	if c.ReduceMerge >= perHop {
+		t.Errorf("ReduceMerge %.3f pJ not below one flit-hop %.3f pJ", c.ReduceMerge, perHop)
+	}
+	if c.ReduceMerge <= 0 {
+		t.Errorf("ReduceMerge coefficient not positive: %v", c.ReduceMerge)
+	}
+}
+
+func TestEventsAddIncludesReduceMerges(t *testing.T) {
+	a := Events{ReduceMerges: 3}
+	b := Events{ReduceMerges: 4, GatherUploads: 1}
+	s := a.Add(b)
+	if s.ReduceMerges != 7 || s.GatherUploads != 1 {
+		t.Errorf("Add = %+v", s)
+	}
+}

@@ -1,105 +1,17 @@
 package router
 
-import (
-	"gathernoc/internal/flit"
-	"gathernoc/internal/topology"
-)
+import "gathernoc/internal/reduce"
 
 // AckFunc is invoked (synchronously, during the router tick) when a gather
 // payload offered to the router has been uploaded into a passing gather
-// packet. It corresponds to the ack path from the Gather Payload block back
-// to the PE in Fig. 6.
-type AckFunc func(p flit.Payload)
-
-type stationState uint8
-
-const (
-	stationPending stationState = iota + 1
-	stationReserved
-)
-
-type stationEntry struct {
-	payload flit.Payload
-	state   stationState
-	ack     AckFunc
-}
-
-// gatherStation is the router-resident Gather Payload block of Fig. 6: it
-// holds payloads handed over by the local PE, reserves them against passing
-// gather headers (the Gather Load Generator of Fig. 3b), and uploads them
-// into body/tail flits during those flits' idle RC/VA pipeline slots.
-type gatherStation struct {
-	entries []*stationEntry
-	cap     int
-}
-
-func newGatherStation(capacity int) *gatherStation {
-	if capacity < 1 {
-		capacity = 1
-	}
-	return &gatherStation{cap: capacity}
-}
-
-// offer enqueues a payload, returning false when the station is full.
-func (s *gatherStation) offer(p flit.Payload, ack AckFunc) bool {
-	if len(s.entries) >= s.cap {
-		return false
-	}
-	s.entries = append(s.entries, &stationEntry{payload: p, state: stationPending, ack: ack})
-	return true
-}
-
-// reserve finds the oldest pending payload destined for dst, marks it
-// reserved and returns it; ok is false when none matches. Reservation
-// implements the Load signal of Algorithm 1: the passing packet's header
-// has already had its ASpace decremented for this payload.
-func (s *gatherStation) reserve(dst topology.NodeID) (*stationEntry, bool) {
-	for _, e := range s.entries {
-		if e.state == stationPending && e.payload.Dst == dst {
-			e.state = stationReserved
-			return e, true
-		}
-	}
-	return nil, false
-}
-
-// release returns a reserved entry to pending; used when a gather packet's
-// tail departed without the upload completing (defensive: the ASpace
-// arithmetic should make this unreachable).
-func (s *gatherStation) release(e *stationEntry) {
-	e.state = stationPending
-}
-
-// complete removes an entry after its payload was uploaded and fires the
-// ack callback.
-func (s *gatherStation) complete(e *stationEntry) {
-	for i, cur := range s.entries {
-		if cur == e {
-			s.entries = append(s.entries[:i], s.entries[i+1:]...)
-			break
-		}
-	}
-	if e.ack != nil {
-		e.ack(e.payload)
-	}
-}
-
-// retract removes a still-pending payload by sequence number, returning
-// false when the payload is absent or already reserved by an in-flight
-// packet. The NIC calls this on δ-timeout before initiating its own gather
-// packet.
-func (s *gatherStation) retract(seq uint64) bool {
-	for i, e := range s.entries {
-		if e.payload.Seq == seq {
-			if e.state != stationPending {
-				return false
-			}
-			s.entries = append(s.entries[:i], s.entries[i+1:]...)
-			return true
-		}
-	}
-	return false
-}
-
-// pendingLen reports how many payloads are waiting (any state).
-func (s *gatherStation) pendingLen() int { return len(s.entries) }
+// packet, or an operand merged into a passing accumulate packet. It
+// corresponds to the ack path from the Gather Payload block back to the PE
+// in Fig. 6.
+//
+// The Gather Payload station itself is the same reservation state machine
+// the accumulation subsystem uses (reserve against a passing header,
+// upload/merge during idle pipeline slots, δ-retract recovery), so both
+// protocols share reduce.Station: gather reservations match on destination
+// only (Station.ReserveByDst), accumulate reservations additionally match
+// the reduction ID (Station.Reserve).
+type AckFunc = reduce.AckFunc

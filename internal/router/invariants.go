@@ -15,7 +15,8 @@ import (
 //   - an input VC past route computation has at least one branch;
 //   - every downstream-VC ownership entry points back at an input VC that
 //     actually holds that allocation;
-//   - a raised gather Load signal has a reserved station entry.
+//   - a raised gather or accumulate Load signal has a reserved station
+//     entry.
 func (r *Router) CheckInvariants() error {
 	for p := 0; p < topology.NumPorts; p++ {
 		for v, vc := range r.inputs[p] {
@@ -29,6 +30,10 @@ func (r *Router) CheckInvariants() error {
 			}
 			if vc.gatherLoad && vc.gatherEntry == nil {
 				return fmt.Errorf("router %d: input %s vc%d load raised without reservation",
+					r.id, topology.Port(p), v)
+			}
+			if vc.reduceLoad && vc.reduceEntry == nil {
+				return fmt.Errorf("router %d: input %s vc%d reduce load raised without reservation",
 					r.id, topology.Port(p), v)
 			}
 			head := vc.head()

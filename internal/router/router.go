@@ -13,6 +13,7 @@ import (
 
 	"gathernoc/internal/flit"
 	"gathernoc/internal/link"
+	"gathernoc/internal/reduce"
 	"gathernoc/internal/sim"
 	"gathernoc/internal/stats"
 	"gathernoc/internal/topology"
@@ -31,13 +32,17 @@ type Config struct {
 	// paper's Table II estimates.
 	RCDelay int
 	VADelay int
-	// GatherVC, when >= 0, dedicates that VC index to gather packets:
-	// gather packets allocate only it and other traffic never does. This
-	// is the mitigation sketched in the paper's conclusion for δ timeouts
-	// under mixed traffic. -1 disables the reservation.
+	// GatherVC, when >= 0, dedicates that VC index to gather and
+	// accumulate packets: collective packets allocate only it and other
+	// traffic never does. This is the mitigation sketched in the paper's
+	// conclusion for δ timeouts under mixed traffic. -1 disables the
+	// reservation.
 	GatherVC int
 	// GatherQueueCap bounds the Gather Payload station queue (>= 1).
 	GatherQueueCap int
+	// ReduceQueueCap bounds the accumulation station queue (>= 1), the
+	// INA sibling of GatherQueueCap.
+	ReduceQueueCap int
 }
 
 // DefaultConfig returns the Table I router configuration.
@@ -49,6 +54,7 @@ func DefaultConfig() Config {
 		VADelay:        1,
 		GatherVC:       -1,
 		GatherQueueCap: 4,
+		ReduceQueueCap: 4,
 	}
 }
 
@@ -97,6 +103,8 @@ type Counters struct {
 	Crossings      stats.Counter // crossbar traversals (one per staged flit copy)
 	GatherUploads  stats.Counter
 	GatherReserves stats.Counter
+	ReduceMerges   stats.Counter // operands folded into passing accumulate packets
+	ReduceReserves stats.Counter
 }
 
 type vcStage uint8
@@ -127,7 +135,12 @@ type inputVC struct {
 
 	// Gather Load Generator state (Fig. 3b / Algorithm 1).
 	gatherLoad  bool
-	gatherEntry *stationEntry
+	gatherEntry *reduce.Entry
+
+	// Accumulation load state: the local operand reserved against the
+	// accumulate packet currently holding this VC (INA merge path).
+	reduceLoad  bool
+	reduceEntry *reduce.Entry
 }
 
 func (v *inputVC) head() *flit.Flit {
@@ -161,7 +174,8 @@ type Router struct {
 	inLinks [topology.NumPorts]*link.Link // reverse channels for credit return
 	outputs [topology.NumPorts]outputPort
 
-	station *gatherStation
+	station  *reduce.Station // gather payloads
+	rstation *reduce.Station // accumulate operands
 
 	saInputArb  [topology.NumPorts]*rrArbiter // per input port, across its VCs
 	saOutputArb [topology.NumPorts]*rrArbiter // per output port, across input-port candidates
@@ -189,7 +203,8 @@ func New(id topology.NodeID, cfg Config, routeFn RoutingFunc) (*Router, error) {
 		r.saInputArb[p] = newRRArbiter(cfg.VCs)
 		r.saOutputArb[p] = newRRArbiter(topology.NumPorts)
 	}
-	r.station = newGatherStation(cfg.GatherQueueCap)
+	r.station = reduce.NewStation(cfg.GatherQueueCap)
+	r.rstation = reduce.NewStation(cfg.ReduceQueueCap)
 	return r, nil
 }
 
@@ -287,18 +302,35 @@ func (r *Router) acceptCredit(p topology.Port, vc int) {
 // station; ack fires when a passing gather packet picked it up. It returns
 // false when the station queue is full.
 func (r *Router) OfferGatherPayload(p flit.Payload, ack AckFunc) bool {
-	return r.station.offer(p, ack)
+	return r.station.Offer(p, ack)
 }
 
 // RetractGatherPayload removes a not-yet-reserved payload from the station
 // (δ-timeout path). It returns false when the payload is gone or already
 // reserved by an in-flight packet.
 func (r *Router) RetractGatherPayload(seq uint64) bool {
-	return r.station.retract(seq)
+	return r.station.Retract(seq)
 }
 
 // GatherBacklog reports how many payloads sit in the station.
-func (r *Router) GatherBacklog() int { return r.station.pendingLen() }
+func (r *Router) GatherBacklog() int { return r.station.Backlog() }
+
+// OfferReduceOperand hands the local PE's partial-sum operand to the
+// accumulation station; ack fires when a passing accumulate packet merged
+// it. It returns false when the station queue is full.
+func (r *Router) OfferReduceOperand(op flit.Payload, ack reduce.AckFunc) bool {
+	return r.rstation.Offer(op, ack)
+}
+
+// RetractReduceOperand removes a not-yet-reserved operand from the
+// accumulation station (δ-timeout path). It returns false when the operand
+// is gone or already reserved by an in-flight packet.
+func (r *Router) RetractReduceOperand(seq uint64) bool {
+	return r.rstation.Retract(seq)
+}
+
+// ReduceBacklog reports how many operands sit in the accumulation station.
+func (r *Router) ReduceBacklog() int { return r.rstation.Backlog() }
 
 // BufferedFlits reports the total flits currently held in input buffers;
 // the network layer uses it for drain detection.
@@ -323,24 +355,32 @@ func (r *Router) Tick(cycle int64) {
 }
 
 // gatherUploadStage writes reserved payloads into head-of-buffer body/tail
-// flits of loaded gather packets. Per Sec. IV this reuses the RC/VA slots
-// that body flits leave idle, so it costs no extra cycles: the upload
-// happens while the flit waits for switch allocation.
+// flits of loaded gather packets, and folds reserved operands into
+// head-of-buffer accumulate flits (the INA merge). Per Sec. IV this reuses
+// the RC/VA slots that body flits leave idle, so it costs no extra cycles:
+// the upload or merge happens while the flit waits for switch allocation.
 func (r *Router) gatherUploadStage() {
 	for p := 0; p < topology.NumPorts; p++ {
 		for _, vc := range r.inputs[p] {
-			if !vc.gatherLoad || vc.gatherEntry == nil {
-				continue
+			if vc.gatherLoad && vc.gatherEntry != nil {
+				f := vc.head()
+				if f != nil && f.PT == flit.Gather && !f.Type.IsHead() &&
+					f.AddPayload(vc.gatherEntry.Operand()) {
+					r.station.Complete(vc.gatherEntry)
+					r.Counters.GatherUploads.Inc()
+					vc.gatherEntry = nil
+					vc.gatherLoad = false
+				}
 			}
-			f := vc.head()
-			if f == nil || f.PT != flit.Gather || f.Type.IsHead() {
-				continue
-			}
-			if f.AddPayload(vc.gatherEntry.payload) {
-				r.station.complete(vc.gatherEntry)
-				r.Counters.GatherUploads.Inc()
-				vc.gatherEntry = nil
-				vc.gatherLoad = false
+			if vc.reduceLoad && vc.reduceEntry != nil {
+				f := vc.head()
+				if f != nil && f.PT == flit.Accumulate && !f.Type.IsHead() &&
+					f.MergePayload(vc.reduceEntry.Operand()) {
+					r.rstation.Complete(vc.reduceEntry)
+					r.Counters.ReduceMerges.Inc()
+					vc.reduceEntry = nil
+					vc.reduceLoad = false
+				}
 			}
 		}
 	}
@@ -398,11 +438,24 @@ func (r *Router) completeRC(vc *inputVC) {
 	// both are internal to the head's pipeline transit, so we apply them
 	// together at RC completion with identical external timing.
 	if f.PT == flit.Gather && f.IsHead() && f.ASpace >= 1 {
-		if e, ok := r.station.reserve(f.Dst); ok {
+		if e, ok := r.station.ReserveByDst(f.Dst); ok {
 			f.ASpace--
 			vc.gatherLoad = true
 			vc.gatherEntry = e
 			r.Counters.GatherReserves.Inc()
+		}
+	}
+
+	// Accumulation load: reserve the local operand against a passing
+	// accumulate header with merge budget left, decrementing ASpace —
+	// the INA twin of the Gather Load Generator, with the reservation
+	// additionally matched on the packet's reduction ID.
+	if f.PT == flit.Accumulate && f.IsHead() && f.ASpace >= 1 {
+		if e, ok := r.rstation.Reserve(f.Dst, f.ReduceID); ok {
+			f.ASpace--
+			vc.reduceLoad = true
+			vc.reduceEntry = e
+			r.Counters.ReduceReserves.Inc()
 		}
 	}
 
@@ -495,14 +548,15 @@ func (r *Router) pickAdaptive(alts []topology.Port) topology.Port {
 	return best
 }
 
-// vcAllowed applies the dedicated-gather-VC policy for a downstream
-// channel with nVCs virtual channels.
+// vcAllowed applies the dedicated-collective-VC policy for a downstream
+// channel with nVCs virtual channels: gather and accumulate packets share
+// the reserved VC, all other traffic keeps off it.
 func (r *Router) vcAllowed(pt flit.PacketType, vc, nVCs int) bool {
 	g := r.cfg.GatherVC
 	if g < 0 || g >= nVCs {
 		return true
 	}
-	if pt == flit.Gather {
+	if pt == flit.Gather || pt == flit.Accumulate {
 		return vc == g
 	}
 	return vc != g
@@ -605,10 +659,15 @@ func (r *Router) switchStage(cycle int64) {
 			if vc.gatherLoad && vc.gatherEntry != nil {
 				// The packet left before the upload could complete;
 				// return the payload so the δ-timeout can recover it.
-				r.station.release(vc.gatherEntry)
+				r.station.Release(vc.gatherEntry)
 				vc.gatherEntry = nil
 			}
 			vc.gatherLoad = false
+			if vc.reduceLoad && vc.reduceEntry != nil {
+				r.rstation.Release(vc.reduceEntry)
+				vc.reduceEntry = nil
+			}
+			vc.reduceLoad = false
 			vc.branches = vc.branches[:0]
 			vc.stage = vcIdle
 		}

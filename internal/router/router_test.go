@@ -5,6 +5,7 @@ import (
 
 	"gathernoc/internal/flit"
 	"gathernoc/internal/link"
+	"gathernoc/internal/reduce"
 	"gathernoc/internal/topology"
 )
 
@@ -61,56 +62,59 @@ func TestRRArbiterSkipsNonRequesters(t *testing.T) {
 }
 
 func TestGatherStationLifecycle(t *testing.T) {
-	s := newGatherStation(2)
+	// The gather payload station is the shared reduce.Station with
+	// destination-only reservation; this pins the gather-facing contract
+	// through the router's own API surface.
+	s := reduce.NewStation(2)
 	acked := 0
 	p1 := flit.Payload{Seq: 1, Dst: 9}
 	p2 := flit.Payload{Seq: 2, Dst: 9}
-	if !s.offer(p1, func(flit.Payload) { acked++ }) {
+	if !s.Offer(p1, func(flit.Payload) { acked++ }) {
 		t.Fatal("offer p1 failed")
 	}
-	if !s.offer(p2, nil) {
+	if !s.Offer(p2, nil) {
 		t.Fatal("offer p2 failed")
 	}
-	if s.offer(flit.Payload{Seq: 3}, nil) {
+	if s.Offer(flit.Payload{Seq: 3}, nil) {
 		t.Fatal("offer beyond capacity accepted")
 	}
 
 	// Reservation matches on destination and is FIFO by age.
-	if _, ok := s.reserve(8); ok {
+	if _, ok := s.ReserveByDst(8); ok {
 		t.Fatal("reserved payload for wrong dst")
 	}
-	e, ok := s.reserve(9)
-	if !ok || e.payload.Seq != 1 {
+	e, ok := s.ReserveByDst(9)
+	if !ok || e.Operand().Seq != 1 {
 		t.Fatalf("reserve = %+v, %v; want seq 1", e, ok)
 	}
 
 	// Reserved payloads cannot be retracted; pending ones can.
-	if s.retract(1) {
+	if s.Retract(1) {
 		t.Fatal("retracted a reserved payload")
 	}
-	if !s.retract(2) {
+	if !s.Retract(2) {
 		t.Fatal("failed to retract pending payload")
 	}
-	if s.retract(2) {
+	if s.Retract(2) {
 		t.Fatal("double retract succeeded")
 	}
 
 	// Completion removes the entry and fires the ack.
-	s.complete(e)
+	s.Complete(e)
 	if acked != 1 {
 		t.Fatalf("acks = %d, want 1", acked)
 	}
-	if s.pendingLen() != 0 {
-		t.Fatalf("pendingLen = %d, want 0", s.pendingLen())
+	if s.Backlog() != 0 {
+		t.Fatalf("backlog = %d, want 0", s.Backlog())
 	}
 }
 
 func TestGatherStationRelease(t *testing.T) {
-	s := newGatherStation(1)
-	s.offer(flit.Payload{Seq: 5, Dst: 3}, nil)
-	e, _ := s.reserve(3)
-	s.release(e)
-	if !s.retract(5) {
+	s := reduce.NewStation(1)
+	s.Offer(flit.Payload{Seq: 5, Dst: 3}, nil)
+	e, _ := s.ReserveByDst(3)
+	s.Release(e)
+	if !s.Retract(5) {
 		t.Fatal("released payload not retractable")
 	}
 }

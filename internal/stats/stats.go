@@ -124,6 +124,49 @@ func (s *Sample) ensureSorted() {
 	}
 }
 
+// ReductionStats accounts the wire-level work an in-network accumulation
+// run avoided: every operand folded into a passing accumulate packet is a
+// payload that no longer needs its own packet, so its would-be link
+// traversals and its sink write transaction are saved. Workload layers
+// record one Merge per ack, with the flit count and hop distance the
+// operand's own unicast packet would have cost.
+type ReductionStats struct {
+	// PayloadsMerged counts operands folded into passing packets.
+	PayloadsMerged uint64
+	// LinkTraversalsSaved counts the flit-hops the merged operands'
+	// own packets would have needed (packet flits × hops to the sink).
+	LinkTraversalsSaved uint64
+	// SinkTransactionsSaved counts the per-packet write transactions the
+	// global buffer no longer pays (one per merged operand).
+	SinkTransactionsSaved uint64
+}
+
+// Merge records one in-network merge of an operand whose fallback packet
+// would have been packetFlits long and hopsToSink hops from home router to
+// sink (negative inputs are ignored).
+func (r *ReductionStats) Merge(packetFlits, hopsToSink int) {
+	r.PayloadsMerged++
+	if packetFlits > 0 && hopsToSink > 0 {
+		r.LinkTraversalsSaved += uint64(packetFlits) * uint64(hopsToSink)
+	}
+	r.SinkTransactionsSaved++
+}
+
+// Add returns the field-wise sum of two reduction accounts.
+func (r ReductionStats) Add(o ReductionStats) ReductionStats {
+	return ReductionStats{
+		PayloadsMerged:        r.PayloadsMerged + o.PayloadsMerged,
+		LinkTraversalsSaved:   r.LinkTraversalsSaved + o.LinkTraversalsSaved,
+		SinkTransactionsSaved: r.SinkTransactionsSaved + o.SinkTransactionsSaved,
+	}
+}
+
+// String summarizes the account for reports.
+func (r ReductionStats) String() string {
+	return fmt.Sprintf("merged=%d link-traversals-saved=%d sink-transactions-saved=%d",
+		r.PayloadsMerged, r.LinkTraversalsSaved, r.SinkTransactionsSaved)
+}
+
 // Histogram counts observations into uniform-width buckets over [0, width*n)
 // with an overflow bucket at the end.
 type Histogram struct {

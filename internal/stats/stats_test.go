@@ -2,6 +2,7 @@ package stats
 
 import (
 	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -139,5 +140,42 @@ func TestStringerOutputs(t *testing.T) {
 	h.Observe(0)
 	if h.String() == "" {
 		t.Error("Histogram.String empty")
+	}
+}
+
+func TestReductionStatsMerge(t *testing.T) {
+	var r ReductionStats
+	r.Merge(2, 5)
+	r.Merge(2, 3)
+	if r.PayloadsMerged != 2 {
+		t.Errorf("PayloadsMerged = %d, want 2", r.PayloadsMerged)
+	}
+	if r.LinkTraversalsSaved != 16 {
+		t.Errorf("LinkTraversalsSaved = %d, want 2*5+2*3=16", r.LinkTraversalsSaved)
+	}
+	if r.SinkTransactionsSaved != 2 {
+		t.Errorf("SinkTransactionsSaved = %d, want 2", r.SinkTransactionsSaved)
+	}
+	// Degenerate inputs still count the merge but save no traversals.
+	r.Merge(0, -1)
+	if r.PayloadsMerged != 3 || r.LinkTraversalsSaved != 16 {
+		t.Errorf("degenerate merge mis-accounted: %+v", r)
+	}
+}
+
+func TestReductionStatsAdd(t *testing.T) {
+	a := ReductionStats{PayloadsMerged: 1, LinkTraversalsSaved: 10, SinkTransactionsSaved: 1}
+	b := ReductionStats{PayloadsMerged: 2, LinkTraversalsSaved: 5, SinkTransactionsSaved: 2}
+	s := a.Add(b)
+	want := ReductionStats{PayloadsMerged: 3, LinkTraversalsSaved: 15, SinkTransactionsSaved: 3}
+	if s != want {
+		t.Errorf("Add = %+v, want %+v", s, want)
+	}
+}
+
+func TestReductionStatsString(t *testing.T) {
+	r := ReductionStats{PayloadsMerged: 7}
+	if !strings.Contains(r.String(), "merged=7") {
+		t.Errorf("String() = %q", r.String())
 	}
 }

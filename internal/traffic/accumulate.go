@@ -1,0 +1,407 @@
+package traffic
+
+import (
+	"fmt"
+
+	"gathernoc/internal/flit"
+	"gathernoc/internal/nic"
+	"gathernoc/internal/noc"
+	"gathernoc/internal/reduce"
+	"gathernoc/internal/stats"
+	"gathernoc/internal/topology"
+)
+
+// CollectScheme selects how an accumulation-phase round returns its row
+// sums to the global buffer.
+type CollectScheme uint8
+
+// Collection schemes for accumulation traffic.
+const (
+	// CollectUnicast sends every PE's partial sum as its own unicast
+	// packet; the buffer performs the reduction.
+	CollectUnicast CollectScheme = iota + 1
+	// CollectGather packs the row's partial sums into gather packets;
+	// every operand still travels the full path and the buffer still
+	// performs the reduction.
+	CollectGather
+	// CollectINA reduces the partial sums inside the routers: one
+	// constant-length accumulate packet arrives carrying the row's sum.
+	CollectINA
+)
+
+// String names the scheme.
+func (s CollectScheme) String() string {
+	switch s {
+	case CollectUnicast:
+		return "unicast"
+	case CollectGather:
+		return "gather"
+	case CollectINA:
+		return "ina"
+	default:
+		return fmt.Sprintf("CollectScheme(%d)", uint8(s))
+	}
+}
+
+// SchemeByName parses a collection scheme name.
+func SchemeByName(name string) (CollectScheme, error) {
+	switch name {
+	case "unicast":
+		return CollectUnicast, nil
+	case "gather":
+		return CollectGather, nil
+	case "ina":
+		return CollectINA, nil
+	default:
+		return 0, fmt.Errorf("traffic: unknown collection scheme %q (unicast, gather, ina)", name)
+	}
+}
+
+// AccumulationConfig parameterizes an accumulation-phase workload: every
+// round, each PE produces one partial sum for its row's output and the
+// row-wide reduction must land at the row's east sink — the conv
+// partial-sum traffic of an input-channel-partitioned mapping (see
+// cnn.LayerConfig.AccumulationRounds / PartialMACsPerPE for deriving the
+// parameters from a layer).
+type AccumulationConfig struct {
+	// Scheme selects unicast, gather or INA collection.
+	Scheme CollectScheme
+	// Rounds is how many rounds to simulate (>= 1).
+	Rounds int
+	// TotalRounds is the workload's full round count, for extrapolating
+	// TotalCycles from the simulated sample; 0 means Rounds.
+	TotalRounds int64
+	// ComputeLatency is the cycles from round start until every PE's
+	// partial sum is ready (e.g. ⌈C·R·R/M⌉ + T_MAC).
+	ComputeLatency int
+}
+
+// Validate reports configuration errors.
+func (c AccumulationConfig) Validate() error {
+	switch {
+	case c.Scheme != CollectUnicast && c.Scheme != CollectGather && c.Scheme != CollectINA:
+		return fmt.Errorf("traffic: invalid collection scheme %d", c.Scheme)
+	case c.Rounds < 1:
+		return fmt.Errorf("traffic: Rounds must be >= 1, got %d", c.Rounds)
+	case c.TotalRounds < 0:
+		return fmt.Errorf("traffic: TotalRounds must be >= 0, got %d", c.TotalRounds)
+	case c.ComputeLatency < 0:
+		return fmt.Errorf("traffic: ComputeLatency must be >= 0, got %d", c.ComputeLatency)
+	}
+	return nil
+}
+
+// AccumulationResult summarizes an accumulation-phase run.
+type AccumulationResult struct {
+	// Scheme, Rows, Cols, Rounds echo the run parameters.
+	Scheme CollectScheme
+	Rows   int
+	Cols   int
+	Rounds int
+
+	// RoundCycles samples each simulated round's latency (compute +
+	// collection); PacketLatency samples the end-to-end latency of every
+	// packet reaching a sink.
+	RoundCycles   stats.Sample
+	PacketLatency stats.Sample
+
+	// TotalRounds and TotalCycles extrapolate the simulated sample to the
+	// whole workload (mean round latency × TotalRounds).
+	TotalRounds int64
+	TotalCycles int64
+
+	// SinkFlits and SinkPackets count the flit and packet transactions
+	// the global-buffer ports paid; Merges counts in-network merges and
+	// SelfInitiated the δ-timeout fallback packets (gather or accumulate,
+	// per the scheme).
+	SinkFlits     uint64
+	SinkPackets   uint64
+	Merges        uint64
+	SelfInitiated uint64
+
+	// Reduction accounts the wire work the merges avoided.
+	Reduction stats.ReductionStats
+
+	// OracleErrors counts reductions whose delivered sum or operand count
+	// disagreed with the software oracle (must be 0).
+	OracleErrors int
+
+	// Activity holds the NoC event counts; Cycles the run length.
+	Activity noc.Activity
+	Cycles   int64
+}
+
+// SinkFlitsPerRow returns the mean sink flit transactions one row's
+// reduction cost per round.
+func (r *AccumulationResult) SinkFlitsPerRow() float64 {
+	n := r.Rows * r.Rounds
+	if n == 0 {
+		return 0
+	}
+	return float64(r.SinkFlits) / float64(n)
+}
+
+type rowAcc struct {
+	sum  uint64
+	ops  int
+	done bool
+}
+
+// AccumulationController drives an accumulation-phase workload on a
+// network: per round every PE submits its partial sum under the configured
+// scheme, the sinks reassemble the row reductions, and each round's result
+// is checked bit for bit against a software reduction oracle.
+type AccumulationController struct {
+	nw  *noc.Network
+	cfg AccumulationConfig
+
+	rows, cols int
+
+	phase      phase
+	round      int
+	roundStart int64
+
+	doneAt    []int64
+	submitted []bool
+
+	acc      []rowAcc
+	rowsDone int
+	oracle   *reduce.Oracle
+	seq      uint64
+
+	res AccumulationResult
+}
+
+type phase uint8
+
+const (
+	phaseRun phase = iota
+	phaseDone
+)
+
+// NewAccumulationController prepares an accumulation run on nw. It wires
+// the sink callbacks and scales the collection scheme's δ per column, like
+// the gather workloads (DESIGN.md §3).
+func NewAccumulationController(nw *noc.Network, cfg AccumulationConfig) (*AccumulationController, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	nc := nw.Config()
+	if !nc.EastSinks {
+		return nil, fmt.Errorf("traffic: accumulation workload needs east-edge global-buffer sinks")
+	}
+	if cfg.Scheme == CollectINA && !nc.EnableINA {
+		return nil, fmt.Errorf("traffic: INA collection needs noc.Config.EnableINA")
+	}
+	c := &AccumulationController{
+		nw:   nw,
+		cfg:  cfg,
+		rows: nc.Rows,
+		cols: nc.Cols,
+	}
+	c.doneAt = make([]int64, c.rows*c.cols)
+	c.submitted = make([]bool, c.rows*c.cols)
+	c.acc = make([]rowAcc, c.rows)
+	c.oracle = reduce.NewOracle()
+
+	total := cfg.TotalRounds
+	if total == 0 {
+		total = int64(cfg.Rounds)
+	}
+	rounds := cfg.Rounds
+	if int64(rounds) > total {
+		rounds = int(total)
+	}
+	c.res = AccumulationResult{
+		Scheme: cfg.Scheme, Rows: c.rows, Cols: c.cols,
+		Rounds: rounds, TotalRounds: total,
+	}
+	c.cfg.Rounds = rounds
+
+	// Per-column δ: column c waits δ·(1+c) for the packet launched at
+	// column 0 before self-initiating.
+	for row := 0; row < c.rows; row++ {
+		for col := 0; col < c.cols; col++ {
+			id := nw.Mesh().ID(topology.Coord{Row: row, Col: col})
+			switch cfg.Scheme {
+			case CollectGather:
+				nw.NIC(id).SetDelta(nc.Delta * int64(1+col))
+			case CollectINA:
+				nw.NIC(id).SetReduceDelta(nc.EffectiveReduceDelta() * int64(1+col))
+			}
+		}
+	}
+	for row := 0; row < c.rows; row++ {
+		nw.Sink(row).OnReceive(c.onPacket)
+	}
+	c.startRound(0)
+	return c, nil
+}
+
+// reduceID tags row r's reduction of the current round.
+func (c *AccumulationController) reduceID(row int) uint64 {
+	return uint64(row)<<32 | uint64(uint32(c.round))
+}
+
+// operandValue derives the deterministic synthetic partial sum PE id
+// produces in the given round. The multiplier spreads values across the
+// full uint64 range so sums exercise wrap-around arithmetic, which the
+// oracle reproduces exactly.
+func operandValue(id int, round int) uint64 {
+	return (uint64(id)+1)*0x9E3779B97F4A7C15 + (uint64(round)+3)*0xD1B54A32D192ED03
+}
+
+func (c *AccumulationController) startRound(now int64) {
+	c.roundStart = now
+	c.rowsDone = 0
+	c.oracle = reduce.NewOracle()
+	for i := range c.acc {
+		c.acc[i] = rowAcc{}
+	}
+	for i := range c.submitted {
+		c.submitted[i] = false
+	}
+	mesh := c.nw.Mesh()
+	for row := 0; row < c.rows; row++ {
+		rid := c.reduceID(row)
+		for col := 0; col < c.cols; col++ {
+			id := int(mesh.ID(topology.Coord{Row: row, Col: col}))
+			c.doneAt[id] = now + int64(c.cfg.ComputeLatency)
+			c.oracle.Add(rid, operandValue(id, c.round))
+		}
+	}
+}
+
+// onPacket folds arriving payloads into the per-row accounts and checks
+// completed reductions against the oracle.
+func (c *AccumulationController) onPacket(p *nic.ReceivedPacket) {
+	c.res.PacketLatency.Observe(float64(p.Latency()))
+	for _, pl := range p.Payloads {
+		row := int(pl.ReduceID >> 32)
+		if row < 0 || row >= c.rows || uint32(pl.ReduceID) != uint32(c.round) {
+			c.res.OracleErrors++
+			continue
+		}
+		a := &c.acc[row]
+		a.sum += pl.Value
+		a.ops += pl.OpsCount()
+		if a.done {
+			// Operands beyond a verified reduction are duplicates.
+			c.res.OracleErrors++
+			continue
+		}
+		if a.ops >= c.cols {
+			if err := c.oracle.Verify(c.reduceID(row), a.sum, a.ops); err != nil {
+				c.res.OracleErrors++
+			}
+			a.done = true
+			c.rowsDone++
+		}
+	}
+}
+
+// Tick advances the controller: operand release and round bookkeeping.
+func (c *AccumulationController) Tick(cycle int64) {
+	if c.phase == phaseDone {
+		return
+	}
+	c.releaseOperands(cycle)
+	if c.rowsDone >= c.rows {
+		c.finishRound(cycle)
+	}
+}
+
+func (c *AccumulationController) releaseOperands(cycle int64) {
+	mesh := c.nw.Mesh()
+	for id := 0; id < mesh.NumNodes(); id++ {
+		if c.submitted[id] || c.doneAt[id] > cycle {
+			continue
+		}
+		c.submitted[id] = true
+		node := topology.NodeID(id)
+		coord := mesh.Coord(node)
+		dst := c.nw.RowSinkID(coord.Row)
+		rid := c.reduceID(coord.Row)
+		c.seq++
+		p := flit.Payload{
+			Seq: c.seq, Src: node, Dst: dst,
+			Bits:       c.nw.Config().PayloadBits,
+			Value:      operandValue(id, c.round),
+			ReadyCycle: cycle,
+			ReduceID:   rid,
+			Ops:        1,
+		}
+		nicAt := c.nw.NIC(node)
+		switch {
+		case c.cfg.Scheme == CollectUnicast:
+			nicAt.SendUnicastPayload(dst, p)
+		case coord.Col == 0 && c.cfg.Scheme == CollectGather:
+			nicAt.SendGather(dst, &p)
+		case coord.Col == 0:
+			nicAt.SendAccumulate(dst, rid, p)
+		case c.cfg.Scheme == CollectGather:
+			nicAt.SubmitGatherPayload(p)
+		default:
+			nicAt.SubmitReduceOperand(p)
+		}
+	}
+}
+
+func (c *AccumulationController) finishRound(cycle int64) {
+	c.res.RoundCycles.Observe(float64(cycle - c.roundStart))
+	c.round++
+	if c.round >= c.cfg.Rounds {
+		c.phase = phaseDone
+		return
+	}
+	c.startRound(cycle)
+}
+
+// Done reports whether all simulated rounds completed.
+func (c *AccumulationController) Done() bool { return c.phase == phaseDone }
+
+// Run registers the controller with the network's engine and executes the
+// configured rounds, returning the finalized result. Call at most once.
+func (c *AccumulationController) Run(maxCycles int64) (*AccumulationResult, error) {
+	eng := c.nw.Engine()
+	eng.AddTicker(c)
+	cycles, err := eng.RunUntil(c.Done, maxCycles)
+	if err != nil {
+		return nil, fmt.Errorf("traffic: accumulation %s on %dx%d: %w",
+			c.cfg.Scheme, c.rows, c.cols, err)
+	}
+	return c.result(cycles), nil
+}
+
+func (c *AccumulationController) result(cycles int64) *AccumulationResult {
+	r := &c.res
+	r.Cycles = cycles
+	r.Activity = c.nw.Activity()
+	mesh := c.nw.Mesh()
+	unicastFlits := c.nw.Config().UnicastFlits
+	for id := 0; id < mesh.NumNodes(); id++ {
+		node := topology.NodeID(id)
+		n := c.nw.NIC(node)
+		r.SelfInitiated += n.SelfInitiatedGathers.Value() + n.SelfInitiatedReduces.Value()
+		merges := n.MergeAcks.Value()
+		r.Merges += merges
+		// Each merged operand spared its own packet: unicastFlits flits
+		// over the node's hop distance to the sink (sink link included)
+		// and one write transaction at the buffer port.
+		coord := mesh.Coord(node)
+		edge := mesh.ID(topology.Coord{Row: coord.Row, Col: c.cols - 1})
+		hops := mesh.Hops(node, edge) + 1
+		for k := uint64(0); k < merges; k++ {
+			r.Reduction.Merge(unicastFlits, hops)
+		}
+	}
+	for row := 0; row < c.rows; row++ {
+		ej := c.nw.Sink(row).Ejector()
+		r.SinkFlits += ej.FlitsEjected.Value()
+		r.SinkPackets += ej.PacketsEjected.Value()
+	}
+	if r.RoundCycles.N() > 0 {
+		r.TotalCycles = int64(r.RoundCycles.Mean()*float64(r.TotalRounds) + 0.5)
+	}
+	return r
+}
