@@ -1,0 +1,65 @@
+package gathernoc
+
+import (
+	"testing"
+
+	"gathernoc/internal/noc"
+	"gathernoc/internal/traffic"
+)
+
+// maxSteadyStateAllocsPerCycle is the allocation ratchet: the pinned
+// ceiling on heap allocations per simulated cycle once a network has
+// reached its steady state (pools, rings and sample chunks warmed to
+// their high-water marks). The zero-allocation hot-path work (PR 3)
+// brought the steady state to ~0 allocs/cycle — the only remaining
+// sources are the occasional stats chunk and deque block at high-water
+// growth. The ceiling leaves headroom for measurement jitter while
+// still failing loudly if a per-flit or per-packet allocation sneaks
+// back into the pipeline (pre-PR3 steady state was ~10 allocs/cycle at
+// this operating point, ~270 at saturation).
+//
+// If this test fails, profile with:
+//
+//	go test -run '^$' -bench BenchmarkEngineStepping/naive/high -memprofile mem.out .
+const maxSteadyStateAllocsPerCycle = 1.0
+
+// TestAllocationRatchet drives an 8x8 mesh under sustained uniform-random
+// traffic, warms it past every one-time growth, then measures allocations
+// per cycle with the allocator's own accounting. The workload stays below
+// saturation so queues oscillate around a fixed depth — the steady state
+// the zero-alloc discipline is about.
+func TestAllocationRatchet(t *testing.T) {
+	cfg := noc.DefaultConfig(8, 8)
+	cfg.EastSinks = false
+	nw, err := noc.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := traffic.NewGenerator(nw, traffic.GeneratorConfig{
+		Pattern:       traffic.UniformRandom{Nodes: 64},
+		InjectionRate: 0.05,
+		PacketFlits:   2,
+		Warmup:        0,
+		Measure:       1 << 40, // never stop injecting
+		Seed:          1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := nw.Engine()
+	eng.AddTicker(gen)
+
+	// Warm-up: reach the pool/ring/chunk high-water marks.
+	eng.Run(3000)
+
+	const cyclesPerRun = 500
+	avg := testing.AllocsPerRun(4, func() {
+		eng.Run(cyclesPerRun)
+	})
+	perCycle := avg / cyclesPerRun
+	t.Logf("steady state: %.4f allocs/cycle (%.0f allocs per %d-cycle run)", perCycle, avg, cyclesPerRun)
+	if perCycle > maxSteadyStateAllocsPerCycle {
+		t.Fatalf("steady-state allocations regressed: %.4f allocs/cycle, ratchet ceiling %v",
+			perCycle, maxSteadyStateAllocsPerCycle)
+	}
+}

@@ -10,6 +10,7 @@ package gathernoc
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"gathernoc/internal/cnn"
@@ -22,6 +23,17 @@ import (
 )
 
 var benchOpts = core.Options{Rounds: 1}
+
+// skipLargeMeshInShort elides the 16x16 grid rows under -short: the CI
+// smoke job runs every benchmark once (-benchtime 1x -short) to keep the
+// harness compiling and executing, and the 8x8 rows already cover every
+// code path at a quarter of the cost.
+func skipLargeMeshInShort(b *testing.B, mesh int) {
+	b.Helper()
+	if testing.Short() && mesh > 8 {
+		b.Skipf("%dx%d mesh skipped in -short", mesh, mesh)
+	}
+}
 
 // benchCompare runs one layer comparison and reports the latency and power
 // improvements.
@@ -68,6 +80,7 @@ func BenchmarkFig7(b *testing.B) {
 		for _, layer := range cnn.AlexNetConvLayers() {
 			mesh, layer := mesh, layer
 			b.Run(fmt.Sprintf("%dx%d/%s", mesh, mesh, layer.Name), func(b *testing.B) {
+				skipLargeMeshInShort(b, mesh)
 				benchCompare(b, mesh, layer)
 			})
 		}
@@ -81,6 +94,7 @@ func BenchmarkFig8(b *testing.B) {
 		for _, layer := range cnn.VGG16SelectedConvLayers() {
 			mesh, layer := mesh, layer
 			b.Run(fmt.Sprintf("%dx%d/%s", mesh, mesh, layer.Name), func(b *testing.B) {
+				skipLargeMeshInShort(b, mesh)
 				benchCompare(b, mesh, layer)
 			})
 		}
@@ -94,6 +108,7 @@ func BenchmarkFig9(b *testing.B) {
 		for _, layer := range cnn.AlexNetConvLayers() {
 			mesh, layer := mesh, layer
 			b.Run(fmt.Sprintf("%dx%d/%s", mesh, mesh, layer.Name), func(b *testing.B) {
+				skipLargeMeshInShort(b, mesh)
 				var pow float64
 				for i := 0; i < b.N; i++ {
 					cmp, err := core.CompareLayer(mesh, mesh, layer, benchOpts)
@@ -115,6 +130,7 @@ func BenchmarkFig10(b *testing.B) {
 		for _, layer := range cnn.VGG16SelectedConvLayers() {
 			mesh, layer := mesh, layer
 			b.Run(fmt.Sprintf("%dx%d/%s", mesh, mesh, layer.Name), func(b *testing.B) {
+				skipLargeMeshInShort(b, mesh)
 				var pow float64
 				for i := 0; i < b.N; i++ {
 					cmp, err := core.CompareLayer(mesh, mesh, layer, benchOpts)
@@ -229,6 +245,9 @@ func BenchmarkEngineStepping(b *testing.B) {
 	for _, tc := range cases {
 		tc := tc
 		b.Run(tc.name, func(b *testing.B) {
+			if testing.Short() && tc.rate > 0.1 {
+				b.Skip("saturated injection skipped in -short")
+			}
 			var cycles int64
 			var evaluated, skipped uint64
 			for i := 0; i < b.N; i++ {
@@ -278,6 +297,13 @@ func BenchmarkSweepFig7(b *testing.B) {
 			name = "parallel"
 		}
 		b.Run(name, func(b *testing.B) {
+			if workers == 0 {
+				// The parallel harness is meaningless on one CPU: the
+				// PR2 snapshot measured serial==parallel because the
+				// process ran at GOMAXPROCS=1.
+				defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(runtime.NumCPU()))
+				b.ResetTimer()
+			}
 			for i := 0; i < b.N; i++ {
 				if _, err := experiments.Fig7(experiments.Options{Rounds: 1, Workers: workers}); err != nil {
 					b.Fatal(err)

@@ -1,13 +1,24 @@
 // Command benchreport measures the repository's headline performance
 // benchmarks — engine stepping (naive always-tick vs activity-tracked
 // sleep/wake) and the parallel Fig. 7 sweep (serial vs all cores) — and
-// writes the results as machine-readable JSON, starting the repository's
-// performance trajectory (BENCH_PR2.json and successors).
+// writes the results as machine-readable JSON, continuing the repository's
+// performance trajectory (BENCH_PR2.json, BENCH_PR3.json, ...).
 //
 // Usage:
 //
 //	go run ./cmd/benchreport                     # print JSON to stdout
-//	go run ./cmd/benchreport -out BENCH_PR2.json # regenerate the pinned file
+//	go run ./cmd/benchreport -out BENCH_PR3.json # regenerate the pinned file
+//	go run ./cmd/benchreport -baseline BENCH_PR2.json -out BENCH_PR3.json
+//
+// Each benchmark entry records the GOMAXPROCS it actually ran at: the
+// parallel sweep is forced to all cores even when the process was started
+// with GOMAXPROCS=1, so the serial-vs-parallel comparison measures the
+// worker pool rather than the environment (the PR2 snapshot was taken at
+// GOMAXPROCS=1, where "parallel" silently degenerated to serial).
+//
+// With -baseline pointing at a previous snapshot, every matching
+// benchmark gains a vs_baseline block with the ns/op, allocs/op and
+// bytes/op deltas in percent (negative = improvement).
 //
 // The same workloads back BenchmarkEngineStepping and BenchmarkSweepFig7
 // in bench_test.go; this command exists so a single `go run` regenerates
@@ -28,23 +39,37 @@ import (
 	"gathernoc/internal/traffic"
 )
 
+// Delta compares one measurement against the same benchmark in the
+// baseline snapshot, in percent of the baseline (negative = improvement).
+type Delta struct {
+	NsPct     float64 `json:"ns_pct"`
+	AllocsPct float64 `json:"allocs_pct"`
+	BytesPct  float64 `json:"bytes_pct"`
+}
+
 // Result is one benchmark measurement.
 type Result struct {
-	Name        string  `json:"name"`
-	Iterations  int     `json:"iterations"`
-	NsPerOp     int64   `json:"ns_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
+	Name        string `json:"name"`
+	Iterations  int    `json:"iterations"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
+	// GOMAXPROCS records the parallelism this benchmark ran at (the
+	// report-level field records the process default).
+	GOMAXPROCS int `json:"gomaxprocs"`
 	// Metrics carries benchmark-specific extras (cycles simulated,
 	// skipped-evaluation percentage, ...).
 	Metrics map[string]float64 `json:"metrics,omitempty"`
+	// VsBaseline holds the deltas against the -baseline snapshot.
+	VsBaseline *Delta `json:"vs_baseline,omitempty"`
 }
 
-// Report is the file layout of BENCH_PR2.json.
+// Report is the file layout of BENCH_PR2.json and successors.
 type Report struct {
 	GeneratedBy string   `json:"generated_by"`
 	GoVersion   string   `json:"go_version"`
 	GOMAXPROCS  int      `json:"gomaxprocs"`
+	Baseline    string   `json:"baseline,omitempty"`
 	Benchmarks  []Result `json:"benchmarks"`
 }
 
@@ -58,6 +83,7 @@ func main() {
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("benchreport", flag.ContinueOnError)
 	out := fs.String("out", "", "write the JSON report to this file (default: stdout)")
+	baseline := fs.String("baseline", "", "previous snapshot to diff against (e.g. BENCH_PR2.json); missing file is not an error")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -68,7 +94,8 @@ func run(args []string, w io.Writer) error {
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
 	}
 
-	// Engine stepping: the BenchmarkEngineStepping grid.
+	// Engine stepping: the BenchmarkEngineStepping grid. Single-network
+	// runs, measured at the process's own parallelism.
 	for _, tc := range []struct {
 		name   string
 		always bool
@@ -118,14 +145,18 @@ func run(args []string, w io.Writer) error {
 		report.Benchmarks = append(report.Benchmarks, toResult(tc.name, r, metrics))
 	}
 
-	// Fig. 7 sweep: serial vs all-cores, as in BenchmarkSweepFig7.
+	// Fig. 7 sweep: serial vs all-cores, as in BenchmarkSweepFig7. The
+	// parallel case forces GOMAXPROCS to the machine's core count so the
+	// worker pool can actually run concurrently.
 	for _, tc := range []struct {
 		name    string
 		workers int
+		procs   int
 	}{
-		{"SweepFig7/serial", 1},
-		{"SweepFig7/parallel", 0},
+		{"SweepFig7/serial", 1, runtime.GOMAXPROCS(0)},
+		{"SweepFig7/parallel", 0, runtime.NumCPU()},
 	} {
+		prev := runtime.GOMAXPROCS(tc.procs)
 		r := testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
@@ -134,7 +165,10 @@ func run(args []string, w io.Writer) error {
 				}
 			}
 		})
-		report.Benchmarks = append(report.Benchmarks, toResult(tc.name, r, nil))
+		runtime.GOMAXPROCS(prev)
+		res := toResult(tc.name, r, nil)
+		res.GOMAXPROCS = tc.procs
+		report.Benchmarks = append(report.Benchmarks, res)
 	}
 
 	// INA comparison: the accumulation-phase sweep added with the INA
@@ -149,6 +183,12 @@ func run(args []string, w io.Writer) error {
 			}
 		})
 		report.Benchmarks = append(report.Benchmarks, toResult("INAComparison/8x8", r, nil))
+	}
+
+	if *baseline != "" {
+		if err := applyBaseline(&report, *baseline); err != nil {
+			return err
+		}
 	}
 
 	var sink io.Writer = w
@@ -171,6 +211,56 @@ func run(args []string, w io.Writer) error {
 	return nil
 }
 
+// applyBaseline annotates every benchmark that also appears in the
+// baseline snapshot with its percentage deltas. A missing baseline file is
+// tolerated (first snapshot in a fresh clone); a malformed one is not.
+func applyBaseline(report *Report, path string) error {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	var base Report
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", path, err)
+	}
+	byName := make(map[string]Result, len(base.Benchmarks))
+	for _, r := range base.Benchmarks {
+		byName[r.Name] = r
+	}
+	report.Baseline = path
+	for i := range report.Benchmarks {
+		cur := &report.Benchmarks[i]
+		old, ok := byName[cur.Name]
+		if !ok {
+			continue
+		}
+		cur.VsBaseline = &Delta{
+			NsPct:     pctDelta(cur.NsPerOp, old.NsPerOp),
+			AllocsPct: pctDelta(cur.AllocsPerOp, old.AllocsPerOp),
+			BytesPct:  pctDelta(cur.BytesPerOp, old.BytesPerOp),
+		}
+	}
+	return nil
+}
+
+// pctDelta returns the percent change from old to cur. A zero baseline
+// with a nonzero current value is compared against 1 instead of reading
+// as "unchanged" — once a metric is driven to zero (the zero-alloc
+// goal), a regression away from it must still fire a large positive
+// delta, and JSON cannot carry +Inf.
+func pctDelta(cur, old int64) float64 {
+	if old == 0 {
+		if cur == 0 {
+			return 0
+		}
+		old = 1
+	}
+	return (float64(cur) - float64(old)) / float64(old) * 100
+}
+
 func toResult(name string, r testing.BenchmarkResult, metrics map[string]float64) Result {
 	return Result{
 		Name:        name,
@@ -178,6 +268,7 @@ func toResult(name string, r testing.BenchmarkResult, metrics map[string]float64
 		NsPerOp:     r.NsPerOp(),
 		AllocsPerOp: r.AllocsPerOp(),
 		BytesPerOp:  r.AllocedBytesPerOp(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
 		Metrics:     metrics,
 	}
 }

@@ -67,4 +67,59 @@ func TestReportShape(t *testing.T) {
 			}
 		}
 	}
+	// Every entry records its own parallelism, and the parallel sweep
+	// must not have silently run serial (the PR2 snapshot's mistake).
+	for _, r := range rep.Benchmarks {
+		if r.GOMAXPROCS < 1 {
+			t.Errorf("%s: gomaxprocs missing", r.Name)
+		}
+	}
+}
+
+// TestApplyBaseline exercises the delta annotation against a synthetic
+// baseline snapshot, including a benchmark absent from the baseline and a
+// missing file.
+func TestApplyBaseline(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "base.json")
+	base := Report{Benchmarks: []Result{
+		{Name: "X", NsPerOp: 200, AllocsPerOp: 1000, BytesPerOp: 4000},
+	}}
+	data, err := json.Marshal(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	rep := Report{Benchmarks: []Result{
+		{Name: "X", NsPerOp: 100, AllocsPerOp: 100, BytesPerOp: 8000},
+		{Name: "Y", NsPerOp: 50},
+	}}
+	if err := applyBaseline(&rep, path); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Baseline != path {
+		t.Errorf("Baseline = %q, want %q", rep.Baseline, path)
+	}
+	d := rep.Benchmarks[0].VsBaseline
+	if d == nil {
+		t.Fatal("X: missing vs_baseline")
+	}
+	if d.NsPct != -50 || d.AllocsPct != -90 || d.BytesPct != 100 {
+		t.Errorf("deltas = %+v, want ns -50%%, allocs -90%%, bytes +100%%", d)
+	}
+	if rep.Benchmarks[1].VsBaseline != nil {
+		t.Error("Y: unexpected delta for benchmark absent from baseline")
+	}
+
+	// A missing baseline is tolerated silently (fresh clone).
+	rep2 := Report{}
+	if err := applyBaseline(&rep2, filepath.Join(dir, "nope.json")); err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Baseline != "" {
+		t.Error("missing baseline still recorded")
+	}
 }

@@ -51,7 +51,20 @@ type Packet struct {
 // flit whose single payload slot holds the running sum. Routers fold local
 // operands into that payload in place, so the length never grows with the
 // number of merged operands.
+//
+// Packetize heap-allocates the slice and every flit; the simulator's hot
+// path uses PacketizeInto, which reuses both through a caller-provided
+// destination slice and a Pool.
 func Packetize(p Packet, format *Format) ([]*Flit, error) {
+	return PacketizeInto(nil, p, format, nil)
+}
+
+// PacketizeInto is the allocation-free form of Packetize: flits are
+// acquired from pool (heap-allocated when pool is nil) and appended to
+// dst, whose backing array is reused across packets (pass dst[:0]). On
+// error, acquired flits are returned to the pool and dst's length is
+// unchanged.
+func PacketizeInto(dst []*Flit, p Packet, format *Format, pool *Pool) ([]*Flit, error) {
 	if p.Flits < 1 {
 		return nil, fmt.Errorf("%w: packet %d has %d flits", ErrBadFormat, p.ID, p.Flits)
 	}
@@ -67,18 +80,18 @@ func Packetize(p Packet, format *Format) ([]*Flit, error) {
 			return nil, fmt.Errorf("%w: accumulate packet %d needs its accumulator payload", ErrBadFormat, p.ID)
 		}
 	}
-	flits := make([]*Flit, 0, p.Flits)
+	base := len(dst)
+	flits := dst
 	for i := 0; i < p.Flits; i++ {
-		f := &Flit{
-			PT:          p.PT,
-			PacketID:    p.ID,
-			Seq:         i,
-			PacketFlits: p.Flits,
-			Src:         p.Src,
-			Dst:         p.Dst,
-			MDst:        p.MDst,
-			InjectCycle: p.InjectCycle,
-		}
+		f := pool.Acquire()
+		f.PT = p.PT
+		f.PacketID = p.ID
+		f.Seq = i
+		f.PacketFlits = p.Flits
+		f.Src = p.Src
+		f.Dst = p.Dst
+		f.MDst = p.MDst
+		f.InjectCycle = p.InjectCycle
 		switch {
 		case p.Flits == 1:
 			f.Type = HeadTail
@@ -94,27 +107,31 @@ func Packetize(p Packet, format *Format) ([]*Flit, error) {
 		}
 		flits = append(flits, f)
 	}
+	pkt := flits[base:]
 	switch {
 	case p.PT == Gather:
-		flits[0].ASpace = p.GatherCapacity
+		pkt[0].ASpace = p.GatherCapacity
 		if p.Carried != nil {
-			if !flits[1].AddPayload(*p.Carried) {
+			if !pkt[1].AddPayload(*p.Carried) {
+				for _, f := range pkt {
+					pool.Release(f)
+				}
 				return nil, fmt.Errorf("%w: gather packet %d cannot carry its own payload", ErrBadFormat, p.ID)
 			}
-			flits[0].ASpace--
+			pkt[0].ASpace--
 		}
 	case p.PT == Accumulate:
 		// The source's own operand seeds the accumulator and consumes one
 		// unit of merge budget, mirroring the gather initiator path.
-		flits[0].ASpace = p.GatherCapacity - 1
-		flits[0].ReduceID = p.ReduceID
+		pkt[0].ASpace = p.GatherCapacity - 1
+		pkt[0].ReduceID = p.ReduceID
 		acc := *p.Carried
 		acc.ReduceID = p.ReduceID
 		acc.Ops = acc.OpsCount()
-		flits[1].SlotCap = 1
-		flits[1].AddPayload(acc)
+		pkt[1].SlotCap = 1
+		pkt[1].AddPayload(acc)
 	case p.Carried != nil:
-		last := flits[len(flits)-1]
+		last := pkt[len(pkt)-1]
 		last.SlotCap = 1
 		last.AddPayload(*p.Carried)
 	}

@@ -1,0 +1,107 @@
+package flit
+
+import (
+	"fmt"
+
+	"gathernoc/internal/ring"
+)
+
+// Pool is a freelist of Flit objects that removes per-flit heap
+// allocation from the simulator's steady state. One pool serves one
+// network (the engine is single-threaded, so no locking is needed);
+// parallel sweeps give every network its own pool.
+//
+// Ownership discipline (DESIGN.md §6): whoever creates a flit acquires it
+// (the NIC through PacketizeInto, a router forking a multicast copy), and
+// the component that removes the flit from the fabric releases it (the
+// ejector after reassembly, a forking router retiring the original). A
+// released flit is reset — all fields zeroed — but keeps its Payloads
+// backing array, so gather payload slots are reused across packets too.
+//
+// A nil *Pool is valid and degrades to the garbage collector: Acquire
+// returns a fresh Flit and Release is a no-op. Standalone component unit
+// tests rely on this.
+type Pool struct {
+	free ring.FreeList[*Flit]
+
+	// debug, when enabled, tracks every outstanding flit so tests can
+	// catch double releases, releases of foreign flits, and leaks.
+	debug bool
+	live  map[*Flit]bool
+
+	acquired uint64
+	released uint64
+	misses   uint64 // Acquires that had to heap-allocate
+}
+
+// NewPool returns an empty pool.
+func NewPool() *Pool { return &Pool{} }
+
+// SetDebug toggles the ownership checker. With it on, Release panics on a
+// flit that is not currently outstanding (double free, or a flit the pool
+// never issued), and Live reports the outstanding count so drained
+// networks can assert leak freedom. Enable before the first Acquire.
+func (p *Pool) SetDebug(on bool) {
+	p.debug = on
+	if on && p.live == nil {
+		p.live = make(map[*Flit]bool)
+	}
+}
+
+// Acquire returns a zeroed flit, reusing a released one when available. A
+// nil pool heap-allocates.
+func (p *Pool) Acquire() *Flit {
+	if p == nil {
+		return &Flit{}
+	}
+	p.acquired++
+	f, ok := p.free.Get()
+	if !ok {
+		p.misses++
+		f = &Flit{}
+	}
+	if p.debug {
+		p.live[f] = true
+	}
+	return f
+}
+
+// Release resets f and returns it to the freelist. The flit must not be
+// used after release. A nil pool ignores the call (the GC reclaims f).
+func (p *Pool) Release(f *Flit) {
+	if p == nil {
+		return
+	}
+	if p.debug {
+		if !p.live[f] {
+			panic(fmt.Sprintf("flit: double release or foreign flit %p (%s)", f, f))
+		}
+		delete(p.live, f)
+	}
+	p.released++
+	payloads := f.Payloads[:0]
+	*f = Flit{Payloads: payloads}
+	p.free.Put(f)
+}
+
+// Live returns the number of outstanding flits (acquired, not yet
+// released). Without debug mode it is derived from the acquire/release
+// counters, which is equivalent as long as no foreign flits are released.
+func (p *Pool) Live() int {
+	if p == nil {
+		return 0
+	}
+	if p.debug {
+		return len(p.live)
+	}
+	return int(p.acquired - p.released)
+}
+
+// Misses returns how many Acquires fell through to the heap — the pool's
+// high-water mark, and zero growth once the steady state is reached.
+func (p *Pool) Misses() uint64 {
+	if p == nil {
+		return 0
+	}
+	return p.misses
+}

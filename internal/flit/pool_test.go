@@ -1,0 +1,129 @@
+package flit
+
+import "testing"
+
+func TestPoolReusesFlits(t *testing.T) {
+	p := NewPool()
+	f := p.Acquire()
+	f.PacketID = 42
+	f.Payloads = append(f.Payloads, Payload{Seq: 1})
+	p.Release(f)
+	g := p.Acquire()
+	if g != f {
+		t.Fatal("pool did not reuse the released flit")
+	}
+	if g.PacketID != 0 || len(g.Payloads) != 0 {
+		t.Fatalf("reused flit not reset: %+v", g)
+	}
+	if cap(g.Payloads) == 0 {
+		t.Error("release dropped the payload backing array")
+	}
+	if p.Misses() != 1 {
+		t.Errorf("Misses = %d, want 1 (one cold acquire)", p.Misses())
+	}
+}
+
+func TestNilPoolDegradesToHeap(t *testing.T) {
+	var p *Pool
+	f := p.Acquire()
+	if f == nil {
+		t.Fatal("nil pool returned nil flit")
+	}
+	p.Release(f) // must not panic
+	if p.Live() != 0 || p.Misses() != 0 {
+		t.Error("nil pool reported nonzero stats")
+	}
+}
+
+func TestPoolDebugCatchesDoubleRelease(t *testing.T) {
+	p := NewPool()
+	p.SetDebug(true)
+	f := p.Acquire()
+	p.Release(f)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double release did not panic")
+		}
+	}()
+	p.Release(f)
+}
+
+func TestPoolDebugCatchesForeignRelease(t *testing.T) {
+	p := NewPool()
+	p.SetDebug(true)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("releasing a foreign flit did not panic")
+		}
+	}()
+	p.Release(&Flit{})
+}
+
+func TestPoolLiveTracksOutstanding(t *testing.T) {
+	for _, debug := range []bool{false, true} {
+		p := NewPool()
+		p.SetDebug(debug)
+		a, b := p.Acquire(), p.Acquire()
+		if p.Live() != 2 {
+			t.Fatalf("debug=%v: Live = %d, want 2", debug, p.Live())
+		}
+		p.Release(a)
+		if p.Live() != 1 {
+			t.Fatalf("debug=%v: Live = %d, want 1", debug, p.Live())
+		}
+		p.Release(b)
+		if p.Live() != 0 {
+			t.Fatalf("debug=%v: Live = %d, want 0 (leak)", debug, p.Live())
+		}
+	}
+}
+
+// TestPacketizeIntoPoolRoundTrip checks that packetizing from a pool and
+// releasing every flit leaves nothing outstanding, and that the packet
+// backing slice is reused.
+func TestPacketizeIntoPoolRoundTrip(t *testing.T) {
+	p := NewPool()
+	p.SetDebug(true)
+	format := MustFormat(DefaultFlitBits, DefaultPayloadBits, 64)
+	var scratch []*Flit
+	for i := 0; i < 3; i++ {
+		flits, err := PacketizeInto(scratch[:0], Packet{
+			ID: uint64(i + 1), PT: Unicast, Src: 1, Dst: 2, Flits: 3,
+		}, format, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(flits) != 3 {
+			t.Fatalf("len = %d, want 3", len(flits))
+		}
+		for _, f := range flits {
+			p.Release(f)
+		}
+		scratch = flits
+	}
+	if p.Live() != 0 {
+		t.Fatalf("Live = %d after releasing everything", p.Live())
+	}
+	if p.Misses() != 3 {
+		t.Errorf("Misses = %d, want 3 (first packet only)", p.Misses())
+	}
+}
+
+// TestPacketizeIntoReleasesOnError checks the error path returns acquired
+// flits to the pool instead of leaking them.
+func TestPacketizeIntoReleasesOnError(t *testing.T) {
+	p := NewPool()
+	p.SetDebug(true)
+	// A zero Format offers no payload slots, so a gather packet carrying
+	// its own payload fails after its flits were acquired.
+	_, err := PacketizeInto(nil, Packet{
+		ID: 9, PT: Gather, Flits: 2, GatherCapacity: 1,
+		Carried: &Payload{Seq: 1},
+	}, &Format{}, p)
+	if err == nil {
+		t.Skip("format accepted the payload; error path not reachable here")
+	}
+	if p.Live() != 0 {
+		t.Fatalf("error path leaked %d flits", p.Live())
+	}
+}

@@ -11,6 +11,7 @@ package link
 
 import (
 	"gathernoc/internal/flit"
+	"gathernoc/internal/ring"
 	"gathernoc/internal/sim"
 	"gathernoc/internal/stats"
 )
@@ -38,14 +39,19 @@ type inflightCredit struct {
 
 // Link is one direction of a channel. Construct with New and register with
 // the engine as a Committer.
+//
+// In-flight traffic is staged in ring buffers: items are pushed in send
+// order with monotonically non-decreasing due cycles (the latency is
+// uniform per link), so Commit pops ripe items off the front and the
+// backing arrays are reused forever — zero steady-state allocation.
 type Link struct {
 	name    string
 	latency int64
 	down    FlitSink
 	up      CreditSink
 
-	flits   []inflightFlit
-	credits []inflightCredit
+	flits   ring.Ring[inflightFlit]
+	credits ring.Ring[inflightCredit]
 
 	wake *sim.Handle // engine wake-up, armed when traffic is staged
 
@@ -63,6 +69,10 @@ func New(name string, latency int, down FlitSink, up CreditSink) *Link {
 	if latency < 1 {
 		latency = 1
 	}
+	// The staging rings stay zero-valued: they grow on first use, so the
+	// many links an experiment never exercises cost nothing, and a busy
+	// link settles at its in-flight high-water mark after a handful of
+	// doublings.
 	return &Link{name: name, latency: int64(latency), down: down, up: up}
 }
 
@@ -76,12 +86,12 @@ func (l *Link) SetWake(h *sim.Handle) { l.wake = h }
 
 // Idle implements sim.Idler: with nothing in flight the commit is a pure
 // no-op, so the engine may skip the link until traffic is staged again.
-func (l *Link) Idle() bool { return len(l.flits) == 0 && len(l.credits) == 0 }
+func (l *Link) Idle() bool { return l.flits.Empty() && l.credits.Empty() }
 
 // Send stages a flit for traversal; called by the upstream component
 // during its tick at cycle now.
 func (l *Link) Send(f *flit.Flit, vc int, now int64) {
-	l.flits = append(l.flits, inflightFlit{f: f, vc: vc, due: now + l.latency})
+	l.flits.PushBack(inflightFlit{f: f, vc: vc, due: now + l.latency})
 	l.wake.Wake()
 }
 
@@ -89,37 +99,27 @@ func (l *Link) Send(f *flit.Flit, vc int, now int64) {
 // downstream component during its tick at cycle now when it frees a buffer
 // slot on vc.
 func (l *Link) ReturnCredit(vc int, now int64) {
-	l.credits = append(l.credits, inflightCredit{vc: vc, due: now + 1})
+	l.credits.PushBack(inflightCredit{vc: vc, due: now + 1})
 	l.wake.Wake()
 }
 
 // InFlight returns the number of flits currently traversing the link.
-func (l *Link) InFlight() int { return len(l.flits) }
+func (l *Link) InFlight() int { return l.flits.Len() }
 
 // Commit delivers flits and credits whose latency has elapsed. Items are
-// staged in send order and latencies are uniform, so delivery preserves
-// per-VC flit order.
+// staged in send order with non-decreasing due cycles and latencies are
+// uniform, so popping ripe items off the ring front preserves per-VC flit
+// order.
 func (l *Link) Commit(now int64) {
-	keep := l.flits[:0]
-	for _, in := range l.flits {
-		if in.due <= now {
-			l.down.AcceptFlit(in.f, in.vc)
-			l.FlitsCarried.Inc()
-		} else {
-			keep = append(keep, in)
+	for !l.flits.Empty() && l.flits.Front().due <= now {
+		in := l.flits.PopFront()
+		l.down.AcceptFlit(in.f, in.vc)
+		l.FlitsCarried.Inc()
+	}
+	for !l.credits.Empty() && l.credits.Front().due <= now {
+		c := l.credits.PopFront()
+		if l.up != nil {
+			l.up.AcceptCredit(c.vc)
 		}
 	}
-	l.flits = keep
-
-	keepC := l.credits[:0]
-	for _, c := range l.credits {
-		if c.due <= now {
-			if l.up != nil {
-				l.up.AcceptCredit(c.vc)
-			}
-		} else {
-			keepC = append(keepC, c)
-		}
-	}
-	l.credits = keepC
 }

@@ -105,3 +105,55 @@ func TestLinkName(t *testing.T) {
 		t.Errorf("Name = %q", got)
 	}
 }
+
+// TestLinkCreditBurstGrowsRing stages far more credits in one cycle than
+// the ring's initial latency-derived capacity (an ejector drain burst) and
+// checks every credit is still delivered, in order, one cycle later.
+func TestLinkCreditBurstGrowsRing(t *testing.T) {
+	up := &captureCredit{}
+	l := New("t", 1, &captureSink{}, up)
+	const burst = 64
+	for i := 0; i < burst; i++ {
+		l.ReturnCredit(i%4, 10)
+	}
+	l.Commit(10)
+	if len(up.vcs) != 0 {
+		t.Fatalf("credits delivered same-cycle: %d", len(up.vcs))
+	}
+	l.Commit(11)
+	if len(up.vcs) != burst {
+		t.Fatalf("credits delivered = %d, want %d", len(up.vcs), burst)
+	}
+	for i, vc := range up.vcs {
+		if vc != i%4 {
+			t.Fatalf("credit %d on vc%d, want vc%d (order lost)", i, vc, i%4)
+		}
+	}
+	if !l.Idle() {
+		t.Error("link not idle after delivering the burst")
+	}
+}
+
+// TestLinkFlitBurstGrowsRing checks the flit ring's growth path the same
+// way: more staged flits than the initial capacity, delivered in order.
+func TestLinkFlitBurstGrowsRing(t *testing.T) {
+	down := &captureSink{}
+	l := New("t", 2, down, nil)
+	const burst = 32
+	for i := 0; i < burst; i++ {
+		l.Send(&flit.Flit{PacketID: uint64(i + 1)}, 0, 5)
+	}
+	l.Commit(6)
+	if len(down.flits) != 0 {
+		t.Fatalf("flits delivered early: %d", len(down.flits))
+	}
+	l.Commit(7)
+	if len(down.flits) != burst {
+		t.Fatalf("flits delivered = %d, want %d", len(down.flits), burst)
+	}
+	for i, f := range down.flits {
+		if f.PacketID != uint64(i+1) {
+			t.Fatalf("flit %d is packet %d (order lost)", i, f.PacketID)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"gathernoc/internal/flit"
 	"gathernoc/internal/link"
+	"gathernoc/internal/ring"
 	"gathernoc/internal/sim"
 	"gathernoc/internal/stats"
 	"gathernoc/internal/topology"
@@ -12,6 +13,12 @@ import (
 
 // ReceivedPacket is a fully reassembled packet delivered at an ejection
 // point (a PE's NIC or a global-buffer edge sink).
+//
+// Ownership: the packet passed to an OnReceive callback is owned by the
+// ejector and valid only for the duration of the callback — the record
+// and its Payloads slice are scratch storage reused for the next packet.
+// Callbacks that keep the packet (or its payloads) past their return must
+// Clone it.
 type ReceivedPacket struct {
 	// ID is the network-unique packet id.
 	ID uint64
@@ -49,9 +56,31 @@ func (p *ReceivedPacket) QueueLatency() int64 { return p.NetworkCycle - p.Inject
 // injection to tail ejection.
 func (p *ReceivedPacket) NetworkLatency() int64 { return p.TailArrival - p.NetworkCycle }
 
+// Clone returns a deep copy of the packet (payloads included) that stays
+// valid after the OnReceive callback returns.
+func (p *ReceivedPacket) Clone() *ReceivedPacket {
+	c := *p
+	if len(p.Payloads) > 0 {
+		c.Payloads = append([]flit.Payload(nil), p.Payloads...)
+	}
+	return &c
+}
+
+// partialPacket accumulates one packet under reassembly. The head flit's
+// routing and timing fields are copied in on arrival and each flit's
+// payloads appended, so the flits themselves are released back to the
+// pool immediately instead of being held until the tail shows up.
 type partialPacket struct {
-	flits       []*flit.Flit
-	headArrival int64
+	id           uint64
+	pt           flit.PacketType
+	src          topology.NodeID
+	dst          topology.NodeID
+	flits        int
+	injectCycle  int64
+	networkCycle int64
+	hops         int
+	headArrival  int64
+	payloads     []flit.Payload // backing array reused across packets
 }
 
 // Ejector is the receive side of an ejection point: per-VC buffers fed by
@@ -63,9 +92,16 @@ type Ejector struct {
 	depth     int
 	drainRate int
 
-	bufs    [][]*flit.Flit
+	bufs    []ring.Ring[*flit.Flit]
 	reverse *link.Link // credits back to the router's output port
-	partial map[uint64]*partialPacket
+	// partial holds the packets under reassembly. Wormhole switching
+	// pins a packet to one VC from head to tail, so at most vcs packets
+	// are ever open at once and a linear scan beats a map. Finished
+	// records park on the spares freelist, payload capacity intact.
+	partial []*partialPacket
+	spares  ring.FreeList[*partialPacket]
+	scratch ReceivedPacket // handed to recv, reused per packet
+	pool    *flit.Pool     // drained flits return here
 	recv    func(*ReceivedPacket)
 	drainRR int
 	wake    *sim.Handle // wakes the owning ticker (NIC or edge sink)
@@ -90,15 +126,16 @@ func NewEjector(name string, vcs, depth, drainRate int) *Ejector {
 	if drainRate < 1 {
 		drainRate = 1
 	}
-	e := &Ejector{
+	// The per-VC rings stay zero-valued and grow to the buffer depth on
+	// first delivery (AcceptFlit bounds occupancy first), so unused VCs
+	// cost no backing array.
+	return &Ejector{
 		name:      name,
 		vcs:       vcs,
 		depth:     depth,
 		drainRate: drainRate,
-		bufs:      make([][]*flit.Flit, vcs),
-		partial:   make(map[uint64]*partialPacket),
+		bufs:      make([]ring.Ring[*flit.Flit], vcs),
 	}
-	return e
 }
 
 // ConnectReverse sets the link used to return credits to the router.
@@ -108,6 +145,11 @@ func (e *Ejector) ConnectReverse(l *link.Link) { e.reverse = l }
 // (the owning NIC or edge sink); flit deliveries arm it.
 func (e *Ejector) SetWake(h *sim.Handle) { e.wake = h }
 
+// SetFlitPool attaches the network's flit pool; drained flits are released
+// into it once their payloads and header fields have been absorbed. A nil
+// pool (standalone tests) leaves flits to the garbage collector.
+func (e *Ejector) SetFlitPool(p *flit.Pool) { e.pool = p }
+
 // SetPacketOverhead configures the per-packet transaction stall in cycles
 // (negative values are ignored).
 func (e *Ejector) SetPacketOverhead(cycles int64) {
@@ -116,23 +158,24 @@ func (e *Ejector) SetPacketOverhead(cycles int64) {
 	}
 }
 
-// OnReceive registers the completed-packet callback.
+// OnReceive registers the completed-packet callback. The *ReceivedPacket
+// argument is only valid during the callback; see ReceivedPacket.
 func (e *Ejector) OnReceive(fn func(*ReceivedPacket)) { e.recv = fn }
 
 // AcceptFlit implements link.FlitSink.
 func (e *Ejector) AcceptFlit(f *flit.Flit, vc int) {
-	if len(e.bufs[vc]) >= e.depth {
+	if e.bufs[vc].Len() >= e.depth {
 		panic(fmt.Sprintf("ejector %s: vc%d overflow (%s)", e.name, vc, f))
 	}
-	e.bufs[vc] = append(e.bufs[vc], f)
+	e.bufs[vc].PushBack(f)
 	e.wake.Wake()
 }
 
 // Buffered reports the flits currently waiting to drain.
 func (e *Ejector) Buffered() int {
 	n := 0
-	for _, b := range e.bufs {
-		n += len(b)
+	for v := range e.bufs {
+		n += e.bufs[v].Len()
 	}
 	return n
 }
@@ -152,11 +195,10 @@ func (e *Ejector) Tick(cycle int64) {
 		drained := false
 		for off := 0; off < e.vcs; off++ {
 			vc := (e.drainRR + off) % e.vcs
-			if len(e.bufs[vc]) == 0 {
+			if e.bufs[vc].Empty() {
 				continue
 			}
-			f := e.bufs[vc][0]
-			e.bufs[vc] = e.bufs[vc][1:]
+			f := e.bufs[vc].PopFront()
 			e.drainRR = (vc + 1) % e.vcs
 			if e.reverse != nil {
 				e.reverse.ReturnCredit(vc, cycle)
@@ -177,36 +219,83 @@ func (e *Ejector) Tick(cycle int64) {
 	}
 }
 
-func (e *Ejector) assemble(f *flit.Flit, cycle int64) {
-	pp, ok := e.partial[f.PacketID]
-	if !ok {
-		pp = &partialPacket{headArrival: cycle}
-		e.partial[f.PacketID] = pp
+// lookup finds the open partial record for the packet, or nil.
+func (e *Ejector) lookup(id uint64) *partialPacket {
+	for _, pp := range e.partial {
+		if pp.id == id {
+			return pp
+		}
 	}
-	pp.flits = append(pp.flits, f)
-	if !f.IsTail() {
+	return nil
+}
+
+func (e *Ejector) acquirePartial() *partialPacket {
+	if pp, ok := e.spares.Get(); ok {
+		return pp
+	}
+	return &partialPacket{}
+}
+
+// releasePartial removes pp from the open list and parks it on the
+// freelist, keeping its payload capacity.
+func (e *Ejector) releasePartial(pp *partialPacket) {
+	for i, cur := range e.partial {
+		if cur == pp {
+			e.partial = append(e.partial[:i], e.partial[i+1:]...)
+			break
+		}
+	}
+	payloads := pp.payloads[:0]
+	*pp = partialPacket{payloads: payloads}
+	e.spares.Put(pp)
+}
+
+func (e *Ejector) assemble(f *flit.Flit, cycle int64) {
+	pp := e.lookup(f.PacketID)
+	if pp == nil {
+		pp = e.acquirePartial()
+		pp.id = f.PacketID
+		pp.headArrival = cycle
+		e.partial = append(e.partial, pp)
+	}
+	if f.IsHead() {
+		pp.pt = f.PT
+		pp.src = f.Src
+		pp.dst = f.Dst
+		pp.flits = f.PacketFlits
+		pp.injectCycle = f.InjectCycle
+		pp.networkCycle = f.NetworkCycle
+		pp.hops = f.Hops
+	}
+	pp.payloads = append(pp.payloads, f.Payloads...)
+	isTail := f.IsTail()
+	e.pool.Release(f)
+	if !isTail {
 		return
 	}
-	delete(e.partial, f.PacketID)
-	head := pp.flits[0]
-	rp := &ReceivedPacket{
-		ID:           f.PacketID,
-		PT:           head.PT,
-		Src:          head.Src,
-		Dst:          head.Dst,
-		Flits:        head.PacketFlits,
-		InjectCycle:  head.InjectCycle,
-		NetworkCycle: head.NetworkCycle,
+	rp := &e.scratch
+	*rp = ReceivedPacket{
+		ID:           pp.id,
+		PT:           pp.pt,
+		Src:          pp.src,
+		Dst:          pp.dst,
+		Flits:        pp.flits,
+		Payloads:     pp.payloads,
+		InjectCycle:  pp.injectCycle,
+		NetworkCycle: pp.networkCycle,
 		HeadArrival:  pp.headArrival,
 		TailArrival:  cycle,
-		Hops:         head.Hops,
+		Hops:         pp.hops,
 	}
-	for _, fl := range pp.flits {
-		rp.Payloads = append(rp.Payloads, fl.Payloads...)
+	if len(rp.Payloads) == 0 {
+		rp.Payloads = nil
 	}
 	e.PacketsEjected.Inc()
 	e.PacketLatency.Observe(float64(rp.Latency()))
 	if e.recv != nil {
 		e.recv(rp)
 	}
+	// The callback has returned; pp (whose payload array rp borrowed)
+	// may now be recycled.
+	e.releasePartial(pp)
 }

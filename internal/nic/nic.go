@@ -15,6 +15,7 @@ import (
 
 	"gathernoc/internal/flit"
 	"gathernoc/internal/link"
+	"gathernoc/internal/ring"
 	"gathernoc/internal/router"
 	"gathernoc/internal/sim"
 	"gathernoc/internal/stats"
@@ -89,11 +90,25 @@ func (c Config) Validate() error {
 
 // gatherWait tracks one payload or operand awaiting pickup by a passing
 // collective packet (gather upload or INA merge), with its δ deadline.
+// Waits are stored by value and compacted in place, so the wait lists
+// allocate nothing in steady state; acks find their wait by payload
+// sequence number.
 type gatherWait struct {
 	payload  flit.Payload
 	deadline int64
 	acked    bool
 }
+
+// vcStream is the flit sequence of the packet currently streaming on one
+// injection VC. The backing array is reused across packets (PacketizeInto
+// appends into flits[:0]), and next advances instead of re-slicing so the
+// array never leaks.
+type vcStream struct {
+	flits []*flit.Flit
+	next  int
+}
+
+func (s *vcStream) empty() bool { return s.next >= len(s.flits) }
 
 // NIC is the PE-side network interface. Register it with the engine as a
 // Ticker after its router (ordering among tickers is irrelevant for
@@ -108,12 +123,22 @@ type NIC struct {
 
 	credits []int
 	// vcPkt holds the remaining flits of the packet currently streaming on
-	// each injection VC; nil means the VC is free.
-	vcPkt    [][]*flit.Flit
-	queue    []flit.Packet
-	waiting  []*gatherWait
-	rwaiting []*gatherWait // reduce operands awaiting an INA merge
+	// each injection VC.
+	vcPkt []vcStream
+	// queue holds packets awaiting a free injection VC. A chunked deque
+	// rather than an append/filter slice: open-loop workloads run the
+	// queue deep past saturation, and the deque's recycled fixed-size
+	// blocks never copy on growth and never abandon a backing array.
+	queue    ring.Deque[flit.Packet]
+	waiting  []gatherWait
+	rwaiting []gatherWait // reduce operands awaiting an INA merge
 	sendRR   int
+	pool     *flit.Pool // flit allocation for outgoing packets
+
+	// The ack callbacks handed to the router's stations are allocated
+	// once here, not per submission.
+	gatherAckFn router.AckFunc
+	reduceAckFn router.AckFunc
 
 	// now tracks the last observed tick; clock, when set, supersedes it so
 	// that work submitted from outside Tick (controllers enqueueing packets
@@ -151,12 +176,14 @@ func New(id topology.NodeID, cfg Config, rtr *router.Router, nextID func() uint6
 		rtr:     rtr,
 		nextID:  nextID,
 		credits: make([]int, cfg.VCs),
-		vcPkt:   make([][]*flit.Flit, cfg.VCs),
+		vcPkt:   make([]vcStream, cfg.VCs),
 		eject:   NewEjector(fmt.Sprintf("nic%d", id), cfg.VCs, cfg.EjectDepth, cfg.EjectRate),
 	}
 	for v := range n.credits {
 		n.credits[v] = cfg.RouterBufferDepth
 	}
+	n.gatherAckFn = n.onGatherAck
+	n.reduceAckFn = n.onReduceAck
 	return n, nil
 }
 
@@ -169,6 +196,11 @@ func (n *NIC) Ejector() *Ejector { return n.eject }
 
 // ConnectInjection sets the NIC-to-router link.
 func (n *NIC) ConnectInjection(l *link.Link) { n.out = l }
+
+// SetFlitPool attaches the network's flit pool; outgoing packets acquire
+// their flits from it (and the pool's owner releases them at ejection). A
+// nil pool (standalone tests) heap-allocates.
+func (n *NIC) SetFlitPool(p *flit.Pool) { n.pool = p }
 
 // SetClock attaches the engine clock used to timestamp externally
 // submitted work; without one the NIC falls back to the cycle of its last
@@ -194,11 +226,11 @@ func (n *NIC) currentCycle() int64 {
 // come from enqueues, payload submissions, credit returns and ejection
 // deliveries).
 func (n *NIC) Idle() bool {
-	if len(n.queue) > 0 || len(n.waiting) > 0 || len(n.rwaiting) > 0 || n.eject.Buffered() > 0 {
+	if n.queue.Len() > 0 || len(n.waiting) > 0 || len(n.rwaiting) > 0 || n.eject.Buffered() > 0 {
 		return false
 	}
-	for _, fl := range n.vcPkt {
-		if len(fl) > 0 {
+	for v := range n.vcPkt {
+		if !n.vcPkt[v].empty() {
 			return false
 		}
 	}
@@ -276,18 +308,36 @@ func (n *NIC) SendGather(dst topology.NodeID, own *flit.Payload) uint64 {
 // packet picks it up within δ cycles the NIC retracts it and initiates its
 // own gather packet to the payload's destination.
 func (n *NIC) SubmitGatherPayload(p flit.Payload) {
-	w := &gatherWait{payload: p, deadline: n.currentCycle() + n.cfg.Delta}
-	ok := n.rtr.OfferGatherPayload(p, func(flit.Payload) {
-		w.acked = true
-		n.PiggybackAcks.Inc()
-	})
+	ok := n.rtr.OfferGatherPayload(p, n.gatherAckFn)
 	if !ok {
 		// Station full: fall back immediately.
 		n.selfInitiate(p)
 		return
 	}
-	n.waiting = append(n.waiting, w)
+	n.waiting = append(n.waiting, gatherWait{payload: p, deadline: n.currentCycle() + n.cfg.Delta})
 	n.wake.Wake()
+}
+
+// onGatherAck marks the waiting payload picked up by a passing gather
+// packet. Payload sequence numbers are run-unique, so the lookup is exact.
+func (n *NIC) onGatherAck(p flit.Payload) {
+	markAcked(n.waiting, p.Seq)
+	n.PiggybackAcks.Inc()
+}
+
+// onReduceAck is the INA twin of onGatherAck.
+func (n *NIC) onReduceAck(p flit.Payload) {
+	markAcked(n.rwaiting, p.Seq)
+	n.MergeAcks.Inc()
+}
+
+func markAcked(waiting []gatherWait, seq uint64) {
+	for i := range waiting {
+		if waiting[i].payload.Seq == seq {
+			waiting[i].acked = true
+			return
+		}
+	}
 }
 
 // requireINA guards the accumulate entry points: calling them on a NIC
@@ -339,28 +389,24 @@ func (n *NIC) SendAccumulate(dst topology.NodeID, reduceID uint64, own flit.Payl
 func (n *NIC) SubmitReduceOperand(p flit.Payload) {
 	n.requireINA("SubmitReduceOperand")
 	p.Ops = p.OpsCount()
-	w := &gatherWait{payload: p, deadline: n.currentCycle() + n.reduceDelta()}
-	ok := n.rtr.OfferReduceOperand(p, func(flit.Payload) {
-		w.acked = true
-		n.MergeAcks.Inc()
-	})
+	ok := n.rtr.OfferReduceOperand(p, n.reduceAckFn)
 	if !ok {
 		n.selfInitiateReduce(p)
 		return
 	}
-	n.rwaiting = append(n.rwaiting, w)
+	n.rwaiting = append(n.rwaiting, gatherWait{payload: p, deadline: n.currentCycle() + n.reduceDelta()})
 	n.wake.Wake()
 }
 
 // Pending reports whether the NIC still has packets queued, flits
 // streaming, or payloads awaiting pickup.
 func (n *NIC) Pending() bool {
-	if len(n.queue) > 0 || len(n.waiting) > 0 || len(n.rwaiting) > 0 ||
+	if n.queue.Len() > 0 || len(n.waiting) > 0 || len(n.rwaiting) > 0 ||
 		n.eject.Buffered() > 0 || n.eject.PendingPackets() > 0 {
 		return true
 	}
-	for _, fl := range n.vcPkt {
-		if len(fl) > 0 {
+	for v := range n.vcPkt {
+		if !n.vcPkt[v].empty() {
 			return true
 		}
 	}
@@ -386,12 +432,13 @@ func (n *NIC) checkTimeouts() {
 // ones. Retract succeeds only while the payload is still pending at the
 // station; if a packet reserved it, the ack is imminent and we keep
 // waiting (retry next cycle if the reservation is released).
-func (n *NIC) sweepTimeouts(waiting []*gatherWait, retract func(uint64) bool, fallback func(flit.Payload)) []*gatherWait {
+func (n *NIC) sweepTimeouts(waiting []gatherWait, retract func(uint64) bool, fallback func(flit.Payload)) []gatherWait {
 	if len(waiting) == 0 {
 		return waiting
 	}
 	keep := waiting[:0]
-	for _, w := range waiting {
+	for i := range waiting {
+		w := waiting[i]
 		if w.acked {
 			continue
 		}
@@ -418,7 +465,7 @@ func (n *NIC) selfInitiateReduce(p flit.Payload) {
 func (n *NIC) enqueue(p flit.Packet) uint64 {
 	p.ID = n.nextID()
 	p.InjectCycle = n.currentCycle()
-	n.queue = append(n.queue, p)
+	n.queue.PushBack(p)
 	n.PacketsInjected.Inc()
 	n.wake.Wake()
 	return p.ID
@@ -426,30 +473,50 @@ func (n *NIC) enqueue(p flit.Packet) uint64 {
 
 // bindPackets assigns queued packets to free injection VCs (one packet per
 // VC at a time: the NIC is the upstream end of a wormhole channel).
+//
+// Without a dedicated collective VC every packet may use every VC, so
+// binding is strictly FIFO: the front packet binds or nothing behind it
+// can either, and the pass costs O(bound packets) however long the
+// saturated queue grows. With GatherVC set there are two traffic classes
+// and a packet behind a blocked head may still bind to its class's VC, so
+// the whole queue is considered once, non-binding packets cycling back in
+// their original relative order.
 func (n *NIC) bindPackets() {
-	if len(n.queue) == 0 {
+	if n.cfg.GatherVC < 0 {
+		for n.queue.Len() > 0 {
+			vc := n.freeVCFor(n.queue.Front().PT)
+			if vc < 0 {
+				return
+			}
+			n.bindTo(vc, n.queue.PopFront())
+		}
 		return
 	}
-	remaining := n.queue[:0]
-	for _, p := range n.queue {
+	for i, m := 0, n.queue.Len(); i < m; i++ {
+		p := n.queue.PopFront()
 		vc := n.freeVCFor(p.PT)
 		if vc < 0 {
-			remaining = append(remaining, p)
+			n.queue.PushBack(p)
 			continue
 		}
-		flits, err := flit.Packetize(p, n.cfg.Format)
-		if err != nil {
-			// Mis-sized packets are a programming error in the caller.
-			panic(fmt.Sprintf("nic %d: %v", n.id, err))
-		}
-		n.vcPkt[vc] = flits
+		n.bindTo(vc, p)
 	}
-	n.queue = remaining
+}
+
+func (n *NIC) bindTo(vc int, p flit.Packet) {
+	s := &n.vcPkt[vc]
+	flits, err := flit.PacketizeInto(s.flits[:0], p, n.cfg.Format, n.pool)
+	if err != nil {
+		// Mis-sized packets are a programming error in the caller.
+		panic(fmt.Sprintf("nic %d: %v", n.id, err))
+	}
+	s.flits = flits
+	s.next = 0
 }
 
 func (n *NIC) freeVCFor(pt flit.PacketType) int {
 	for v := 0; v < n.cfg.VCs; v++ {
-		if len(n.vcPkt[v]) != 0 {
+		if !n.vcPkt[v].empty() {
 			continue
 		}
 		if !n.vcAllowed(pt, v) {
@@ -479,11 +546,13 @@ func (n *NIC) injectOne(cycle int64) {
 	}
 	for off := 0; off < n.cfg.VCs; off++ {
 		vc := (n.sendRR + off) % n.cfg.VCs
-		if len(n.vcPkt[vc]) == 0 || n.credits[vc] == 0 {
+		s := &n.vcPkt[vc]
+		if s.empty() || n.credits[vc] == 0 {
 			continue
 		}
-		f := n.vcPkt[vc][0]
-		n.vcPkt[vc] = n.vcPkt[vc][1:]
+		f := s.flits[s.next]
+		s.flits[s.next] = nil // do not pin the flit once it leaves
+		s.next++
 		f.NetworkCycle = cycle
 		n.out.Send(f, vc, cycle)
 		n.credits[vc]--

@@ -159,7 +159,7 @@ func TestNICGatherVCPolicy(t *testing.T) {
 func TestEjectorReassembly(t *testing.T) {
 	e := NewEjector("t", 2, 8, 1)
 	var got []*ReceivedPacket
-	e.OnReceive(func(p *ReceivedPacket) { got = append(got, p) })
+	e.OnReceive(func(p *ReceivedPacket) { got = append(got, p.Clone()) })
 
 	format := flit.MustFormat(flit.DefaultFlitBits, flit.DefaultPayloadBits, 64)
 	fl, err := flit.Packetize(flit.Packet{
@@ -192,7 +192,7 @@ func TestEjectorReassembly(t *testing.T) {
 func TestEjectorInterleavedVCs(t *testing.T) {
 	e := NewEjector("t", 2, 8, 2)
 	var got []*ReceivedPacket
-	e.OnReceive(func(p *ReceivedPacket) { got = append(got, p) })
+	e.OnReceive(func(p *ReceivedPacket) { got = append(got, p.Clone()) })
 
 	format := flit.MustFormat(flit.DefaultFlitBits, flit.DefaultPayloadBits, 64)
 	a, _ := flit.Packetize(flit.Packet{ID: 1, PT: flit.Unicast, Flits: 2}, format)
@@ -213,7 +213,7 @@ func TestEjectorInterleavedVCs(t *testing.T) {
 func TestEjectorGatherPayloadCollection(t *testing.T) {
 	e := NewEjector("t", 1, 8, 4)
 	var got []*ReceivedPacket
-	e.OnReceive(func(p *ReceivedPacket) { got = append(got, p) })
+	e.OnReceive(func(p *ReceivedPacket) { got = append(got, p.Clone()) })
 
 	format := flit.MustFormat(flit.DefaultFlitBits, flit.DefaultPayloadBits, 64)
 	own := &flit.Payload{Seq: 1, Value: 5}

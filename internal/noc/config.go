@@ -63,6 +63,12 @@ type Config struct {
 	// paper's operating points; the naive mode exists as the reference
 	// path for the golden equivalence tests and for perf comparisons.
 	AlwaysTick bool
+	// DebugFlitPool enables the flit pool's ownership checker: every
+	// acquire/release is tracked, double releases panic, and tests can
+	// assert a drained network leaked nothing (Network.FlitPool().Live()
+	// == 0). Off by default — the tracking map costs real time on the
+	// hot path.
+	DebugFlitPool bool
 	// SinkPacketOverhead is the per-packet write-transaction cost at the
 	// global buffer, in cycles: after a packet's tail is consumed, the
 	// buffer port stalls this long before accepting further flits. This

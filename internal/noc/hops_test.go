@@ -25,7 +25,7 @@ func TestHopAccountingMatchesManhattan(t *testing.T) {
 			var got []*nic.ReceivedPacket
 			for id := 0; id < nw.Mesh().NumNodes(); id++ {
 				id := topology.NodeID(id)
-				nw.NIC(id).OnReceive(func(p *nic.ReceivedPacket) { got = append(got, p) })
+				nw.NIC(id).OnReceive(func(p *nic.ReceivedPacket) { got = append(got, p.Clone()) })
 			}
 			rng := rand.New(rand.NewSource(3))
 			for i := 0; i < 30; i++ {

@@ -24,7 +24,7 @@ func TestINARowReduction(t *testing.T) {
 	dst := nw.RowSinkID(0)
 
 	var pkts []*nic.ReceivedPacket
-	nw.Sink(0).OnReceive(func(p *nic.ReceivedPacket) { pkts = append(pkts, p) })
+	nw.Sink(0).OnReceive(func(p *nic.ReceivedPacket) { pkts = append(pkts, p.Clone()) })
 
 	const rid = uint64(3) << 32
 	want := uint64(0)

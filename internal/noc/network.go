@@ -50,11 +50,18 @@ type Network struct {
 	mesh   *topology.Mesh
 	format *flit.Format
 	engine *sim.Engine
+	pool   *flit.Pool
 
 	routers []*router.Router
 	nics    []*nic.NIC
 	sinks   []*EdgeSink
 	links   []*link.Link
+
+	// portBranch[p] is the shared single-branch route through port p.
+	// Deterministic unicast/gather routes are one of these five slices,
+	// so route computation allocates nothing; completeRC copies the
+	// branch values out, never mutating the slice.
+	portBranch [topology.NumPorts][]topology.MulticastBranch
 
 	packetSeq uint64
 }
@@ -77,6 +84,11 @@ func New(cfg Config) (*Network, error) {
 		mesh:   mesh,
 		format: format,
 		engine: sim.NewEngine(),
+		pool:   flit.NewPool(),
+	}
+	nw.pool.SetDebug(cfg.DebugFlitPool)
+	for p := 0; p < topology.NumPorts; p++ {
+		nw.portBranch[p] = []topology.MulticastBranch{{Out: topology.Port(p)}}
 	}
 
 	// Routers.
@@ -164,15 +176,19 @@ func New(cfg Config) (*Network, error) {
 	// them on flit/credit handoff or packet submission.
 	for _, r := range nw.routers {
 		r.SetWake(nw.engine.AddTicker(r))
+		r.SetFlitPool(nw.pool)
 	}
 	for _, s := range nw.sinks {
 		s.ej.SetWake(nw.engine.AddTicker(s))
+		s.ej.SetFlitPool(nw.pool)
 	}
 	for _, n := range nw.nics {
 		h := nw.engine.AddTicker(n)
 		n.SetWake(h)
 		n.Ejector().SetWake(h)
 		n.SetClock(nw.engine)
+		n.SetFlitPool(nw.pool)
+		n.Ejector().SetFlitPool(nw.pool)
 	}
 	for _, l := range nw.links {
 		l.SetWake(nw.engine.AddCommitter(l))
@@ -210,6 +226,10 @@ func (nw *Network) Format() *flit.Format { return nw.format }
 
 // Engine returns the cycle engine, for registering controllers.
 func (nw *Network) Engine() *sim.Engine { return nw.engine }
+
+// FlitPool returns the network's flit pool. Tests use it (with
+// Config.DebugFlitPool) to assert that a drained network leaked no flits.
+func (nw *Network) FlitPool() *flit.Pool { return nw.pool }
 
 // Router returns the router at node id.
 func (nw *Network) Router(id topology.NodeID) *router.Router { return nw.routers[id] }
@@ -256,7 +276,7 @@ func (nw *Network) routeFlit(cur topology.NodeID, f *flit.Flit) router.Route {
 		row := int(dst) - nw.mesh.NumNodes()
 		edge := nw.mesh.ID(topology.Coord{Row: row, Col: nw.cfg.Cols - 1})
 		if cur == edge {
-			return router.Route{Branches: []topology.MulticastBranch{{Out: topology.EastPort}}}
+			return router.Route{Branches: nw.portBranch[topology.EastPort]}
 		}
 		return nw.unicastRoute(cur, edge)
 	}
@@ -267,11 +287,11 @@ func (nw *Network) unicastRoute(cur, dst topology.NodeID) router.Route {
 	if nw.cfg.Routing == "westfirst" && cur != dst {
 		ports := nw.mesh.WestFirstPorts(cur, dst)
 		if len(ports) == 1 {
-			return router.Route{Branches: []topology.MulticastBranch{{Out: ports[0]}}}
+			return router.Route{Branches: nw.portBranch[ports[0]]}
 		}
 		return router.Route{Adaptive: ports}
 	}
-	return router.Route{Branches: []topology.MulticastBranch{{Out: nw.mesh.XYRoute(cur, dst)}}}
+	return router.Route{Branches: nw.portBranch[nw.mesh.XYRoute(cur, dst)]}
 }
 
 // InFlight reports the total flits buffered in routers, traversing links,

@@ -65,7 +65,7 @@ func TestEffectiveGatherCapacityDefaultsToRowWidth(t *testing.T) {
 func TestUnicastCrossesNetwork(t *testing.T) {
 	nw := mustNetwork(t, DefaultConfig(4, 4))
 	var got []*nic.ReceivedPacket
-	nw.NIC(15).OnReceive(func(p *nic.ReceivedPacket) { got = append(got, p) })
+	nw.NIC(15).OnReceive(func(p *nic.ReceivedPacket) { got = append(got, p.Clone()) })
 
 	nw.NIC(0).SendUnicast(15)
 	if _, err := nw.RunUntilQuiescent(10000); err != nil {
@@ -97,7 +97,7 @@ func TestUnicastLatencyMatchesHopModel(t *testing.T) {
 	for d := 1; d <= 7; d++ {
 		nw := mustNetwork(t, cfg)
 		var got []*nic.ReceivedPacket
-		nw.NIC(topology.NodeID(d)).OnReceive(func(p *nic.ReceivedPacket) { got = append(got, p) })
+		nw.NIC(topology.NodeID(d)).OnReceive(func(p *nic.ReceivedPacket) { got = append(got, p.Clone()) })
 		nw.NIC(0).SendUnicast(topology.NodeID(d))
 		if _, err := nw.RunUntilQuiescent(10000); err != nil {
 			t.Fatal(err)
@@ -119,7 +119,7 @@ func TestGatherCollectsRowPayloads(t *testing.T) {
 	row := 1
 	sink := nw.Sink(row)
 	var got []*nic.ReceivedPacket
-	sink.OnReceive(func(p *nic.ReceivedPacket) { got = append(got, p) })
+	sink.OnReceive(func(p *nic.ReceivedPacket) { got = append(got, p.Clone()) })
 
 	dst := nw.RowSinkID(row)
 	// PEs (1,1)..(1,3) deposit payloads for piggybacking; PE (1,0)
@@ -174,7 +174,7 @@ func TestGatherDeltaTimeoutSelfInitiates(t *testing.T) {
 	row := 2
 	dst := nw.RowSinkID(row)
 	var got []*nic.ReceivedPacket
-	nw.Sink(row).OnReceive(func(p *nic.ReceivedPacket) { got = append(got, p) })
+	nw.Sink(row).OnReceive(func(p *nic.ReceivedPacket) { got = append(got, p.Clone()) })
 
 	id := nw.Mesh().ID(topology.Coord{Row: row, Col: 2})
 	nw.NIC(id).SubmitGatherPayload(flit.Payload{Seq: 1, Src: id, Dst: dst, Bits: 32, Value: 7})
@@ -201,7 +201,7 @@ func TestRepetitiveUnicastDeliversAll(t *testing.T) {
 	row := 0
 	dst := nw.RowSinkID(row)
 	var got []*nic.ReceivedPacket
-	nw.Sink(row).OnReceive(func(p *nic.ReceivedPacket) { got = append(got, p) })
+	nw.Sink(row).OnReceive(func(p *nic.ReceivedPacket) { got = append(got, p.Clone()) })
 
 	for c := 0; c < 4; c++ {
 		id := nw.Mesh().ID(topology.Coord{Row: row, Col: c})
@@ -319,7 +319,7 @@ func TestGatherVCReservation(t *testing.T) {
 	row := 0
 	dst := nw.RowSinkID(row)
 	var got []*nic.ReceivedPacket
-	nw.Sink(row).OnReceive(func(p *nic.ReceivedPacket) { got = append(got, p) })
+	nw.Sink(row).OnReceive(func(p *nic.ReceivedPacket) { got = append(got, p.Clone()) })
 
 	left := nw.Mesh().ID(topology.Coord{Row: row, Col: 0})
 	nw.NIC(left).SendGather(dst, &flit.Payload{Seq: 1, Src: left, Dst: dst, Value: 9})

@@ -20,6 +20,7 @@ import (
 	"fmt"
 
 	"gathernoc/internal/flit"
+	"gathernoc/internal/ring"
 	"gathernoc/internal/topology"
 )
 
@@ -55,7 +56,10 @@ func (e *Entry) Operand() flit.Payload { return e.operand }
 // router by itself.
 type Station struct {
 	entries []*Entry
-	cap     int
+	// spares is the entry freelist: completed and retracted entries are
+	// recycled so a steady stream of offers allocates nothing.
+	spares ring.FreeList[*Entry]
+	cap    int
 }
 
 // NewStation returns a station bounding its queue at capacity (minimum 1).
@@ -71,8 +75,21 @@ func (s *Station) Offer(op flit.Payload, ack AckFunc) bool {
 	if len(s.entries) >= s.cap {
 		return false
 	}
-	s.entries = append(s.entries, &Entry{operand: op, state: entryPending, ack: ack})
+	e, ok := s.spares.Get()
+	if !ok {
+		e = &Entry{}
+	}
+	e.operand = op
+	e.state = entryPending
+	e.ack = ack
+	s.entries = append(s.entries, e)
 	return true
+}
+
+// recycle parks a removed entry on the freelist.
+func (s *Station) recycle(e *Entry) {
+	*e = Entry{}
+	s.spares.Put(e)
 }
 
 // Reserve finds the oldest pending operand destined for dst and tagged
@@ -111,7 +128,7 @@ func (s *Station) Release(e *Entry) {
 }
 
 // Complete removes an entry after its operand was merged and fires the ack
-// callback.
+// callback. The entry is recycled; callers must drop their reference.
 func (s *Station) Complete(e *Entry) {
 	for i, cur := range s.entries {
 		if cur == e {
@@ -122,6 +139,7 @@ func (s *Station) Complete(e *Entry) {
 	if e.ack != nil {
 		e.ack(e.operand)
 	}
+	s.recycle(e)
 }
 
 // Retract removes a still-pending operand by sequence number, returning
@@ -135,6 +153,7 @@ func (s *Station) Retract(seq uint64) bool {
 				return false
 			}
 			s.entries = append(s.entries[:i], s.entries[i+1:]...)
+			s.recycle(e)
 			return true
 		}
 	}

@@ -1,0 +1,83 @@
+package ring
+
+// Deque block sizes in elements: fresh blocks ramp geometrically from
+// dequeBlockMin to dequeBlockMax with the queue's occupancy, so shallow
+// queues stay small and deep ones amortize block bookkeeping. Blocks are
+// recycled front-to-back, so a queue oscillating around any depth stops
+// allocating entirely once its high-water mark is reached.
+const (
+	dequeBlockMin = 4
+	dequeBlockMax = 256
+)
+
+// Deque is an unbounded FIFO over a chain of fixed-size blocks. Unlike a
+// growing ring or slice it never copies elements on growth and never
+// abandons a backing array: total bytes allocated equal the high-water
+// retained bytes. Use it for queues with no hardware bound (NIC injection
+// queues under saturation); use Ring for depth-bounded buffers.
+//
+// Not safe for concurrent use; the simulator is single-threaded.
+type Deque[T any] struct {
+	blocks [][]T // blocks[0] is the front
+	head   int   // index of the front element within blocks[0]
+	n      int
+	spare  FreeList[[]T] // drained blocks awaiting reuse
+}
+
+// Len returns the number of queued elements.
+func (d *Deque[T]) Len() int { return d.n }
+
+// PushBack appends v at the tail.
+func (d *Deque[T]) PushBack(v T) {
+	last := len(d.blocks) - 1
+	if last < 0 || len(d.blocks[last]) == cap(d.blocks[last]) {
+		b, ok := d.spare.Get()
+		if !ok {
+			capNext := d.n
+			if capNext < dequeBlockMin {
+				capNext = dequeBlockMin
+			}
+			if capNext > dequeBlockMax {
+				capNext = dequeBlockMax
+			}
+			b = make([]T, 0, capNext)
+		}
+		d.blocks = append(d.blocks, b)
+		last++
+	}
+	d.blocks[last] = append(d.blocks[last], v)
+	d.n++
+}
+
+// Front returns the front element without removing it. It panics on an
+// empty deque.
+func (d *Deque[T]) Front() T {
+	if d.n == 0 {
+		panic("ring: Front on empty deque")
+	}
+	return d.blocks[0][d.head]
+}
+
+// PopFront removes and returns the front element, panicking on an empty
+// deque. Vacated slots are zeroed and fully drained blocks recycled.
+func (d *Deque[T]) PopFront() T {
+	if d.n == 0 {
+		panic("ring: PopFront on empty deque")
+	}
+	var zero T
+	b := d.blocks[0]
+	v := b[d.head]
+	b[d.head] = zero
+	d.head++
+	d.n--
+	if d.head == len(b) {
+		// Block drained: recycle it and advance. The block list is a
+		// handful of entries, so the copy is trivial.
+		d.spare.Put(b[:0])
+		copy(d.blocks, d.blocks[1:])
+		d.blocks[len(d.blocks)-1] = nil
+		d.blocks = d.blocks[:len(d.blocks)-1]
+		d.head = 0
+	}
+	return v
+}

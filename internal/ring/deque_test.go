@@ -1,0 +1,113 @@
+package ring
+
+import "testing"
+
+func TestDequeFIFOAcrossBlocks(t *testing.T) {
+	var d Deque[int]
+	const n = 3*dequeBlockMax + 17 // span many blocks
+	for i := 0; i < n; i++ {
+		d.PushBack(i)
+	}
+	if d.Len() != n {
+		t.Fatalf("Len = %d, want %d", d.Len(), n)
+	}
+	if d.Front() != 0 {
+		t.Fatalf("Front = %d, want 0", d.Front())
+	}
+	for i := 0; i < n; i++ {
+		if got := d.PopFront(); got != i {
+			t.Fatalf("PopFront = %d, want %d", got, i)
+		}
+	}
+	if d.Len() != 0 {
+		t.Fatal("deque not empty after draining")
+	}
+}
+
+// TestDequeBlockRecycling oscillates the queue depth and checks that the
+// steady state stops allocating fresh blocks: drained front blocks must be
+// reused for new tail blocks.
+func TestDequeBlockRecycling(t *testing.T) {
+	var d Deque[int]
+	// Reach the high-water mark once.
+	for i := 0; i < 4*dequeBlockMax; i++ {
+		d.PushBack(i)
+	}
+	for d.Len() > 0 {
+		d.PopFront()
+	}
+	spareHighWater := d.spare.Len()
+	if spareHighWater == 0 {
+		t.Fatal("no blocks recycled after a full drain")
+	}
+	// Oscillate: total spare+live blocks must never exceed the high-water
+	// set (no fresh allocations once warmed).
+	for round := 0; round < 20; round++ {
+		for i := 0; i < 2*dequeBlockMax; i++ {
+			d.PushBack(i)
+		}
+		for d.Len() > 0 {
+			d.PopFront()
+		}
+		if got := d.spare.Len() + len(d.blocks); got > spareHighWater {
+			t.Fatalf("round %d: %d blocks in circulation, high water was %d", round, got, spareHighWater)
+		}
+	}
+}
+
+func TestDequeInterleavedPushPop(t *testing.T) {
+	var d Deque[int]
+	next, expect := 0, 0
+	for round := 0; round < 500; round++ {
+		for i := 0; i < 7; i++ {
+			d.PushBack(next)
+			next++
+		}
+		for i := 0; i < 5; i++ {
+			if got := d.PopFront(); got != expect {
+				t.Fatalf("PopFront = %d, want %d", got, expect)
+			}
+			expect++
+		}
+	}
+	for d.Len() > 0 {
+		if got := d.PopFront(); got != expect {
+			t.Fatalf("drain: PopFront = %d, want %d", got, expect)
+		}
+		expect++
+	}
+	if expect != next {
+		t.Fatalf("drained %d elements, pushed %d", expect, next)
+	}
+}
+
+func TestDequeEmptyPanics(t *testing.T) {
+	var d Deque[int]
+	for name, f := range map[string]func(){
+		"PopFront": func() { d.PopFront() },
+		"Front":    func() { d.Front() },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s on empty deque did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestDequePopZeroesSlot(t *testing.T) {
+	var d Deque[*int]
+	x := 1
+	d.PushBack(&x)
+	d.PopFront()
+	if d.spare.Len() != 1 {
+		t.Fatal("drained block not recycled")
+	}
+	b, _ := d.spare.Get()
+	if b[:1][0] != nil {
+		t.Fatal("PopFront left the slot holding the pointer")
+	}
+}

@@ -19,10 +19,11 @@ import (
 //     entry.
 func (r *Router) CheckInvariants() error {
 	for p := 0; p < topology.NumPorts; p++ {
-		for v, vc := range r.inputs[p] {
-			if len(vc.buf) > r.cfg.BufferDepth {
+		for v := range r.inputs[p] {
+			vc := &r.inputs[p][v]
+			if vc.buf.Len() > r.cfg.BufferDepth {
 				return fmt.Errorf("router %d: input %s vc%d holds %d flits (depth %d)",
-					r.id, topology.Port(p), v, len(vc.buf), r.cfg.BufferDepth)
+					r.id, topology.Port(p), v, vc.buf.Len(), r.cfg.BufferDepth)
 			}
 			if (vc.stage == vcActive) && len(vc.branches) == 0 {
 				return fmt.Errorf("router %d: input %s vc%d active without branches",
@@ -75,7 +76,7 @@ func (r *Router) CheckInvariants() error {
 			if op < 0 {
 				continue
 			}
-			vc := r.inputs[op][ov]
+			vc := &r.inputs[op][ov]
 			held := false
 			for bi := range vc.branches {
 				if vc.branches[bi].out == topology.Port(p) && vc.branches[bi].vc == v {

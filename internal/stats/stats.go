@@ -31,84 +31,112 @@ func (c *Counter) Value() uint64 { return c.n }
 
 // Sample accumulates scalar observations and reports summary statistics.
 // Observations are retained so percentiles are exact.
+//
+// Storage is chunked: observations land in fixed-size blocks that are
+// never copied or abandoned, so the bytes ever allocated equal the bytes
+// retained (a single growing slice abandons ~4x the final size to the
+// garbage collector under Go's append growth policy). Chunk capacities
+// ramp geometrically from sampleChunkMin to sampleChunkMax so small
+// samples stay small.
 type Sample struct {
-	values []float64
+	chunks [][]float64
+	n      int
 	sum    float64
-	sorted bool
+	// sorted caches the flattened, sorted observations for the order
+	// statistics (Min/Max/Percentile); Observe invalidates it.
+	sorted []float64
 }
+
+const (
+	sampleChunkMin = 64
+	sampleChunkMax = 4096
+)
 
 // Observe records one observation.
 func (s *Sample) Observe(v float64) {
-	s.values = append(s.values, v)
+	last := len(s.chunks) - 1
+	if last < 0 || len(s.chunks[last]) == cap(s.chunks[last]) {
+		capNext := s.n
+		if capNext < sampleChunkMin {
+			capNext = sampleChunkMin
+		}
+		if capNext > sampleChunkMax {
+			capNext = sampleChunkMax
+		}
+		s.chunks = append(s.chunks, make([]float64, 0, capNext))
+		last++
+	}
+	s.chunks[last] = append(s.chunks[last], v)
+	s.n++
 	s.sum += v
-	s.sorted = false
+	s.sorted = nil
 }
 
 // N returns the observation count.
-func (s *Sample) N() int { return len(s.values) }
+func (s *Sample) N() int { return s.n }
 
 // Sum returns the sum of observations.
 func (s *Sample) Sum() float64 { return s.sum }
 
 // Mean returns the arithmetic mean, or 0 with no observations.
 func (s *Sample) Mean() float64 {
-	if len(s.values) == 0 {
+	if s.n == 0 {
 		return 0
 	}
-	return s.sum / float64(len(s.values))
+	return s.sum / float64(s.n)
 }
 
 // Min returns the smallest observation, or 0 with no observations.
 func (s *Sample) Min() float64 {
-	if len(s.values) == 0 {
+	if s.n == 0 {
 		return 0
 	}
-	s.ensureSorted()
-	return s.values[0]
+	return s.ensureSorted()[0]
 }
 
 // Max returns the largest observation, or 0 with no observations.
 func (s *Sample) Max() float64 {
-	if len(s.values) == 0 {
+	if s.n == 0 {
 		return 0
 	}
-	s.ensureSorted()
-	return s.values[len(s.values)-1]
+	return s.ensureSorted()[s.n-1]
 }
 
 // Percentile returns the p-th percentile (0 <= p <= 100) using
 // nearest-rank on the sorted observations, or 0 with no observations.
 func (s *Sample) Percentile(p float64) float64 {
-	if len(s.values) == 0 {
+	if s.n == 0 {
 		return 0
 	}
-	s.ensureSorted()
+	sorted := s.ensureSorted()
 	if p <= 0 {
-		return s.values[0]
+		return sorted[0]
 	}
 	if p >= 100 {
-		return s.values[len(s.values)-1]
+		return sorted[s.n-1]
 	}
-	rank := int(math.Ceil(p/100*float64(len(s.values)))) - 1
+	rank := int(math.Ceil(p/100*float64(s.n))) - 1
 	if rank < 0 {
 		rank = 0
 	}
-	return s.values[rank]
+	return sorted[rank]
 }
 
 // StdDev returns the population standard deviation, or 0 with fewer than
 // two observations.
 func (s *Sample) StdDev() float64 {
-	if len(s.values) < 2 {
+	if s.n < 2 {
 		return 0
 	}
 	mean := s.Mean()
 	var ss float64
-	for _, v := range s.values {
-		d := v - mean
-		ss += d * d
+	for _, chunk := range s.chunks {
+		for _, v := range chunk {
+			d := v - mean
+			ss += d * d
+		}
 	}
-	return math.Sqrt(ss / float64(len(s.values)))
+	return math.Sqrt(ss / float64(s.n))
 }
 
 // String summarizes the sample for reports.
@@ -117,11 +145,15 @@ func (s *Sample) String() string {
 		s.N(), s.Mean(), s.Min(), s.Percentile(50), s.Percentile(99), s.Max())
 }
 
-func (s *Sample) ensureSorted() {
-	if !s.sorted {
-		sort.Float64s(s.values)
-		s.sorted = true
+func (s *Sample) ensureSorted() []float64 {
+	if s.sorted == nil {
+		s.sorted = make([]float64, 0, s.n)
+		for _, chunk := range s.chunks {
+			s.sorted = append(s.sorted, chunk...)
+		}
+		sort.Float64s(s.sorted)
 	}
+	return s.sorted
 }
 
 // ReductionStats accounts the wire-level work an in-network accumulation
