@@ -9,8 +9,8 @@
 //	experiments -exp fig7 -format json   # machine-readable rows
 //
 // Artifacts:  table1 table2 table3 fig1 fig7 fig8 fig9 fig10
-// Ablations:  delta eta gathervc vcs depth sinkcost skew
-// Extensions: ina dataflow mixed streaming fullmodel
+// Ablations:  delta eta gathervc vcs depth sinkcost skew routing
+// Extensions: ina topology dataflow mixed streaming fullmodel fullvgg
 package main
 
 import (
@@ -43,7 +43,7 @@ type artifact struct {
 
 func run(ctx context.Context, args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "artifact to regenerate (all, table1, table2, table3, fig1, fig7, fig8, fig9, fig10, delta, eta, gathervc, vcs, depth, sinkcost, skew, ina, dataflow, mixed, streaming, fullmodel)")
+	exp := fs.String("exp", "all", "artifact to regenerate (all, table1, table2, table3, fig1, fig7, fig8, fig9, fig10, delta, eta, gathervc, vcs, depth, sinkcost, skew, routing, ina, topology, dataflow, mixed, streaming, fullmodel, fullvgg)")
 	rounds := fs.Int("rounds", 2, "systolic rounds to simulate per run")
 	format := fs.String("format", "text", "output format (text, json)")
 	workers := fs.Int("workers", 0, "parallel simulation workers per sweep (0 = GOMAXPROCS, 1 = serial)")
@@ -93,6 +93,13 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 				return nil, "", err
 			}
 			return rows, experiments.RenderINA(rows), nil
+		}},
+		{"topology", func() (any, string, error) {
+			rows, err := experiments.TopologyComparison(opts)
+			if err != nil {
+				return nil, "", err
+			}
+			return rows, experiments.RenderTopologyComparison(rows), nil
 		}},
 		{"dataflow", func() (any, string, error) {
 			rows, err := experiments.Dataflows(opts)

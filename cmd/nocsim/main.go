@@ -6,9 +6,11 @@
 //
 //	nocsim -rows 8 -cols 8 -pattern uniform -rate 0.05
 //	nocsim -rows 8 -cols 8 -trace conv3.trace
-//	nocsim -rate 0.005 -cpuprofile cpu.out       # profile a run
-//	nocsim -rate 0.005 -alwaystick               # naive engine reference
-//	nocsim -ina -inamode ina -inarounds 4        # in-network accumulation
+//	nocsim -topology torus -routing xy -rate 0.05 # wraparound fabric
+//	nocsim -topology torus -ina -inamode ina      # INA on the torus
+//	nocsim -rate 0.005 -cpuprofile cpu.out        # profile a run
+//	nocsim -rate 0.005 -alwaystick                # naive engine reference
+//	nocsim -ina -inamode ina -inarounds 4         # in-network accumulation
 package main
 
 import (
@@ -32,17 +34,18 @@ func main() {
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("nocsim", flag.ContinueOnError)
 	var (
-		rows      = fs.Int("rows", 8, "mesh rows")
-		cols      = fs.Int("cols", 8, "mesh columns")
-		pattern   = fs.String("pattern", "uniform", "traffic pattern (uniform, transpose, bitcomplement, hotspot)")
-		rate      = fs.Float64("rate", 0.02, "injection rate (packets/node/cycle)")
-		flits     = fs.Int("flits", 2, "packet length in flits")
-		warmup    = fs.Int64("warmup", 1000, "warm-up cycles")
-		measure   = fs.Int64("measure", 5000, "measurement cycles")
-		seed      = fs.Int64("seed", 1, "random seed")
-		vcs       = fs.Int("vcs", 4, "virtual channels")
-		depth     = fs.Int("depth", 4, "buffer depth in flits")
-		routing   = fs.String("routing", "xy", "routing algorithm (xy, westfirst)")
+		rows       = fs.Int("rows", 8, "fabric rows")
+		cols       = fs.Int("cols", 8, "fabric columns")
+		topo       = fs.String("topology", "mesh", "interconnect fabric (mesh, torus)")
+		pattern    = fs.String("pattern", "uniform", "traffic pattern (uniform, transpose, bitcomplement, hotspot)")
+		rate       = fs.Float64("rate", 0.02, "injection rate (packets/node/cycle)")
+		flits      = fs.Int("flits", 2, "packet length in flits")
+		warmup     = fs.Int64("warmup", 1000, "warm-up cycles")
+		measure    = fs.Int64("measure", 5000, "measurement cycles")
+		seed       = fs.Int64("seed", 1, "random seed")
+		vcs        = fs.Int("vcs", 4, "virtual channels")
+		depth      = fs.Int("depth", 4, "buffer depth in flits")
+		routing    = fs.String("routing", "xy", "routing algorithm (xy, westfirst, oddeven)")
 		tracePath  = fs.String("trace", "", "replay a JSON trace file instead of synthetic traffic")
 		maxCycles  = fs.Int64("maxcycles", 10_000_000, "simulation cycle budget")
 		heatmap    = fs.Bool("heatmap", false, "print a per-router utilization heatmap after the run")
@@ -69,6 +72,13 @@ func run(args []string, w io.Writer) error {
 	}
 
 	cfg := noc.DefaultConfig(*rows, *cols)
+	if *topo == "torus" {
+		// The torus has no east edge to hang global-buffer sinks off; row
+		// collection targets the east-column PEs (noc.RowCollect).
+		cfg = noc.DefaultTorusConfig(*rows, *cols)
+	} else {
+		cfg.Topology = *topo
+	}
 	cfg.Router.VCs = *vcs
 	cfg.Router.BufferDepth = *depth
 	cfg.Routing = *routing
@@ -118,7 +128,8 @@ func run(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "mesh           %dx%d, %d VCs, depth %d\n", *rows, *cols, *vcs, *depth)
+	fmt.Fprintf(w, "fabric         %dx%d %s (%s routing), %d VCs, depth %d\n",
+		*rows, *cols, nw.Topology().Name(), nw.Routing().Name(), *vcs, *depth)
 	fmt.Fprintf(w, "pattern        %s @ %.3f pkts/node/cycle\n", p.Name(), *rate)
 	fmt.Fprintf(w, "injected       %d packets\n", res.Injected)
 	fmt.Fprintf(w, "received       %d packets\n", res.Received)
@@ -162,7 +173,8 @@ func runINA(nw *noc.Network, mode string, rounds int, maxCycles int64, w io.Writ
 		oracle = fmt.Sprintf("%d ERRORS", res.OracleErrors)
 	}
 	cfg := nw.Config()
-	fmt.Fprintf(w, "mesh           %dx%d, scheme %s, %d rounds\n", cfg.Rows, cfg.Cols, scheme, res.Rounds)
+	fmt.Fprintf(w, "fabric         %dx%d %s, scheme %s, %d rounds\n",
+		cfg.Rows, cfg.Cols, cfg.EffectiveTopology(), scheme, res.Rounds)
 	fmt.Fprintf(w, "round latency  %s\n", res.RoundCycles.String())
 	fmt.Fprintf(w, "packet latency %s\n", res.PacketLatency.String())
 	fmt.Fprintf(w, "sink flits     %d (%.2f per row-reduction)\n", res.SinkFlits, res.SinkFlitsPerRow())

@@ -39,12 +39,46 @@ func TestRunAllPatterns(t *testing.T) {
 	}
 }
 
+func TestRunTorusSynthetic(t *testing.T) {
+	for _, routing := range []string{"xy", "oddeven", "westfirst"} {
+		var b strings.Builder
+		err := run([]string{
+			"-topology", "torus", "-routing", routing,
+			"-rows", "4", "-cols", "4", "-pattern", "uniform",
+			"-rate", "0.02", "-warmup", "100", "-measure", "400",
+		}, &b)
+		if err != nil {
+			t.Fatalf("%s: %v", routing, err)
+		}
+		if !strings.Contains(b.String(), "torus") {
+			t.Errorf("%s: output missing fabric name:\n%s", routing, b.String())
+		}
+	}
+}
+
+func TestRunTorusINA(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{
+		"-topology", "torus", "-rows", "4", "-cols", "4",
+		"-ina", "-inamode", "ina", "-inarounds", "2",
+	}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "oracle         exact row sums") {
+		t.Errorf("output missing oracle confirmation:\n%s", b.String())
+	}
+}
+
 func TestRunRejectsBadInputs(t *testing.T) {
 	cases := [][]string{
 		{"-pattern", "bogus"},
 		{"-rows", "0"},
 		{"-rate", "2.0"},
 		{"-vcs", "0"},
+		{"-topology", "hypercube"},
+		{"-routing", "zigzag"},
+		{"-topology", "torus", "-vcs", "1"},
 	}
 	for _, args := range cases {
 		var b strings.Builder

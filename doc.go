@@ -22,6 +22,17 @@
 // in one 2-flit packet instead of η gathered payloads, checked against a
 // software reduction oracle (reduce.Oracle).
 //
+// The interconnect fabric and routing algorithm are pluggable
+// (internal/topology): a Topology/Routing interface pair with mesh and
+// 2-D torus fabrics and XY dimension-order, west-first and odd-even
+// routing. On the torus, dimension-order routing exploits the wraparound
+// links under two dateline VC classes for deadlock freedom, and row
+// collection generalizes through noc.Network.RowCollect — two initiators
+// cover each row ring where no single minimal route can. The paper's
+// mesh + XY configuration remains the bit-pinned default; DESIGN.md §7
+// documents the interfaces, the deadlock arguments and the extension
+// guide.
+//
 // The root package carries the integration tests and the benchmark harness
 // (one benchmark per paper table/figure); the implementation lives under
 // internal/ — see README.md for the architecture map and DESIGN.md /

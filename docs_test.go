@@ -1,0 +1,118 @@
+package gathernoc
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// markdownFiles returns the repository's markdown files (the tree walked
+// from the module root, VCS and tool directories skipped).
+func markdownFiles(t *testing.T) []string {
+	t.Helper()
+	var files []string
+	err := filepath.Walk(".", func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if info.IsDir() {
+			if name := info.Name(); name == ".git" || name == ".github" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".md") {
+			files = append(files, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no markdown files found")
+	}
+	return files
+}
+
+// TestMarkdownLinksResolve is the docs gate's link check: every relative
+// markdown link target in the repository's documentation must exist on
+// disk, so renames and deletions cannot silently orphan the docs.
+// External schemes and pure anchors are out of scope (no network in CI).
+func TestMarkdownLinksResolve(t *testing.T) {
+	linkRE := regexp.MustCompile(`\]\(([^)\s]+)\)`)
+	for _, path := range markdownFiles(t) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range linkRE.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") ||
+				strings.HasPrefix(target, "#") {
+				continue
+			}
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			resolved := filepath.Join(filepath.Dir(path), target)
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: broken link %q (%v)", path, m[1], err)
+			}
+		}
+	}
+}
+
+// TestDesignSectionReferencesResolve verifies that every "DESIGN.md §N"
+// reference — in the markdown docs and in Go doc comments across the
+// tree — names a section heading that actually exists, so DESIGN.md
+// renumbering cannot strand stale pointers.
+func TestDesignSectionReferencesResolve(t *testing.T) {
+	design, err := os.ReadFile("DESIGN.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	headingRE := regexp.MustCompile(`(?m)^## §(\d+)`)
+	have := map[string]bool{}
+	for _, m := range headingRE.FindAllStringSubmatch(string(design), -1) {
+		have[m[1]] = true
+	}
+	if len(have) == 0 {
+		t.Fatal("DESIGN.md has no §N section headings")
+	}
+
+	refRE := regexp.MustCompile(`DESIGN(?:\.md)? (?:§|&sect;)(\d+)`)
+	var sources []string
+	sources = append(sources, markdownFiles(t)...)
+	err = filepath.Walk(".", func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if info.IsDir() {
+			if info.Name() == ".git" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") {
+			sources = append(sources, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range sources {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range refRE.FindAllStringSubmatch(string(data), -1) {
+			if !have[m[1]] {
+				t.Errorf("%s: references DESIGN.md §%s, which does not exist", path, m[1])
+			}
+		}
+	}
+}

@@ -34,7 +34,7 @@ func TestEngineEquivalenceLayers(t *testing.T) {
 			run := func(alwaysTick bool) *core.LayerReport {
 				t.Helper()
 				rep, err := core.RunLayer(8, 8, layer, mode, core.Options{
-					Rounds: 1,
+					Rounds:        1,
 					MutateNetwork: func(c *noc.Config) { c.AlwaysTick = alwaysTick },
 				})
 				if err != nil {

@@ -1,0 +1,67 @@
+package analytic
+
+import "fmt"
+
+// MaxHops returns the network diameter — the worst-case minimal hop count
+// between two nodes — for an n×m fabric of the named topology ("mesh" or
+// "torus"; "" selects mesh). The torus halves each dimension's worst case
+// because minimal routes take the shorter way around the ring.
+func MaxHops(topology string, n, m int) (int, error) {
+	if n < 1 || m < 1 {
+		return 0, fmt.Errorf("analytic: fabric %dx%d invalid", n, m)
+	}
+	switch topology {
+	case "", "mesh":
+		return (n - 1) + (m - 1), nil
+	case "torus":
+		return n/2 + m/2, nil
+	default:
+		return 0, fmt.Errorf("analytic: unknown topology %q (mesh, torus)", topology)
+	}
+}
+
+// UniformMeanHops returns the expected minimal hop count between a
+// uniformly random ordered pair of distinct nodes on an n×m fabric of the
+// named topology — the analytic bound that minimal routing (XY on the
+// mesh, wrap-aware dimension-order on the torus) achieves exactly, and
+// that the hop cross-validation tests check the simulator against.
+//
+// Per dimension of length k the mean absolute offset between two
+// independent uniform positions is (k²-1)/(3k) on a line and k/4 (k even)
+// or (k²-1)/(4k) (k odd) on a ring; dimensions are independent, and
+// conditioning on distinct nodes scales the sum by N/(N-1).
+func UniformMeanHops(topology string, n, m int) (float64, error) {
+	if n < 1 || m < 1 {
+		return 0, fmt.Errorf("analytic: fabric %dx%d invalid", n, m)
+	}
+	nodes := float64(n * m)
+	if nodes < 2 {
+		return 0, nil
+	}
+	var mean float64
+	switch topology {
+	case "", "mesh":
+		mean = lineMeanDist(n) + lineMeanDist(m)
+	case "torus":
+		mean = ringMeanDist(n) + ringMeanDist(m)
+	default:
+		return 0, fmt.Errorf("analytic: unknown topology %q (mesh, torus)", topology)
+	}
+	return mean * nodes / (nodes - 1), nil
+}
+
+// lineMeanDist is E[|a-b|] for independent uniform a,b in [0,k).
+func lineMeanDist(k int) float64 {
+	fk := float64(k)
+	return (fk*fk - 1) / (3 * fk)
+}
+
+// ringMeanDist is E[min(|a-b|, k-|a-b|)] for independent uniform a,b in
+// [0,k).
+func ringMeanDist(k int) float64 {
+	fk := float64(k)
+	if k%2 == 0 {
+		return fk / 4
+	}
+	return (fk*fk - 1) / (4 * fk)
+}

@@ -1,0 +1,69 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+
+	"gathernoc/internal/topology"
+)
+
+func TestMaxHops(t *testing.T) {
+	cases := []struct {
+		topo string
+		n, m int
+		want int
+	}{
+		{"mesh", 8, 8, 14},
+		{"", 8, 8, 14},
+		{"torus", 8, 8, 8},
+		{"torus", 5, 7, 5},
+		{"mesh", 1, 1, 0},
+	}
+	for _, c := range cases {
+		got, err := MaxHops(c.topo, c.n, c.m)
+		if err != nil || got != c.want {
+			t.Errorf("MaxHops(%q,%d,%d) = %d,%v want %d", c.topo, c.n, c.m, got, err, c.want)
+		}
+	}
+	if _, err := MaxHops("ring", 4, 4); err == nil {
+		t.Error("unknown topology accepted")
+	}
+	if _, err := MaxHops("mesh", 0, 4); err == nil {
+		t.Error("bad size accepted")
+	}
+}
+
+// TestUniformMeanHopsMatchesExhaustive cross-checks the closed form
+// against a brute-force average over all distinct ordered pairs using the
+// topology package's own Hops.
+func TestUniformMeanHopsMatchesExhaustive(t *testing.T) {
+	for _, c := range []struct {
+		topoName string
+		n, m     int
+	}{
+		{"mesh", 4, 4}, {"mesh", 5, 7}, {"torus", 4, 4}, {"torus", 5, 7}, {"torus", 6, 3},
+	} {
+		topo, err := topology.New(c.topoName, c.n, c.m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum, pairs := 0, 0
+		for a := 0; a < topo.NumNodes(); a++ {
+			for b := 0; b < topo.NumNodes(); b++ {
+				if a == b {
+					continue
+				}
+				sum += topo.Hops(topology.NodeID(a), topology.NodeID(b))
+				pairs++
+			}
+		}
+		want := float64(sum) / float64(pairs)
+		got, err := UniformMeanHops(c.topoName, c.n, c.m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("UniformMeanHops(%q,%d,%d) = %v, exhaustive %v", c.topoName, c.n, c.m, got, want)
+		}
+	}
+}

@@ -9,7 +9,7 @@ func topologyCoord(row, col int) topology.Coord {
 
 // topologyRowSet returns the destination set of every PE in the row except
 // column 0 (the multicast source).
-func topologyRowSet(m *topology.Mesh, row, cols int) *topology.DestSet {
+func topologyRowSet(m topology.Topology, row, cols int) *topology.DestSet {
 	s := topology.NewDestSet(m.NumNodes())
 	for c := 1; c < cols; c++ {
 		s.Add(m.ID(topology.Coord{Row: row, Col: c}))

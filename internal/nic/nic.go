@@ -8,6 +8,11 @@
 // protocol mirrors it operand for payload: SubmitReduceOperand offers the
 // partial sum to the router's accumulation station and SendAccumulate is
 // both the row-initiator path and the reduce-δ fallback.
+//
+// The NIC is topology-agnostic: destinations are opaque NodeIDs, routing
+// and fabric shape live behind the network layer's topology.Routing, and
+// who initiates a row's collective packet is decided by the network's
+// RowCollect plan, not here (DESIGN.md §7).
 package nic
 
 import (

@@ -1,0 +1,146 @@
+package noc
+
+import "gathernoc/internal/topology"
+
+// RowCollect is the network's plan for collecting one row's partial sums
+// at a single target — the generalization of the paper's "leftmost PE
+// launches a packet that merges while flowing east" to fabrics without an
+// east edge. The workload layers (gather and INA collection) consume only
+// this plan, so they carry no topology or routing assumptions of their
+// own:
+//
+//   - On a mesh with east sinks, the target is the row's global-buffer
+//     sink and the single initiator is the column-0 PE, whose
+//     deterministic route to the sink sweeps the entire row — the paper's
+//     configuration, bit-identical to the pre-plan controller.
+//   - On a torus under wrap-aware dimension-order routing, minimal routes
+//     span at most half a ring, so no single packet can sweep the row;
+//     the plan instead names two initiators — the farthest node of each
+//     ring direction — whose routes to the east-column target jointly
+//     cover every PE of the row.
+//
+// DeltaScale preserves the δ-timeout discipline across all of this: a
+// node's timeout is scaled with its hop distance from the initiator that
+// sweeps past it, so a packet already in flight is not preempted by a
+// spurious self-initiation (DESIGN.md §3 and §7).
+type RowCollect struct {
+	// Row is the collected row.
+	Row int
+	// Target receives the row's payloads: the row sink id when east sinks
+	// are enabled, otherwise the east-column PE's node id.
+	Target topology.NodeID
+	// TargetIsSink distinguishes the two target kinds.
+	TargetIsSink bool
+	// Initiators lists the nodes that launch the row's collective
+	// packet(s); every other row node offers its payload to the local
+	// station and waits for a passing packet.
+	Initiators []topology.NodeID
+	// DeltaScale[col] is the δ multiplier for the PE in that column:
+	// 1 + its hop distance from the initiator whose packet sweeps it.
+	DeltaScale []int
+}
+
+// IsInitiator reports whether id launches one of the row's collective
+// packets.
+func (rc *RowCollect) IsInitiator(id topology.NodeID) bool {
+	for _, init := range rc.Initiators {
+		if init == id {
+			return true
+		}
+	}
+	return false
+}
+
+// RowCollect plans the collection of the given row's partial sums (see
+// the RowCollect type for the per-topology strategies).
+func (nw *Network) RowCollect(row int) RowCollect {
+	cols := nw.cfg.Cols
+	topo := nw.topo
+	edge := topo.ID(topology.Coord{Row: row, Col: cols - 1})
+	rc := RowCollect{
+		Row:        row,
+		Target:     edge,
+		DeltaScale: make([]int, cols),
+	}
+	if len(nw.sinks) > 0 {
+		rc.Target = nw.RowSinkID(row)
+		rc.TargetIsSink = true
+	}
+
+	if nw.routing.VCClasses() > 1 {
+		// Wrap-aware routing (torus dimension-order with dateline VC
+		// classes): cover the row ring with two initiators, the farthest
+		// node of each direction. ringStep ties break east, so the
+		// eastbound arc may span ⌊cols/2⌋ hops and the westbound arc the
+		// remaining ⌈cols/2⌉-1.
+		t := cols - 1
+		east := pmod(t-cols/2, cols)
+		west := pmod(t+(cols+1)/2-1, cols)
+		if east != t {
+			rc.Initiators = append(rc.Initiators, topo.ID(topology.Coord{Row: row, Col: east}))
+		}
+		if west != t && west != east {
+			rc.Initiators = append(rc.Initiators, topo.ID(topology.Coord{Row: row, Col: west}))
+		}
+		for col := 0; col < cols; col++ {
+			if d := pmod(t-col, cols); d <= cols-d {
+				// Swept by the eastbound packet.
+				rc.DeltaScale[col] = 1 + pmod(col-east, cols)
+			} else {
+				rc.DeltaScale[col] = 1 + pmod(west-col, cols)
+			}
+		}
+		return rc
+	}
+
+	// Mesh-path routing (mesh fabrics, and turn-model routings confined
+	// to a torus's mesh sub-network): the column-0 initiator's route to
+	// the east-column target is the straight row sweep under every
+	// built-in algorithm — same-row destinations leave no adaptivity.
+	if cols > 1 || rc.TargetIsSink {
+		rc.Initiators = append(rc.Initiators, topo.ID(topology.Coord{Row: row, Col: 0}))
+	}
+	for col := 0; col < cols; col++ {
+		rc.DeltaScale[col] = 1 + col
+	}
+	return rc
+}
+
+// pmod is the positive remainder of v modulo size (size > 0).
+func pmod(v, size int) int {
+	v %= size
+	if v < 0 {
+		v += size
+	}
+	return v
+}
+
+// CollectHops returns the hop count a payload from node id pays to reach
+// the row-collection target (the sink link included when the target is a
+// sink) — the per-operand wire cost the merge-savings accounting charges
+// against repetitive unicast. The distance follows the configured
+// routing's effective fabric: turn-model routings on a torus never take
+// wrap links, so their packets pay mesh-grid distances even though the
+// topology's minimal distance is shorter.
+func (nw *Network) CollectHops(id topology.NodeID, rc *RowCollect) int {
+	edge := rc.Target
+	extra := 0
+	if rc.TargetIsSink {
+		edge = nw.topo.ID(topology.Coord{Row: rc.Row, Col: nw.cfg.Cols - 1})
+		extra = 1
+	}
+	if nw.routing.VCClasses() > 1 {
+		// Wrap-aware routing: the topology's minimal distance is achieved.
+		return nw.topo.Hops(id, edge) + extra
+	}
+	ca, cb := nw.topo.Coord(id), nw.topo.Coord(edge)
+	return iabs(ca.Row-cb.Row) + iabs(ca.Col-cb.Col) + extra
+}
+
+// iabs is the integer absolute value.
+func iabs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -2,17 +2,28 @@ package noc
 
 import (
 	"fmt"
+	"slices"
+	"strings"
 
 	"gathernoc/internal/flit"
 	"gathernoc/internal/router"
+	"gathernoc/internal/topology"
 )
 
 // Config describes a complete network instance. DefaultConfig returns the
 // paper's Table I settings.
 type Config struct {
-	// Rows and Cols give the mesh dimensions (Table I: 8x8 and 16x16).
+	// Rows and Cols give the fabric dimensions (Table I: 8x8 and 16x16).
 	Rows int
 	Cols int
+	// Topology selects the interconnect fabric: "" or "mesh" for the
+	// paper's 2-D mesh, or "torus" for the wraparound variant. The torus
+	// has no east edge, so it is incompatible with EastSinks (row
+	// collection targets the row's east-column PE instead) and, under
+	// dimension-order routing, partitions the VCs into two dateline
+	// classes — which excludes the GatherVC reservation and needs
+	// Router.VCs >= 2. Validate spells out each conflict.
+	Topology string
 	// Router holds the per-router microarchitecture parameters.
 	Router router.Config
 	// LinkLatency is the flit traversal time of every channel in cycles.
@@ -53,9 +64,12 @@ type Config struct {
 	// SinkDrainRate is the buffer sink drain rate in flits/cycle.
 	SinkDrainRate int
 	// Routing selects the unicast/gather routing algorithm: "" or "xy"
-	// for deterministic dimension-order routing (the paper's setting), or
-	// "westfirst" for minimal adaptive west-first turn-model routing with
-	// credit-based output selection. Multicast always uses the XY tree.
+	// for deterministic dimension-order routing (the paper's setting; on
+	// the torus the wrap-aware minimal variant with dateline VC classes),
+	// "westfirst" for minimal adaptive west-first turn-model routing, or
+	// "oddeven" for the odd-even turn model — both with credit-based
+	// output selection, and both confined to the mesh sub-network on a
+	// torus (see topology.NewRouting). Multicast always uses the XY tree.
 	Routing string
 	// AlwaysTick disables the engine's sleep/wake scheduling, evaluating
 	// every router, link and NIC every cycle. The default (false) skips
@@ -81,6 +95,18 @@ type Config struct {
 	SinkPacketOverhead int64
 }
 
+// DefaultTorusConfig returns the Table I configuration transplanted onto
+// a rows×cols torus: east sinks are disabled (the torus has no east edge;
+// row collection targets the row's east-column PE, see
+// Network.RowCollect) and the default dimension-order routing uses
+// dateline VC classes for deadlock freedom.
+func DefaultTorusConfig(rows, cols int) Config {
+	cfg := DefaultConfig(rows, cols)
+	cfg.Topology = "torus"
+	cfg.EastSinks = false
+	return cfg
+}
+
 // DefaultConfig returns the Table I network configuration for a rows×cols
 // mesh with east-edge global-buffer sinks.
 func DefaultConfig(rows, cols int) Config {
@@ -100,11 +126,31 @@ func DefaultConfig(rows, cols int) Config {
 	}
 }
 
-// Validate reports configuration errors.
+// EffectiveTopology resolves the topology default ("") to "mesh".
+func (c Config) EffectiveTopology() string {
+	if c.Topology == "" {
+		return "mesh"
+	}
+	return c.Topology
+}
+
+// EffectiveRouting resolves the routing default ("") to "xy".
+func (c Config) EffectiveRouting() string {
+	if c.Routing == "" {
+		return "xy"
+	}
+	return c.Routing
+}
+
+// Validate reports configuration errors, including inconsistent
+// topology/routing/sink combinations: a config that would silently
+// misroute (east sinks hanging off a wrapped torus edge, a dedicated
+// gather VC colliding with the dateline VC classes) is rejected with an
+// error naming the conflict instead of producing wrong schedules.
 func (c Config) Validate() error {
 	switch {
 	case c.Rows < 1 || c.Cols < 1:
-		return fmt.Errorf("noc: mesh %dx%d invalid", c.Rows, c.Cols)
+		return fmt.Errorf("noc: fabric %dx%d invalid", c.Rows, c.Cols)
 	case c.LinkLatency < 1:
 		return fmt.Errorf("noc: LinkLatency must be >= 1, got %d", c.LinkLatency)
 	case c.UnicastFlits < 1:
@@ -121,8 +167,22 @@ func (c Config) Validate() error {
 		return fmt.Errorf("noc: SinkDrainRate must be >= 1, got %d", c.SinkDrainRate)
 	case c.SinkPacketOverhead < 0:
 		return fmt.Errorf("noc: SinkPacketOverhead must be >= 0, got %d", c.SinkPacketOverhead)
-	case c.Routing != "" && c.Routing != "xy" && c.Routing != "westfirst":
-		return fmt.Errorf("noc: unknown routing %q (xy, westfirst)", c.Routing)
+	case c.Topology != "" && !slices.Contains(topology.TopologyNames(), c.Topology):
+		return fmt.Errorf("noc: unknown topology %q (%s)", c.Topology, strings.Join(topology.TopologyNames(), ", "))
+	case c.Routing != "" && !slices.Contains(topology.RoutingNames(), c.Routing):
+		return fmt.Errorf("noc: unknown routing %q (%s)", c.Routing, strings.Join(topology.RoutingNames(), ", "))
+	}
+	if c.EffectiveTopology() == "torus" {
+		switch {
+		case c.EastSinks:
+			return fmt.Errorf("noc: EastSinks needs a mesh east edge, but on a torus every east port wraps around; " +
+				"disable EastSinks (row collection then targets the row's east-column PE, see Network.RowCollect)")
+		case c.EffectiveRouting() == "xy" && c.Router.VCs < 2:
+			return fmt.Errorf("noc: torus dimension-order routing needs Router.VCs >= 2 for its dateline VC classes, got %d", c.Router.VCs)
+		case c.EffectiveRouting() == "xy" && c.Router.GatherVC >= 0:
+			return fmt.Errorf("noc: GatherVC %d conflicts with the torus dateline VC classes; "+
+				"use GatherVC=-1 or an adaptive routing (westfirst, oddeven)", c.Router.GatherVC)
+		}
 	}
 	return c.Router.Validate()
 }

@@ -15,7 +15,7 @@ var heatGlyphs = []byte{'.', ':', '-', '=', '+', '*', '#', '@'}
 // peak count in the footer. Useful for eyeballing where traffic
 // concentrates — e.g. the east-edge column under repetitive unicast.
 func (nw *Network) UtilizationHeatmap() string {
-	counts := make([]uint64, nw.mesh.NumNodes())
+	counts := make([]uint64, nw.topo.NumNodes())
 	var peak uint64
 	for i, r := range nw.routers {
 		counts[i] = r.Counters.Crossings.Value()
@@ -26,7 +26,7 @@ func (nw *Network) UtilizationHeatmap() string {
 	var b strings.Builder
 	for row := 0; row < nw.cfg.Rows; row++ {
 		for col := 0; col < nw.cfg.Cols; col++ {
-			id := nw.mesh.ID(topology.Coord{Row: row, Col: col})
+			id := nw.topo.ID(topology.Coord{Row: row, Col: col})
 			b.WriteByte(glyphFor(counts[id], peak))
 			if col < nw.cfg.Cols-1 {
 				b.WriteByte(' ')

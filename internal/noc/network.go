@@ -1,7 +1,10 @@
 // Package noc assembles routers, links, network interfaces and
-// global-buffer edge sinks into a runnable mesh network, providing node
-// addressing (including the virtual sink nodes past the east edge), drain
-// detection and aggregate activity counts for the power model.
+// global-buffer edge sinks into a runnable network on any
+// topology.Topology/Routing pair (2-D mesh or torus; dimension-order,
+// west-first or odd-even routing), providing node addressing (including
+// the virtual sink nodes past the mesh's east edge), row-collection path
+// planning (RowCollect), drain detection and aggregate activity counts
+// for the power model.
 package noc
 
 import (
@@ -43,14 +46,15 @@ func (s *EdgeSink) Tick(cycle int64) { s.ej.Tick(cycle) }
 // pure no-op; flit deliveries wake it through the ejector's handle.
 func (s *EdgeSink) Idle() bool { return s.ej.Buffered() == 0 }
 
-// Network is a fully wired mesh NoC. Create with New, drive through
-// Engine() or the Run helpers.
+// Network is a fully wired NoC on the configured topology. Create with
+// New, drive through Engine() or the Run helpers.
 type Network struct {
-	cfg    Config
-	mesh   *topology.Mesh
-	format *flit.Format
-	engine *sim.Engine
-	pool   *flit.Pool
+	cfg     Config
+	topo    topology.Topology
+	routing topology.Routing
+	format  *flit.Format
+	engine  *sim.Engine
+	pool    *flit.Pool
 
 	routers []*router.Router
 	nics    []*nic.NIC
@@ -63,6 +67,12 @@ type Network struct {
 	// branch values out, never mutating the slice.
 	portBranch [topology.NumPorts][]topology.MulticastBranch
 
+	// routeScratch backs adaptive port lists handed to the router, which
+	// consumes them inside completeRC and never retains them; reusing it
+	// keeps adaptive route computation allocation-free. Routing runs on
+	// the engine goroutine only, so one buffer suffices.
+	routeScratch [4]topology.Port
+
 	packetSeq uint64
 }
 
@@ -71,42 +81,66 @@ func New(cfg Config) (*Network, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	mesh, err := topology.NewMesh(cfg.Rows, cfg.Cols)
+	topo, err := topology.New(cfg.Topology, cfg.Rows, cfg.Cols)
 	if err != nil {
 		return nil, err
 	}
-	format, err := flit.NewFormat(cfg.FlitBits, cfg.PayloadBits, mesh.NumNodes()+cfg.Rows)
+	routing, err := topology.NewRouting(cfg.Routing, topo)
+	if err != nil {
+		return nil, err
+	}
+	if routing.Adaptive() && routing.VCClasses() > 1 {
+		// The adaptive path hands the router alternative ports without
+		// per-alternative dateline classes (the port is picked at VA
+		// time), so a multi-class adaptive routing would allocate outside
+		// its class and could deadlock. No built-in routing hits this;
+		// reject custom ones until Route carries per-alternative classes.
+		return nil, fmt.Errorf("noc: adaptive routing %q with %d VC classes is unsupported (see DESIGN.md §7)",
+			routing.Name(), routing.VCClasses())
+	}
+	format, err := flit.NewFormat(cfg.FlitBits, cfg.PayloadBits, topo.NumNodes()+cfg.Rows)
 	if err != nil {
 		return nil, err
 	}
 	nw := &Network{
-		cfg:    cfg,
-		mesh:   mesh,
-		format: format,
-		engine: sim.NewEngine(),
-		pool:   flit.NewPool(),
+		cfg:     cfg,
+		topo:    topo,
+		routing: routing,
+		format:  format,
+		engine:  sim.NewEngine(),
+		pool:    flit.NewPool(),
 	}
 	nw.pool.SetDebug(cfg.DebugFlitPool)
 	for p := 0; p < topology.NumPorts; p++ {
 		nw.portBranch[p] = []topology.MulticastBranch{{Out: topology.Port(p)}}
 	}
 
-	// Routers.
-	nw.routers = make([]*router.Router, mesh.NumNodes())
-	for id := 0; id < mesh.NumNodes(); id++ {
-		r, err := router.New(topology.NodeID(id), cfg.Router, nw.routeFlit)
+	// Routers. The routing algorithm dictates the dateline VC partition
+	// (2 classes for torus dimension-order routing, 1 otherwise).
+	rcfg := cfg.Router
+	if n := routing.VCClasses(); n > 1 {
+		rcfg.VCClasses = n
+	}
+	nw.routers = make([]*router.Router, topo.NumNodes())
+	for id := 0; id < topo.NumNodes(); id++ {
+		r, err := router.New(topology.NodeID(id), rcfg, nw.routeFlit)
 		if err != nil {
 			return nil, err
 		}
 		nw.routers[id] = r
 	}
 
-	// Inter-router links (both directions of every mesh edge).
-	for id := 0; id < mesh.NumNodes(); id++ {
+	// Inter-router links (both directions of every fabric edge). Scanning
+	// every node's east and south ports enumerates each undirected edge
+	// exactly once on the mesh and on the torus — a wraparound edge is
+	// seen only from its east/south end.
+	for id := 0; id < topo.NumNodes(); id++ {
 		src := nw.routers[id]
 		for _, p := range []topology.Port{topology.EastPort, topology.SouthPort} {
-			nbID, ok := mesh.Neighbor(topology.NodeID(id), p)
-			if !ok {
+			nbID, ok := topo.Neighbor(topology.NodeID(id), p)
+			if !ok || nbID == topology.NodeID(id) {
+				// Degenerate 1-wide torus rings wrap onto themselves; no
+				// routing function ever uses such a link, so skip it.
 				continue
 			}
 			dst := nw.routers[nbID]
@@ -130,8 +164,8 @@ func New(cfg Config) (*Network, error) {
 		GatherVC:          cfg.Router.GatherVC,
 		Format:            format,
 	}
-	nw.nics = make([]*nic.NIC, mesh.NumNodes())
-	for id := 0; id < mesh.NumNodes(); id++ {
+	nw.nics = make([]*nic.NIC, topo.NumNodes())
+	for id := 0; id < topo.NumNodes(); id++ {
 		n, err := nic.New(topology.NodeID(id), nicCfg, nw.routers[id], nw.nextPacketID)
 		if err != nil {
 			return nil, err
@@ -150,11 +184,12 @@ func New(cfg Config) (*Network, error) {
 		nw.links = append(nw.links, ej)
 	}
 
-	// Global-buffer sinks past the east edge.
+	// Global-buffer sinks past the east edge (mesh only: Validate rejects
+	// EastSinks on a torus, whose east ports wrap around).
 	if cfg.EastSinks {
 		nw.sinks = make([]*EdgeSink, cfg.Rows)
 		for row := 0; row < cfg.Rows; row++ {
-			edge := nw.routers[mesh.ID(topology.Coord{Row: row, Col: cfg.Cols - 1})]
+			edge := nw.routers[topo.ID(topology.Coord{Row: row, Col: cfg.Cols - 1})]
 			s := &EdgeSink{
 				id:  nw.RowSinkID(row),
 				row: row,
@@ -218,8 +253,18 @@ func (nw *Network) nextPacketID() uint64 {
 // Config returns the network's configuration.
 func (nw *Network) Config() Config { return nw.cfg }
 
+// Topology returns the fabric the network is wired on.
+func (nw *Network) Topology() topology.Topology { return nw.topo }
+
+// Routing returns the routing algorithm steering the network's packets.
+func (nw *Network) Routing() topology.Routing { return nw.routing }
+
 // Mesh returns the underlying topology.
-func (nw *Network) Mesh() *topology.Mesh { return nw.mesh }
+//
+// Deprecated: the fabric is not necessarily a mesh anymore; use Topology.
+// Retained because the coordinate-grid methods (ID, Coord, Hops, ...) are
+// what every caller used, and those live on the interface.
+func (nw *Network) Mesh() topology.Topology { return nw.topo }
 
 // Format returns the wire format.
 func (nw *Network) Format() *flit.Format { return nw.format }
@@ -249,22 +294,22 @@ func (nw *Network) Sink(row int) *EdgeSink {
 // RowSinkID returns the virtual node id addressing the global-buffer sink
 // of the given row. Sink ids live just past the PE id space.
 func (nw *Network) RowSinkID(row int) topology.NodeID {
-	return topology.NodeID(nw.mesh.NumNodes() + row)
+	return topology.NodeID(nw.topo.NumNodes() + row)
 }
 
 // IsSinkID reports whether id addresses an edge sink.
 func (nw *Network) IsSinkID(id topology.NodeID) bool {
-	n := nw.mesh.NumNodes()
+	n := nw.topo.NumNodes()
 	return int(id) >= n && int(id) < n+len(nw.sinks)
 }
 
-// routeFlit is the RoutingFunc shared by all routers: XY (or adaptive
-// west-first, per Config.Routing) for unicast and gather — extended to the
-// virtual sink nodes past the east edge — and XY-tree branching for
-// multicast.
+// routeFlit is the RoutingFunc shared by all routers: the configured
+// topology.Routing for unicast, gather and accumulate traffic — extended
+// to the virtual sink nodes past the mesh's east edge — and XY-tree
+// branching for multicast.
 func (nw *Network) routeFlit(cur topology.NodeID, f *flit.Flit) router.Route {
 	if f.PT == flit.Multicast {
-		branches, local := nw.mesh.MulticastRoute(cur, f.MDst)
+		branches, local := topology.MulticastRoute(nw.topo, cur, f.MDst)
 		rt := router.Route{Branches: branches}
 		if local {
 			rt.Branches = append(rt.Branches, topology.MulticastBranch{Out: topology.LocalPort})
@@ -273,25 +318,33 @@ func (nw *Network) routeFlit(cur topology.NodeID, f *flit.Flit) router.Route {
 	}
 	dst := f.Dst
 	if nw.IsSinkID(dst) {
-		row := int(dst) - nw.mesh.NumNodes()
-		edge := nw.mesh.ID(topology.Coord{Row: row, Col: nw.cfg.Cols - 1})
+		row := int(dst) - nw.topo.NumNodes()
+		edge := nw.topo.ID(topology.Coord{Row: row, Col: nw.cfg.Cols - 1})
 		if cur == edge {
 			return router.Route{Branches: nw.portBranch[topology.EastPort]}
 		}
-		return nw.unicastRoute(cur, edge)
+		return nw.unicastRoute(f.Src, cur, edge)
 	}
-	return nw.unicastRoute(cur, dst)
+	return nw.unicastRoute(f.Src, cur, dst)
 }
 
-func (nw *Network) unicastRoute(cur, dst topology.NodeID) router.Route {
-	if nw.cfg.Routing == "westfirst" && cur != dst {
-		ports := nw.mesh.WestFirstPorts(cur, dst)
-		if len(ports) == 1 {
-			return router.Route{Branches: nw.portBranch[ports[0]]}
+// unicastRoute translates the routing algorithm's port set into a
+// router.Route: a shared single-branch route (plus the hop's dateline VC
+// class) when deterministic, an adaptive alternative list when several
+// ports are productive, and local delivery when the packet has arrived.
+func (nw *Network) unicastRoute(src, cur, dst topology.NodeID) router.Route {
+	ports := nw.routing.AppendPorts(nw.routeScratch[:0], src, cur, dst)
+	switch len(ports) {
+	case 0:
+		return router.Route{Branches: nw.portBranch[topology.LocalPort]}
+	case 1:
+		return router.Route{
+			Branches: nw.portBranch[ports[0]],
+			VCClass:  nw.routing.VCClass(cur, dst, ports[0]),
 		}
+	default:
 		return router.Route{Adaptive: ports}
 	}
-	return router.Route{Branches: nw.portBranch[nw.mesh.XYRoute(cur, dst)]}
 }
 
 // InFlight reports the total flits buffered in routers, traversing links,

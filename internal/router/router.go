@@ -1,11 +1,17 @@
-// Package router implements the virtual-channel wormhole mesh router of
+// Package router implements the virtual-channel wormhole router of
 // Sec. IV of the paper: a Fig. 5 pipeline (route computation, VC
 // allocation, switch allocation, switch traversal) with credit-based flow
-// control, round-robin separable allocators, XY-tree multicast forking, and
+// control, round-robin separable allocators, multicast-tree forking, and
 // the gather extensions — the Gather Load Generator and Gather Payload
 // blocks of Fig. 6 that let a passing gather packet pick up the local PE's
 // partial-sum payload with zero added pipeline latency (the upload uses the
 // body/tail flits' idle RC/VA stage slots).
+//
+// The router is fabric-agnostic: route computation delegates to a
+// RoutingFunc the network layer builds from its topology.Routing, and the
+// Route it returns carries the output ports (deterministic branches or
+// adaptive alternatives) plus the dateline VC class torus routing needs
+// (Config.VCClasses, DESIGN.md §7).
 package router
 
 import (
@@ -44,6 +50,15 @@ type Config struct {
 	// ReduceQueueCap bounds the accumulation station queue (>= 1), the
 	// INA sibling of GatherQueueCap.
 	ReduceQueueCap int
+	// VCClasses partitions the virtual channels into dateline classes for
+	// deadlock-free torus routing: a packet whose Route carries VCClass k
+	// may only allocate downstream VCs of class k (VC v belongs to class
+	// v*VCClasses/VCs). 0 or 1 disables the partition — every VC is one
+	// class, the mesh configuration, where schedules are bit-identical to
+	// the pre-partition router. Must not exceed VCs, and is mutually
+	// exclusive with GatherVC (a VC cannot be reserved for collectives and
+	// pinned to a dateline class at once).
+	VCClasses int
 }
 
 // DefaultConfig returns the Table I router configuration.
@@ -70,6 +85,10 @@ func (c Config) Validate() error {
 		return fmt.Errorf("router: stage delays must be >= 1, got RC=%d VA=%d", c.RCDelay, c.VADelay)
 	case c.GatherVC >= c.VCs:
 		return fmt.Errorf("router: GatherVC %d out of range (VCs=%d)", c.GatherVC, c.VCs)
+	case c.VCClasses < 0 || c.VCClasses > c.VCs:
+		return fmt.Errorf("router: VCClasses %d out of range (VCs=%d)", c.VCClasses, c.VCs)
+	case c.VCClasses > 1 && c.GatherVC >= 0:
+		return fmt.Errorf("router: GatherVC %d incompatible with VCClasses %d (a VC cannot serve both policies)", c.GatherVC, c.VCClasses)
 	}
 	return nil
 }
@@ -83,9 +102,14 @@ func (c Config) Validate() error {
 // the alternative with the most downstream credit at route-computation
 // time (deterministic: ties break toward the earlier entry) and ignores
 // Branches.
+//
+// VCClass is the dateline virtual-channel class the hop must allocate its
+// downstream VC from (see Config.VCClasses and topology.Routing.VCClass);
+// it is 0 for every mesh routing and for multicast trees.
 type Route struct {
 	Branches []topology.MulticastBranch
 	Adaptive []topology.Port
+	VCClass  int
 }
 
 // RoutingFunc computes the Route for a packet's head flit at node cur. The
@@ -133,6 +157,7 @@ type inputVC struct {
 	wait  int // remaining cycles in the current multi-cycle stage
 
 	branches []branchState
+	vcClass  int // dateline class of the packet's current hop (VA restriction)
 
 	// Gather Load Generator state (Fig. 3b / Algorithm 1).
 	gatherLoad  bool
@@ -436,6 +461,7 @@ func (r *Router) rcStage() {
 func (r *Router) completeRC(vc *inputVC) {
 	f := vc.head()
 	rt := r.route(r.id, f)
+	vc.vcClass = rt.VCClass
 	vc.branches = vc.branches[:0]
 	if len(rt.Adaptive) > 0 {
 		vc.branches = append(vc.branches, branchState{out: r.pickAdaptive(rt.Adaptive), vc: -1})
@@ -520,7 +546,7 @@ func (r *Router) vaStage(cycle int64) {
 			}
 			alloc := -1
 			for dv := 0; dv < len(out.credits); dv++ {
-				if !r.vcAllowed(f.PT, dv, len(out.credits)) {
+				if !r.vcAllowed(f.PT, dv, len(out.credits), vc.vcClass, br.out != topology.LocalPort) {
 					continue
 				}
 				if out.vcFree(dv) {
@@ -566,10 +592,22 @@ func (r *Router) pickAdaptive(alts []topology.Port) topology.Port {
 	return best
 }
 
-// vcAllowed applies the dedicated-collective-VC policy for a downstream
-// channel with nVCs virtual channels: gather and accumulate packets share
-// the reserved VC, all other traffic keeps off it.
-func (r *Router) vcAllowed(pt flit.PacketType, vc, nVCs int) bool {
+// vcAllowed applies the downstream-VC policies for a channel with nVCs
+// virtual channels. With VCClasses > 1 the VCs are partitioned into
+// dateline classes and the packet may only allocate within class (the
+// torus deadlock-avoidance scheme); otherwise the dedicated-collective-VC
+// policy applies: gather and accumulate packets share the reserved VC,
+// all other traffic keeps off it. The two policies are mutually exclusive
+// (Config.Validate).
+//
+// datelined is false for the ejection channel (the LocalPort output):
+// ejectors drain unconditionally, so ejection channels are pure sinks of
+// the dependency graph and need no class partition — restricting them
+// would halve ejection parallelism on the torus for nothing.
+func (r *Router) vcAllowed(pt flit.PacketType, vc, nVCs, class int, datelined bool) bool {
+	if c := r.cfg.VCClasses; c > 1 && datelined {
+		return vc*c/nVCs == class
+	}
 	g := r.cfg.GatherVC
 	if g < 0 || g >= nVCs {
 		return true

@@ -22,6 +22,11 @@ func TestConfigValidate(t *testing.T) {
 		{"zero va", func(c *Config) { c.VADelay = 0 }, false},
 		{"gather vc out of range", func(c *Config) { c.GatherVC = 4 }, false},
 		{"gather vc in range", func(c *Config) { c.GatherVC = 3 }, true},
+		{"vc classes zero value", func(c *Config) { c.VCClasses = 0 }, true},
+		{"vc classes dateline", func(c *Config) { c.VCClasses = 2 }, true},
+		{"vc classes exceed vcs", func(c *Config) { c.VCClasses = 5 }, false},
+		{"vc classes negative", func(c *Config) { c.VCClasses = -1 }, false},
+		{"vc classes vs gather vc", func(c *Config) { c.VCClasses = 2; c.GatherVC = 3 }, false},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -32,6 +37,41 @@ func TestConfigValidate(t *testing.T) {
 				t.Errorf("Validate() err = %v, wantOK %v", err, tt.wantOK)
 			}
 		})
+	}
+}
+
+// TestVCClassPartition pins the dateline VC partition arithmetic: with C
+// classes over V VCs, VC v belongs to class v*C/V, each class non-empty.
+func TestVCClassPartition(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.VCClasses = 2
+	r, err := New(0, cfg, func(topology.NodeID, *flit.Flit) Route { return Route{} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for vc, want := range []int{0, 0, 1, 1} {
+		for class := 0; class < 2; class++ {
+			got := r.vcAllowed(flit.Unicast, vc, cfg.VCs, class, true)
+			if got != (class == want) {
+				t.Errorf("vcAllowed(vc=%d, class=%d) = %v, want %v", vc, class, got, class == want)
+			}
+			// The ejection channel (datelined=false) is a dependency-graph
+			// sink: no partition applies there even with VCClasses set.
+			if !r.vcAllowed(flit.Unicast, vc, cfg.VCs, class, false) {
+				t.Errorf("ejection vcAllowed(vc=%d, class=%d) = false", vc, class)
+			}
+		}
+	}
+	// Single-class configs ignore the partition entirely.
+	cfg.VCClasses = 1
+	r1, err := New(0, cfg, func(topology.NodeID, *flit.Flit) Route { return Route{} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for vc := 0; vc < cfg.VCs; vc++ {
+		if !r1.vcAllowed(flit.Unicast, vc, cfg.VCs, 0, true) {
+			t.Errorf("single-class vcAllowed(vc=%d) = false", vc)
+		}
 	}
 }
 

@@ -145,15 +145,30 @@ type MulticastBranch struct {
 // a tree: no link ever carries the same multicast packet twice
 // (the redundant-traffic property multicast exists to provide, Sec. II).
 func (m *Mesh) MulticastRoute(cur NodeID, dsts *DestSet) (branches []MulticastBranch, deliverLocal bool) {
+	return MulticastRoute(m, cur, dsts)
+}
+
+// MulticastRoute partitions a destination set at node cur into XY-tree
+// branches on any topology's coordinate grid. The tree always uses the
+// mesh sub-network steps (column first, then row) — on a torus the
+// wraparound links stay unused, so the branches remain deadlock-free
+// under a single VC class on every fabric (DESIGN.md §7). Destinations
+// equal to cur are reported via deliverLocal. Each destination appears in
+// exactly one branch, so repeated application forms a tree: no link ever
+// carries the same multicast packet twice (the redundant-traffic property
+// multicast exists to provide, Sec. II).
+func MulticastRoute(t Topology, cur NodeID, dsts *DestSet) (branches []MulticastBranch, deliverLocal bool) {
 	var byPort [NumPorts]*DestSet
+	cc := t.Coord(cur)
 	for _, d := range dsts.Nodes() {
-		p := m.XYRoute(cur, d)
-		if p == LocalPort {
+		cd := t.Coord(d)
+		if cd == cc {
 			deliverLocal = true
 			continue
 		}
+		p := xyStep(cc, cd)
 		if byPort[p] == nil {
-			byPort[p] = NewDestSet(m.NumNodes())
+			byPort[p] = NewDestSet(t.NumNodes())
 		}
 		byPort[p].Add(d)
 	}

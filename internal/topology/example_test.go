@@ -19,6 +19,49 @@ func ExampleMesh_XYRoute() {
 	// (0,0) (0,1) (0,2) (0,3) (1,3) (2,3)
 }
 
+// A torus wraps every edge, so dimension-order routing takes the shorter
+// way around each ring and the worst-case hop count halves relative to
+// the mesh.
+func ExampleTorus() {
+	tor := topology.MustTorus(8, 8)
+	m := topology.MustMesh(8, 8)
+	a := tor.ID(topology.Coord{Row: 0, Col: 0})
+	b := tor.ID(topology.Coord{Row: 7, Col: 7})
+	fmt.Println("mesh hops: ", m.Hops(a, b))
+	fmt.Println("torus hops:", tor.Hops(a, b))
+	// Output:
+	// mesh hops:  14
+	// torus hops: 2
+}
+
+// NewRouting builds the configured algorithm for any topology; on the
+// torus, dimension-order routing exploits the wraparound links and uses
+// two dateline VC classes for deadlock freedom.
+func ExampleNewRouting() {
+	tor := topology.MustTorus(4, 4)
+	r, _ := topology.NewRouting("xy", tor)
+	src := tor.ID(topology.Coord{Row: 0, Col: 0})
+	dst := tor.ID(topology.Coord{Row: 0, Col: 3})
+	ports := r.AppendPorts(nil, src, src, dst)
+	fmt.Printf("%s on %s: port %s, class %d of %d\n",
+		r.Name(), r.Topology().Name(), ports[0],
+		r.VCClass(src, dst, ports[0]), r.VCClasses())
+	// Output:
+	// xy on torus: port W, class 1 of 2
+}
+
+// A DestSet is the bit-string multicast destination encoding carried in a
+// header flit.
+func ExampleDestSet() {
+	s := topology.NewDestSet(16)
+	s.Add(3)
+	s.Add(12)
+	s.Add(3) // idempotent
+	fmt.Println(s, "len", s.Len(), "contains 12:", s.Contains(12))
+	// Output:
+	// {3,12} len 2 contains 12: true
+}
+
 // An XY multicast partitions its destination set into tree branches, each
 // destination reached exactly once.
 func ExampleMesh_MulticastRoute() {

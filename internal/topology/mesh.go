@@ -1,11 +1,17 @@
-// Package topology models the 2-D mesh interconnect fabric used by the
-// accelerator: node naming, port geometry, deadlock-free XY dimension-order
-// routing for unicast traffic, and XY-tree route computation for multicast
-// (scatter) traffic.
+// Package topology models the interconnect fabrics the accelerator can be
+// built on and the routing algorithms that steer packets across them. The
+// Topology interface abstracts node naming, port geometry and hop-count
+// geometry (Mesh and Torus implement it); the Routing interface abstracts
+// per-hop output-port selection and the virtual-channel classes deadlock
+// freedom requires (dimension-order, west-first and odd-even implement
+// it). XY-tree route computation for multicast (scatter) traffic works on
+// every fabric. DESIGN.md §7 documents the interfaces and how to extend
+// them.
 //
 // Rows grow downward and columns grow rightward, matching Fig. 1 and
 // Fig. 2 of the paper: inputs enter on the west edge, weights on the north
-// edge, and the global buffer sits past the east edge of every row.
+// edge, and (on the mesh) the global buffer sits past the east edge of
+// every row.
 package topology
 
 import (
@@ -109,6 +115,9 @@ func MustMesh(rows, cols int) *Mesh {
 	return m
 }
 
+// Name implements Topology.
+func (m *Mesh) Name() string { return "mesh" }
+
 // Rows returns the number of mesh rows.
 func (m *Mesh) Rows() int { return m.rows }
 
@@ -176,18 +185,10 @@ func (m *Mesh) Hops(a, b NodeID) int {
 // graph it induces is acyclic.
 func (m *Mesh) XYRoute(cur, dst NodeID) Port {
 	cc, cd := m.Coord(cur), m.Coord(dst)
-	switch {
-	case cd.Col > cc.Col:
-		return EastPort
-	case cd.Col < cc.Col:
-		return WestPort
-	case cd.Row > cc.Row:
-		return SouthPort
-	case cd.Row < cc.Row:
-		return NorthPort
-	default:
+	if cc == cd {
 		return LocalPort
 	}
+	return xyStep(cc, cd)
 }
 
 // RoutePath returns the full sequence of nodes an XY-routed packet visits

@@ -11,24 +11,5 @@ package topology
 // minimal and livelock-free: every returned port strictly reduces the
 // Manhattan distance to dst.
 func (m *Mesh) WestFirstPorts(cur, dst NodeID) []Port {
-	cc, cd := m.Coord(cur), m.Coord(dst)
-	if cc == cd {
-		return nil
-	}
-	// Westward travel cannot be entered by turning, so while the
-	// destination lies west the only legal move is west.
-	if cd.Col < cc.Col {
-		return []Port{WestPort}
-	}
-	var ports []Port
-	if cd.Col > cc.Col {
-		ports = append(ports, EastPort)
-	}
-	if cd.Row > cc.Row {
-		ports = append(ports, SouthPort)
-	}
-	if cd.Row < cc.Row {
-		ports = append(ports, NorthPort)
-	}
-	return ports
+	return appendWestFirst(nil, m.Coord(cur), m.Coord(dst))
 }

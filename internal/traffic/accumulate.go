@@ -149,11 +149,19 @@ type rowAcc struct {
 
 // AccumulationController drives an accumulation-phase workload on a
 // network: per round every PE submits its partial sum under the configured
-// scheme, the sinks reassemble the row reductions, and each round's result
-// is checked bit for bit against a software reduction oracle.
+// scheme, the row-collection targets reassemble the row reductions, and
+// each round's result is checked bit for bit against a software reduction
+// oracle.
+//
+// The controller carries no topology assumptions: initiators, targets and
+// δ scaling all come from the network's RowCollect plan, so the same
+// workload runs against east-edge sinks on the mesh and against
+// east-column PEs on a torus (where two initiators per row cover the
+// ring, see noc.RowCollect).
 type AccumulationController struct {
-	nw  *noc.Network
-	cfg AccumulationConfig
+	nw    *noc.Network
+	cfg   AccumulationConfig
+	plans []noc.RowCollect
 
 	rows, cols int
 
@@ -180,16 +188,14 @@ const (
 )
 
 // NewAccumulationController prepares an accumulation run on nw. It wires
-// the sink callbacks and scales the collection scheme's δ per column, like
-// the gather workloads (DESIGN.md §3).
+// the row-collection target callbacks and scales the collection scheme's
+// δ with each node's distance from the initiator sweeping it, like the
+// gather workloads (DESIGN.md §3 and §7).
 func NewAccumulationController(nw *noc.Network, cfg AccumulationConfig) (*AccumulationController, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	nc := nw.Config()
-	if !nc.EastSinks {
-		return nil, fmt.Errorf("traffic: accumulation workload needs east-edge global-buffer sinks")
-	}
 	if cfg.Scheme == CollectINA && !nc.EnableINA {
 		return nil, fmt.Errorf("traffic: INA collection needs noc.Config.EnableINA")
 	}
@@ -203,6 +209,10 @@ func NewAccumulationController(nw *noc.Network, cfg AccumulationConfig) (*Accumu
 	c.submitted = make([]bool, c.rows*c.cols)
 	c.acc = make([]rowAcc, c.rows)
 	c.oracle = reduce.NewOracle()
+	c.plans = make([]noc.RowCollect, c.rows)
+	for row := 0; row < c.rows; row++ {
+		c.plans[row] = nw.RowCollect(row)
+	}
 
 	total := cfg.TotalRounds
 	if total == 0 {
@@ -218,21 +228,28 @@ func NewAccumulationController(nw *noc.Network, cfg AccumulationConfig) (*Accumu
 	}
 	c.cfg.Rounds = rounds
 
-	// Per-column δ: column c waits δ·(1+c) for the packet launched at
-	// column 0 before self-initiating.
+	// Per-node δ: a node waits δ·DeltaScale (1 + its distance from the
+	// initiator sweeping it) before self-initiating, so packets already
+	// in flight are not preempted.
+	topo := nw.Topology()
 	for row := 0; row < c.rows; row++ {
 		for col := 0; col < c.cols; col++ {
-			id := nw.Mesh().ID(topology.Coord{Row: row, Col: col})
+			id := topo.ID(topology.Coord{Row: row, Col: col})
+			scale := int64(c.plans[row].DeltaScale[col])
 			switch cfg.Scheme {
 			case CollectGather:
-				nw.NIC(id).SetDelta(nc.Delta * int64(1+col))
+				nw.NIC(id).SetDelta(nc.Delta * scale)
 			case CollectINA:
-				nw.NIC(id).SetReduceDelta(nc.EffectiveReduceDelta() * int64(1+col))
+				nw.NIC(id).SetReduceDelta(nc.EffectiveReduceDelta() * scale)
 			}
 		}
 	}
 	for row := 0; row < c.rows; row++ {
-		nw.Sink(row).OnReceive(c.onPacket)
+		if c.plans[row].TargetIsSink {
+			nw.Sink(row).OnReceive(c.onPacket)
+		} else {
+			nw.NIC(c.plans[row].Target).OnReceive(c.onPacket)
+		}
 	}
 	c.startRound(0)
 	return c, nil
@@ -261,11 +278,11 @@ func (c *AccumulationController) startRound(now int64) {
 	for i := range c.submitted {
 		c.submitted[i] = false
 	}
-	mesh := c.nw.Mesh()
+	topo := c.nw.Topology()
 	for row := 0; row < c.rows; row++ {
 		rid := c.reduceID(row)
 		for col := 0; col < c.cols; col++ {
-			id := int(mesh.ID(topology.Coord{Row: row, Col: col}))
+			id := int(topo.ID(topology.Coord{Row: row, Col: col}))
 			c.doneAt[id] = now + int64(c.cfg.ComputeLatency)
 			c.oracle.Add(rid, operandValue(id, c.round))
 		}
@@ -312,16 +329,16 @@ func (c *AccumulationController) Tick(cycle int64) {
 }
 
 func (c *AccumulationController) releaseOperands(cycle int64) {
-	mesh := c.nw.Mesh()
-	for id := 0; id < mesh.NumNodes(); id++ {
+	topo := c.nw.Topology()
+	for id := 0; id < topo.NumNodes(); id++ {
 		if c.submitted[id] || c.doneAt[id] > cycle {
 			continue
 		}
 		c.submitted[id] = true
 		node := topology.NodeID(id)
-		coord := mesh.Coord(node)
-		dst := c.nw.RowSinkID(coord.Row)
-		rid := c.reduceID(coord.Row)
+		plan := &c.plans[topo.Coord(node).Row]
+		dst := plan.Target
+		rid := c.reduceID(plan.Row)
 		c.seq++
 		p := flit.Payload{
 			Seq: c.seq, Src: node, Dst: dst,
@@ -335,9 +352,9 @@ func (c *AccumulationController) releaseOperands(cycle int64) {
 		switch {
 		case c.cfg.Scheme == CollectUnicast:
 			nicAt.SendUnicastPayload(dst, p)
-		case coord.Col == 0 && c.cfg.Scheme == CollectGather:
+		case plan.IsInitiator(node) && c.cfg.Scheme == CollectGather:
 			nicAt.SendGather(dst, &p)
-		case coord.Col == 0:
+		case plan.IsInitiator(node):
 			nicAt.SendAccumulate(dst, rid, p)
 		case c.cfg.Scheme == CollectGather:
 			nicAt.SubmitGatherPayload(p)
@@ -377,26 +394,29 @@ func (c *AccumulationController) result(cycles int64) *AccumulationResult {
 	r := &c.res
 	r.Cycles = cycles
 	r.Activity = c.nw.Activity()
-	mesh := c.nw.Mesh()
+	topo := c.nw.Topology()
 	unicastFlits := c.nw.Config().UnicastFlits
-	for id := 0; id < mesh.NumNodes(); id++ {
+	for id := 0; id < topo.NumNodes(); id++ {
 		node := topology.NodeID(id)
 		n := c.nw.NIC(node)
 		r.SelfInitiated += n.SelfInitiatedGathers.Value() + n.SelfInitiatedReduces.Value()
 		merges := n.MergeAcks.Value()
 		r.Merges += merges
 		// Each merged operand spared its own packet: unicastFlits flits
-		// over the node's hop distance to the sink (sink link included)
-		// and one write transaction at the buffer port.
-		coord := mesh.Coord(node)
-		edge := mesh.ID(topology.Coord{Row: coord.Row, Col: c.cols - 1})
-		hops := mesh.Hops(node, edge) + 1
+		// over the node's hop distance to the collection target (sink
+		// link included) and one write transaction at the buffer port.
+		hops := c.nw.CollectHops(node, &c.plans[topo.Coord(node).Row])
 		for k := uint64(0); k < merges; k++ {
 			r.Reduction.Merge(unicastFlits, hops)
 		}
 	}
 	for row := 0; row < c.rows; row++ {
-		ej := c.nw.Sink(row).Ejector()
+		var ej *nic.Ejector
+		if c.plans[row].TargetIsSink {
+			ej = c.nw.Sink(row).Ejector()
+		} else {
+			ej = c.nw.NIC(c.plans[row].Target).Ejector()
+		}
 		r.SinkFlits += ej.FlitsEjected.Value()
 		r.SinkPackets += ej.PacketsEjected.Value()
 	}

@@ -52,6 +52,10 @@ type GeneratorResult struct {
 	Latency        stats.Sample
 	QueueLatency   stats.Sample
 	NetworkLatency stats.Sample
+	// Hops samples the same packets' traversed link hops (routers visited
+	// minus one), the measured counterpart of the per-topology analytic
+	// hop bounds (analytic.UniformMeanHops).
+	Hops stats.Sample
 	// Cycles is the total run length including drain.
 	Cycles int64
 	// Throughput is received packets per node per cycle over the
@@ -95,6 +99,7 @@ func (g *Generator) onPacket(p *nic.ReceivedPacket) {
 		g.res.Latency.Observe(float64(p.Latency()))
 		g.res.QueueLatency.Observe(float64(p.QueueLatency()))
 		g.res.NetworkLatency.Observe(float64(p.NetworkLatency()))
+		g.res.Hops.Observe(float64(p.Hops - 1))
 	}
 }
 

@@ -44,8 +44,8 @@ func (u UniformRandom) Destination(src topology.NodeID, rng *rand.Rand) topology
 
 // Transpose sends (r,c) to (c,r); nodes on the diagonal send uniformly.
 type Transpose struct {
-	// Mesh supplies the coordinate mapping.
-	Mesh *topology.Mesh
+	// Mesh supplies the coordinate mapping (any grid topology works).
+	Mesh topology.Topology
 }
 
 // Name implements Pattern.
@@ -99,8 +99,8 @@ func (h Hotspot) Destination(src topology.NodeID, rng *rand.Rand) topology.NodeI
 	return UniformRandom{Nodes: h.Nodes}.Destination(src, rng)
 }
 
-// PatternByName constructs a pattern for a mesh by CLI name.
-func PatternByName(name string, mesh *topology.Mesh) (Pattern, error) {
+// PatternByName constructs a pattern for a grid topology by CLI name.
+func PatternByName(name string, mesh topology.Topology) (Pattern, error) {
 	switch name {
 	case "uniform":
 		return UniformRandom{Nodes: mesh.NumNodes()}, nil
