@@ -5,6 +5,7 @@ import (
 
 	"gathernoc/internal/noc"
 	"gathernoc/internal/traffic"
+	"gathernoc/internal/workload"
 )
 
 // maxSteadyStateAllocsPerCycle is the allocation ratchet: the pinned
@@ -16,12 +17,15 @@ import (
 // growth. The ceiling leaves headroom for measurement jitter while
 // still failing loudly if a per-flit or per-packet allocation sneaks
 // back into the pipeline (pre-PR3 steady state was ~10 allocs/cycle at
-// this operating point, ~270 at saturation).
+// this operating point, ~270 at saturation). PR 5 tightened it from 1.0
+// to 0.5 after the workload-scheduler path measured the same ~0.11
+// allocs/cycle as the direct path — per-tag dispatch, admission scans
+// and job accounting all stay off the allocator.
 //
 // If this test fails, profile with:
 //
 //	go test -run '^$' -bench BenchmarkEngineStepping/naive/high -memprofile mem.out .
-const maxSteadyStateAllocsPerCycle = 1.0
+const maxSteadyStateAllocsPerCycle = 0.5
 
 // TestAllocationRatchet drives an 8x8 mesh under sustained uniform-random
 // traffic, warms it past every one-time growth, then measures allocations
@@ -60,6 +64,60 @@ func TestAllocationRatchet(t *testing.T) {
 	t.Logf("steady state: %.4f allocs/cycle (%.0f allocs per %d-cycle run)", perCycle, avg, cyclesPerRun)
 	if perCycle > maxSteadyStateAllocsPerCycle {
 		t.Fatalf("steady-state allocations regressed: %.4f allocs/cycle, ratchet ceiling %v",
+			perCycle, maxSteadyStateAllocsPerCycle)
+	}
+}
+
+// TestSchedulerAllocationRatchet extends the ratchet to the workload
+// scheduler's multi-job path: three concurrent tagged jobs on one fabric,
+// dispatched per-cycle through the scheduler's admission scan and
+// per-tag packet routing. Phase admission, job tagging and dispatch must
+// not allocate per cycle; the steady state is bounded by the same
+// ceiling as the direct path (the only allocators left are the
+// amortized stats chunks, now one latency sample per job).
+func TestSchedulerAllocationRatchet(t *testing.T) {
+	cfg := noc.DefaultConfig(8, 8)
+	cfg.EastSinks = false
+	nw, err := noc.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := make([]workload.Job, 3)
+	for i := range jobs {
+		gen, err := traffic.NewGeneratorDriver(nw, traffic.GeneratorConfig{
+			Pattern:       traffic.UniformRandom{Nodes: 64},
+			InjectionRate: 0.02,
+			PacketFlits:   2,
+			Warmup:        0,
+			Measure:       1 << 40, // never stop injecting
+			Seed:          int64(i + 1),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs[i] = workload.Job{
+			Name:   "soak",
+			Phases: []workload.Phase{{Name: "uniform", Driver: gen}},
+		}
+	}
+	s, err := workload.New(nw, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := nw.Engine()
+	eng.AddTicker(s)
+
+	// Warm-up: reach the pool/ring/chunk high-water marks.
+	eng.Run(3000)
+
+	const cyclesPerRun = 500
+	avg := testing.AllocsPerRun(4, func() {
+		eng.Run(cyclesPerRun)
+	})
+	perCycle := avg / cyclesPerRun
+	t.Logf("multi-job steady state: %.4f allocs/cycle (%.0f allocs per %d-cycle run)", perCycle, avg, cyclesPerRun)
+	if perCycle > maxSteadyStateAllocsPerCycle {
+		t.Fatalf("scheduler steady-state allocations regressed: %.4f allocs/cycle, ratchet ceiling %v",
 			perCycle, maxSteadyStateAllocsPerCycle)
 	}
 }

@@ -20,6 +20,7 @@ import (
 	"gathernoc/internal/systolic"
 	"gathernoc/internal/topology"
 	"gathernoc/internal/traffic"
+	"gathernoc/internal/workload"
 )
 
 var benchOpts = core.Options{Rounds: 1}
@@ -386,4 +387,67 @@ func BenchmarkGatherRowCollection(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkPipelineAlexNet runs the complete AlexNet layer sequence as a
+// cycle-accurate phase DAG on one 8x8 mesh — strict barrier vs
+// double-buffered overlap — reporting the simulated makespan of each
+// composition mode.
+func BenchmarkPipelineAlexNet(b *testing.B) {
+	for _, overlap := range []bool{false, true} {
+		overlap := overlap
+		name := "barrier"
+		if overlap {
+			name = "overlap"
+		}
+		b.Run(name, func(b *testing.B) {
+			var makespan int64
+			for i := 0; i < b.N; i++ {
+				nw, err := noc.New(noc.DefaultConfig(8, 8))
+				if err != nil {
+					b.Fatal(err)
+				}
+				job, _, err := workload.NewPipelineJob(nw, "alexnet", workload.PipelineConfig{
+					Layers:  cnn.AlexNetAllLayers(),
+					Scheme:  traffic.CollectGather,
+					Rounds:  1,
+					Overlap: overlap,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				s, err := workload.New(nw, []workload.Job{job})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := s.Run(10_000_000)
+				if err != nil {
+					b.Fatal(err)
+				}
+				makespan = res.Jobs[0].Time()
+			}
+			b.ReportMetric(float64(makespan), "makespan-cycles")
+		})
+	}
+}
+
+// BenchmarkMultiJob runs four batched two-layer inference jobs plus
+// background uniform traffic on one shared 8x8 mesh through the workload
+// scheduler, reporting the batch makespan and the max/min job slowdown.
+func BenchmarkMultiJob(b *testing.B) {
+	var cycles int64
+	var slowdown float64
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.MultiJob(experiments.Options{Rounds: 1, Jobs: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.OracleErrors != 0 {
+			b.Fatalf("%d oracle errors", rep.OracleErrors)
+		}
+		cycles = rep.Cycles
+		slowdown = rep.MaxMinSlowdown
+	}
+	b.ReportMetric(float64(cycles), "batch-cycles")
+	b.ReportMetric(slowdown, "maxmin-slowdown")
 }

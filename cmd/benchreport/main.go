@@ -34,9 +34,11 @@ import (
 	"runtime"
 	"testing"
 
+	"gathernoc/internal/cnn"
 	"gathernoc/internal/experiments"
 	"gathernoc/internal/noc"
 	"gathernoc/internal/traffic"
+	"gathernoc/internal/workload"
 )
 
 // Delta compares one measurement against the same benchmark in the
@@ -183,6 +185,77 @@ func run(args []string, w io.Writer) error {
 			}
 		})
 		report.Benchmarks = append(report.Benchmarks, toResult("INAComparison/8x8", r, nil))
+	}
+
+	// Whole-model pipeline: the workload-scheduler composition of all
+	// AlexNet layers on one fabric (BenchmarkPipelineAlexNet), barrier vs
+	// double-buffered overlap, with the simulated makespan as the
+	// workload-level metric.
+	for _, tc := range []struct {
+		name    string
+		overlap bool
+	}{
+		{"PipelineAlexNet/barrier", false},
+		{"PipelineAlexNet/overlap", true},
+	} {
+		var makespan int64
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				nw, err := noc.New(noc.DefaultConfig(8, 8))
+				if err != nil {
+					b.Fatal(err)
+				}
+				job, _, err := workload.NewPipelineJob(nw, "alexnet", workload.PipelineConfig{
+					Layers:  cnn.AlexNetAllLayers(),
+					Scheme:  traffic.CollectGather,
+					Rounds:  1,
+					Overlap: tc.overlap,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				s, err := workload.New(nw, []workload.Job{job})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := s.Run(10_000_000)
+				if err != nil {
+					b.Fatal(err)
+				}
+				makespan = res.Jobs[0].Time()
+			}
+		})
+		report.Benchmarks = append(report.Benchmarks, toResult(tc.name,
+			r, map[string]float64{"makespan_cycles": float64(makespan)}))
+	}
+
+	// Multi-job batch: four inferences plus background traffic sharing
+	// the fabric (BenchmarkMultiJob), with the batch makespan and the
+	// max/min job slowdown as metrics.
+	{
+		var cycles int64
+		var slowdown float64
+		oracleErrs := 0
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rep, err := experiments.MultiJob(experiments.Options{Rounds: 1, Jobs: 4})
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles = rep.Cycles
+				slowdown = rep.MaxMinSlowdown
+				oracleErrs += rep.OracleErrors
+			}
+		})
+		if oracleErrs != 0 {
+			// A snapshot must never embed numbers from a run whose row
+			// reductions failed verification.
+			return fmt.Errorf("multijob benchmark: %d reduction oracle errors", oracleErrs)
+		}
+		report.Benchmarks = append(report.Benchmarks, toResult("MultiJob/4+background", r,
+			map[string]float64{"batch_cycles": float64(cycles), "maxmin_slowdown": slowdown}))
 	}
 
 	if *baseline != "" {

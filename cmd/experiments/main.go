@@ -11,6 +11,8 @@
 // Artifacts:  table1 table2 table3 fig1 fig7 fig8 fig9 fig10
 // Ablations:  delta eta gathervc vcs depth sinkcost skew routing
 // Extensions: ina topology dataflow mixed streaming fullmodel fullvgg
+// Workloads:  pipeline (whole-model barrier/overlap vs analytic; -model)
+// and multijob (batched inferences + background traffic; -jobs/-overlap)
 package main
 
 import (
@@ -43,17 +45,23 @@ type artifact struct {
 
 func run(ctx context.Context, args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "artifact to regenerate (all, table1, table2, table3, fig1, fig7, fig8, fig9, fig10, delta, eta, gathervc, vcs, depth, sinkcost, skew, routing, ina, topology, dataflow, mixed, streaming, fullmodel, fullvgg)")
+	exp := fs.String("exp", "all", "artifact to regenerate (all, table1, table2, table3, fig1, fig7, fig8, fig9, fig10, delta, eta, gathervc, vcs, depth, sinkcost, skew, routing, ina, topology, dataflow, mixed, streaming, fullmodel, fullvgg, pipeline, multijob)")
 	rounds := fs.Int("rounds", 2, "systolic rounds to simulate per run")
 	format := fs.String("format", "text", "output format (text, json)")
 	workers := fs.Int("workers", 0, "parallel simulation workers per sweep (0 = GOMAXPROCS, 1 = serial)")
+	model := fs.String("model", "alexnet", "CNN model for the pipeline comparison (alexnet, vgg16)")
+	jobs := fs.Int("jobs", 4, "batched inference jobs in the multi-job run")
+	overlap := fs.Bool("overlap", false, "double-buffered phase overlap for the multi-job inference pipelines")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *format != "text" && *format != "json" {
 		return fmt.Errorf("unknown format %q (text, json)", *format)
 	}
-	opts := experiments.Options{Rounds: *rounds, Workers: *workers, Ctx: ctx}
+	opts := experiments.Options{
+		Rounds: *rounds, Workers: *workers, Ctx: ctx,
+		Model: *model, Jobs: *jobs, Overlap: *overlap,
+	}
 
 	artifacts := []artifact{
 		{"table1", func() (any, string, error) {
@@ -135,6 +143,20 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 				return nil, "", err
 			}
 			return r, experiments.RenderModel(r), nil
+		}},
+		{"pipeline", func() (any, string, error) {
+			rows, err := experiments.PipelineComparison(opts)
+			if err != nil {
+				return nil, "", err
+			}
+			return rows, experiments.RenderPipeline(rows), nil
+		}},
+		{"multijob", func() (any, string, error) {
+			r, err := experiments.MultiJob(opts)
+			if err != nil {
+				return nil, "", err
+			}
+			return r, experiments.RenderMultiJob(r), nil
 		}},
 	}
 

@@ -95,3 +95,27 @@ func TestRunRejectsBadFormat(t *testing.T) {
 		t.Error("bad format accepted")
 	}
 }
+
+func TestRunPipelineArtifacts(t *testing.T) {
+	var b strings.Builder
+	if err := run(context.Background(), []string{"-exp", "pipeline", "-rounds", "1"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, frag := range []string{"== pipeline ==", "barrier", "overlap", "analytic", "exact"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("pipeline output missing %q:\n%s", frag, out)
+		}
+	}
+
+	b.Reset()
+	if err := run(context.Background(), []string{"-exp", "multijob", "-rounds", "1", "-jobs", "2", "-overlap"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out = b.String()
+	for _, frag := range []string{"== multijob ==", "inference-1", "background", "max/min slowdown", "oracle exact"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("multijob output missing %q:\n%s", frag, out)
+		}
+	}
+}

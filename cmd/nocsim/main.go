@@ -11,6 +11,8 @@
 //	nocsim -rate 0.005 -cpuprofile cpu.out        # profile a run
 //	nocsim -rate 0.005 -alwaystick                # naive engine reference
 //	nocsim -ina -inamode ina -inarounds 4         # in-network accumulation
+//	nocsim -model alexnet -overlap                # whole-model pipeline
+//	nocsim -model alexnet -jobs 4                 # batched inferences
 package main
 
 import (
@@ -22,6 +24,7 @@ import (
 
 	"gathernoc/internal/noc"
 	"gathernoc/internal/traffic"
+	"gathernoc/internal/workload"
 )
 
 func main() {
@@ -54,6 +57,10 @@ func run(args []string, w io.Writer) error {
 		ina        = fs.Bool("ina", false, "run the in-network accumulation workload instead of synthetic traffic")
 		inaMode    = fs.String("inamode", "ina", "accumulation collection scheme (unicast, gather, ina)")
 		inaRounds  = fs.Int("inarounds", 4, "accumulation rounds to simulate")
+		model      = fs.String("model", "", "run a whole-model CNN pipeline workload (alexnet, vgg16) instead of synthetic traffic")
+		jobs       = fs.Int("jobs", 1, "concurrent inference jobs of the pipeline workload")
+		overlap    = fs.Bool("overlap", false, "double-buffered inter-layer overlap (default: strict barrier)")
+		rounds     = fs.Int("rounds", 2, "simulated rounds per pipeline layer")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -87,6 +94,16 @@ func run(args []string, w io.Writer) error {
 	nw, err := noc.New(cfg)
 	if err != nil {
 		return err
+	}
+
+	if *model != "" {
+		if err := runPipeline(nw, *model, *jobs, *rounds, *overlap, *maxCycles, w); err != nil {
+			return err
+		}
+		if *heatmap {
+			fmt.Fprint(w, nw.UtilizationHeatmap())
+		}
+		return nil
 	}
 
 	if *ina {
@@ -149,6 +166,68 @@ func run(args []string, w io.Writer) error {
 	return nil
 }
 
+// runPipeline drives a whole-model CNN inference pipeline — one job per
+// batched inference, each a layer-by-layer phase DAG on the shared fabric
+// — through the workload scheduler and prints the per-job timeline,
+// latency and fairness summary.
+func runPipeline(nw *noc.Network, model string, jobCount, rounds int, overlap bool, maxCycles int64, w io.Writer) error {
+	layers, err := workload.ModelLayers(model)
+	if err != nil {
+		return err
+	}
+	jobs, drivers, err := workload.NewInferenceBatch(nw, jobCount, 5, workload.PipelineConfig{
+		Layers:  layers,
+		Scheme:  traffic.CollectGather,
+		Rounds:  rounds,
+		Overlap: overlap,
+	})
+	if err != nil {
+		return err
+	}
+	s, err := workload.New(nw, jobs)
+	if err != nil {
+		return err
+	}
+	res, err := s.Run(maxCycles)
+	if err != nil {
+		return err
+	}
+	mode := "barrier"
+	if overlap {
+		mode = "overlap"
+	}
+	cfg := nw.Config()
+	fmt.Fprintf(w, "workload       %s (%d layers) x %d job(s), %s phases, %d rounds/layer\n",
+		model, len(layers), jobCount, mode, rounds)
+	fmt.Fprintf(w, "fabric         %dx%d %s (%s routing)\n",
+		cfg.Rows, cfg.Cols, cfg.EffectiveTopology(), cfg.EffectiveRouting())
+	oracleErrs := 0
+	var extrapolated int64
+	for j, job := range res.Jobs {
+		for _, d := range drivers[j] {
+			snap := d.Snapshot()
+			oracleErrs += snap.OracleErrors
+			extrapolated += snap.TotalCycles
+		}
+		fmt.Fprintf(w, "job %-10s start %6d done %8d (%8d cycles), %5d packets, latency %s\n",
+			job.Name, job.StartCycle, job.DrainedCycle, job.Time(), job.PacketsEjected, job.Latency.String())
+	}
+	fmt.Fprintf(w, "extrapolated   %d cycles for the full model(s)\n", extrapolated)
+	if jobCount > 1 {
+		fmt.Fprintf(w, "fairness       max/min slowdown %.3f, Jain %.3f\n", res.MaxMinSlowdown(), res.JainFairness())
+	}
+	oracle := "exact"
+	if oracleErrs != 0 {
+		oracle = fmt.Sprintf("%d ERRORS", oracleErrs)
+	}
+	fmt.Fprintf(w, "oracle         %s row sums\n", oracle)
+	fmt.Fprintf(w, "cycles         %d\n", res.Cycles)
+	if oracleErrs != 0 {
+		return fmt.Errorf("reduction oracle mismatch: %d errors", oracleErrs)
+	}
+	return nil
+}
+
 // runINA drives the accumulation-phase workload: every round each PE
 // produces a partial sum and the row's reduction must land at the east
 // sink, collected by the chosen scheme and checked against the software
@@ -207,7 +286,7 @@ func replay(nw *noc.Network, path string, maxCycles int64, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "replayed       %d events\n", rp.Injected)
+	fmt.Fprintf(w, "replayed       %d events\n", rp.EventsInjected)
 	fmt.Fprintf(w, "cycles         %d\n", cycles)
 	a := nw.Activity()
 	fmt.Fprintf(w, "packets sent   %d\n", a.PacketsSent)

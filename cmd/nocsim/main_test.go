@@ -144,3 +144,28 @@ func TestRunTraceMissingFile(t *testing.T) {
 		t.Error("missing trace file accepted")
 	}
 }
+
+func TestRunPipelineModel(t *testing.T) {
+	for _, args := range [][]string{
+		{"-model", "alexnet", "-rounds", "1"},
+		{"-model", "alexnet", "-rounds", "1", "-jobs", "2", "-overlap"},
+		{"-model", "alexnet", "-rounds", "1", "-topology", "torus"},
+	} {
+		var b strings.Builder
+		if err := run(args, &b); err != nil {
+			t.Fatalf("%v: %v", args, err)
+		}
+		out := b.String()
+		for _, frag := range []string{"alexnet", "oracle         exact", "fairness", "cycles"} {
+			if frag == "fairness" && !strings.Contains(strings.Join(args, " "), "-jobs") {
+				continue
+			}
+			if !strings.Contains(out, frag) {
+				t.Errorf("%v: output missing %q:\n%s", args, frag, out)
+			}
+		}
+	}
+	if err := run([]string{"-model", "lenet"}, &strings.Builder{}); err == nil {
+		t.Error("unknown model accepted")
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"gathernoc/internal/stats"
 	"gathernoc/internal/systolic"
 	"gathernoc/internal/traffic"
+	"gathernoc/internal/workload"
 )
 
 // sameSample reports whether two samples hold bit-identical statistics.
@@ -151,5 +152,146 @@ func ratename(rate float64) string {
 		return "mid"
 	default:
 		return "high"
+	}
+}
+
+// TestSchedulerEquivalenceDirectGenerator proves the workload scheduler
+// is a pure re-plumbing for a single job: a one-phase generator job run
+// through workload.New/Run must be bit-identical — packet accounting,
+// latency statistics, network activity, run length — to the same
+// generator driving the network directly.
+func TestSchedulerEquivalenceDirectGenerator(t *testing.T) {
+	genCfg := traffic.GeneratorConfig{
+		Pattern:       traffic.UniformRandom{Nodes: 64},
+		InjectionRate: 0.05,
+		PacketFlits:   2,
+		Warmup:        200,
+		Measure:       1500,
+		Seed:          11,
+	}
+	newNet := func() *noc.Network {
+		cfg := noc.DefaultConfig(8, 8)
+		cfg.EastSinks = false
+		nw, err := noc.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return nw
+	}
+
+	nwD := newNet()
+	gd, err := traffic.NewGenerator(nwD, genCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := gd.Run(1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	nwS := newNet()
+	gs, err := traffic.NewGeneratorDriver(nwS, genCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := workload.New(nwS, []workload.Job{
+		{Name: "soak", Phases: []workload.Phase{{Name: "uniform", Driver: gs}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := gs.Result(res.Cycles)
+
+	if direct.Injected != sched.Injected || direct.Received != sched.Received || direct.Cycles != sched.Cycles {
+		t.Errorf("accounting diverged: direct inj=%d recv=%d cyc=%d, scheduled inj=%d recv=%d cyc=%d",
+			direct.Injected, direct.Received, direct.Cycles, sched.Injected, sched.Received, sched.Cycles)
+	}
+	for _, c := range []struct {
+		name           string
+		direct, tagged *stats.Sample
+	}{
+		{"latency", &direct.Latency, &sched.Latency},
+		{"queue-latency", &direct.QueueLatency, &sched.QueueLatency},
+		{"network-latency", &direct.NetworkLatency, &sched.NetworkLatency},
+		{"hops", &direct.Hops, &sched.Hops},
+	} {
+		if !sameSample(c.direct, c.tagged) {
+			t.Errorf("%s sample diverged: direct %s, scheduled %s", c.name, c.direct, c.tagged)
+		}
+	}
+	if nwD.Activity() != nwS.Activity() {
+		t.Errorf("activity diverged:\ndirect    %+v\nscheduled %+v", nwD.Activity(), nwS.Activity())
+	}
+	if res.Jobs[0].PacketsEjected != gs.Delivered() || gs.Sent() != gs.Delivered() {
+		t.Errorf("per-job conservation: ejected=%d sent=%d delivered=%d",
+			res.Jobs[0].PacketsEjected, gs.Sent(), gs.Delivered())
+	}
+}
+
+// TestSchedulerEquivalenceDirectAccumulation is the collective-traffic
+// twin: a single accumulation phase (gather and INA collection) under the
+// scheduler must replay the direct controller bit for bit.
+func TestSchedulerEquivalenceDirectAccumulation(t *testing.T) {
+	for _, scheme := range []traffic.CollectScheme{traffic.CollectGather, traffic.CollectINA} {
+		scheme := scheme
+		t.Run(scheme.String(), func(t *testing.T) {
+			accCfg := traffic.AccumulationConfig{Scheme: scheme, Rounds: 3, ComputeLatency: 10}
+			newNet := func() *noc.Network {
+				cfg := noc.DefaultConfig(8, 8)
+				cfg.EnableINA = scheme == traffic.CollectINA
+				nw, err := noc.New(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return nw
+			}
+
+			nwD := newNet()
+			cd, err := traffic.NewAccumulationController(nwD, accCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			direct, err := cd.Run(1_000_000)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			nwS := newNet()
+			cs, err := traffic.NewAccumulationDriver(nwS, accCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := workload.New(nwS, []workload.Job{
+				{Name: "layer", Phases: []workload.Phase{{Name: "acc", Driver: cs}}},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := s.Run(1_000_000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sched := cs.Snapshot()
+
+			if direct.OracleErrors != 0 || sched.OracleErrors != 0 {
+				t.Errorf("oracle errors: direct %d, scheduled %d", direct.OracleErrors, sched.OracleErrors)
+			}
+			if !sameSample(&direct.RoundCycles, &sched.RoundCycles) {
+				t.Errorf("round cycles diverged: direct %s, scheduled %s", &direct.RoundCycles, &sched.RoundCycles)
+			}
+			if !sameSample(&direct.PacketLatency, &sched.PacketLatency) {
+				t.Errorf("packet latency diverged: direct %s, scheduled %s", &direct.PacketLatency, &sched.PacketLatency)
+			}
+			if direct.Cycles != res.Cycles {
+				t.Errorf("run length diverged: direct %d, scheduled %d", direct.Cycles, res.Cycles)
+			}
+			if nwD.Activity() != nwS.Activity() {
+				t.Errorf("activity diverged:\ndirect    %+v\nscheduled %+v", nwD.Activity(), nwS.Activity())
+			}
+		})
 	}
 }

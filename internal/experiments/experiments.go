@@ -32,6 +32,14 @@ type Options struct {
 	// already running completes before the cancellation error surfaces
 	// (nil = Background).
 	Ctx context.Context
+	// Model selects the CNN for the whole-model pipeline comparison
+	// ("" = alexnet; "vgg16" for the deeper model).
+	Model string
+	// Jobs is the batch size of the multi-job experiment (0 = 4).
+	Jobs int
+	// Overlap selects double-buffered pipelining for the multi-job
+	// experiment's inference phases (false = strict barrier).
+	Overlap bool
 }
 
 func (o Options) meshes() []int {
@@ -50,6 +58,29 @@ func (o Options) ctx() context.Context {
 		return o.Ctx
 	}
 	return context.Background()
+}
+
+func (o Options) model() string {
+	if o.Model == "" {
+		return "alexnet"
+	}
+	return o.Model
+}
+
+func (o Options) jobs() int {
+	if o.Jobs <= 0 {
+		return 4
+	}
+	return o.Jobs
+}
+
+// pipelineRounds resolves the simulated rounds per pipeline layer
+// (Options.Rounds, 0 = 2 like the figure sweeps).
+func (o Options) pipelineRounds() int {
+	if o.Rounds <= 0 {
+		return 2
+	}
+	return o.Rounds
 }
 
 // ImprovementRow is one bar of Figs. 7–10: a layer on a mesh size with its

@@ -80,6 +80,51 @@ func (p PacketType) String() string {
 	}
 }
 
+// Tag identifies the workload job and phase a packet belongs to: job index
+// in the high 16 bits, phase index in the low 16. The zero Tag means
+// "untagged" (legacy single-workload traffic, background noise), and every
+// tag-aware code path treats it exactly like the pre-tag simulator, so
+// tagging is invisible unless a workload scheduler assigns tags.
+type Tag uint32
+
+// NewTag packs a job and phase index into a Tag. Indices outside
+// [0, 65535] are truncated; the workload layer enforces tighter bounds
+// (job and phase < 256) so tags also fit the ReduceID encoding.
+func NewTag(job, phase int) Tag {
+	return Tag(uint32(uint16(job))<<16 | uint32(uint16(phase)))
+}
+
+// Job returns the tag's job index.
+func (t Tag) Job() int { return int(t >> 16) }
+
+// Phase returns the tag's phase index within the job.
+func (t Tag) Phase() int { return int(t & 0xFFFF) }
+
+// String renders "job/phase" for debug output.
+func (t Tag) String() string { return fmt.Sprintf("j%d/p%d", t.Job(), t.Phase()) }
+
+// TaggedReduceID encodes a reduction identifier carrying its workload tag:
+// job in bits 56..63, phase in bits 48..55, row in bits 32..47 and the
+// round number in the low 32 bits. The zero tag reproduces the historic
+// row<<32|round encoding bit for bit, which keeps untagged runs (and their
+// goldens) unchanged. Job and phase must be < 256 (the workload scheduler
+// enforces this); rows must fit 16 bits.
+func TaggedReduceID(tag Tag, row int, round uint32) uint64 {
+	return uint64(uint8(tag.Job()))<<56 | uint64(uint8(tag.Phase()))<<48 |
+		uint64(uint16(row))<<32 | uint64(round)
+}
+
+// ReduceIDTag extracts the workload tag from a TaggedReduceID.
+func ReduceIDTag(id uint64) Tag {
+	return NewTag(int(id>>56), int((id>>48)&0xFF))
+}
+
+// ReduceIDRow extracts the row from a TaggedReduceID.
+func ReduceIDRow(id uint64) int { return int((id >> 32) & 0xFFFF) }
+
+// ReduceIDRound extracts the round number from a TaggedReduceID.
+func ReduceIDRound(id uint64) uint32 { return uint32(id) }
+
 // Payload is one gather payload: a PE's partial-convolution result tagged
 // with its producer and its destination (the global-buffer port). Value is
 // carried end to end so tests can verify no payload is lost, duplicated or
@@ -128,6 +173,9 @@ type Flit struct {
 
 	// PacketID groups the flits of one packet.
 	PacketID uint64
+	// Tag is the workload job/phase the packet belongs to (zero for
+	// untagged traffic); ejection-side accounting breaks stats down by it.
+	Tag Tag
 	// Seq is the flit's position within its packet, 0-based.
 	Seq int
 	// PacketFlits is the total flit count of the packet.

@@ -10,6 +10,9 @@ import (
 type Packet struct {
 	// ID must be unique per network run; the NIC allocates it.
 	ID uint64
+	// Tag is the workload job/phase the packet belongs to (zero for
+	// untagged traffic); PacketizeInto stamps it onto every flit.
+	Tag Tag
 	// PT selects unicast, multicast or gather.
 	PT PacketType
 	// Src and Dst are the endpoints (Dst ignored for multicast).
@@ -86,6 +89,7 @@ func PacketizeInto(dst []*Flit, p Packet, format *Format, pool *Pool) ([]*Flit, 
 		f := pool.Acquire()
 		f.PT = p.PT
 		f.PacketID = p.ID
+		f.Tag = p.Tag
 		f.Seq = i
 		f.PacketFlits = p.Flits
 		f.Src = p.Src

@@ -22,6 +22,9 @@ import (
 type ReceivedPacket struct {
 	// ID is the network-unique packet id.
 	ID uint64
+	// Tag is the workload job/phase the packet belongs to (zero for
+	// untagged traffic); workload schedulers dispatch on it.
+	Tag flit.Tag
 	// PT is the packet type.
 	PT flit.PacketType
 	// Src is the injecting node; Dst the addressed destination.
@@ -72,6 +75,7 @@ func (p *ReceivedPacket) Clone() *ReceivedPacket {
 // pool immediately instead of being held until the tail shows up.
 type partialPacket struct {
 	id           uint64
+	tag          flit.Tag
 	pt           flit.PacketType
 	src          topology.NodeID
 	dst          topology.NodeID
@@ -260,6 +264,7 @@ func (e *Ejector) assemble(f *flit.Flit, cycle int64) {
 	}
 	if f.IsHead() {
 		pp.pt = f.PT
+		pp.tag = f.Tag
 		pp.src = f.Src
 		pp.dst = f.Dst
 		pp.flits = f.PacketFlits
@@ -276,6 +281,7 @@ func (e *Ejector) assemble(f *flit.Flit, cycle int64) {
 	rp := &e.scratch
 	*rp = ReceivedPacket{
 		ID:           pp.id,
+		Tag:          pp.tag,
 		PT:           pp.pt,
 		Src:          pp.src,
 		Dst:          pp.dst,

@@ -102,6 +102,11 @@ type gatherWait struct {
 	payload  flit.Payload
 	deadline int64
 	acked    bool
+	// tag is the workload tag active when the payload was submitted; the
+	// δ-timeout fallback packet is stamped with it, not with whatever tag
+	// happens to be current when the timeout fires (another job's driver
+	// may have retagged the NIC in between).
+	tag flit.Tag
 }
 
 // vcStream is the flit sequence of the packet currently streaming on one
@@ -139,6 +144,11 @@ type NIC struct {
 	rwaiting []gatherWait // reduce operands awaiting an INA merge
 	sendRR   int
 	pool     *flit.Pool // flit allocation for outgoing packets
+	// tag stamps every enqueued packet with the workload job/phase it
+	// belongs to. Multiple drivers share one NIC, so each driver sets the
+	// tag immediately before its Send/Submit calls (the simulator is
+	// single-threaded); the zero tag marks untagged traffic.
+	tag flit.Tag
 
 	// The ack callbacks handed to the router's stations are allocated
 	// once here, not per submission.
@@ -251,6 +261,14 @@ func (n *NIC) AcceptCredit(vc int) {
 // OnReceive registers the completed-packet callback.
 func (n *NIC) OnReceive(fn func(*ReceivedPacket)) { n.eject.OnReceive(fn) }
 
+// SetTag sets the workload tag stamped onto subsequently enqueued packets
+// and submitted payloads. Workload drivers sharing the NIC call it before
+// every injection; the zero tag (the default) marks untagged traffic.
+func (n *NIC) SetTag(t flit.Tag) { n.tag = t }
+
+// Tag returns the currently active workload tag.
+func (n *NIC) Tag() flit.Tag { return n.tag }
+
 // SetDelta overrides this NIC's δ timeout. The paper notes δ "can be
 // configured for each router" to cover "the router pipeline delay to reach
 // the neighboring node"; workload layers use this to scale the timeout
@@ -319,7 +337,7 @@ func (n *NIC) SubmitGatherPayload(p flit.Payload) {
 		n.selfInitiate(p)
 		return
 	}
-	n.waiting = append(n.waiting, gatherWait{payload: p, deadline: n.currentCycle() + n.cfg.Delta})
+	n.waiting = append(n.waiting, gatherWait{payload: p, deadline: n.currentCycle() + n.cfg.Delta, tag: n.tag})
 	n.wake.Wake()
 }
 
@@ -399,7 +417,7 @@ func (n *NIC) SubmitReduceOperand(p flit.Payload) {
 		n.selfInitiateReduce(p)
 		return
 	}
-	n.rwaiting = append(n.rwaiting, gatherWait{payload: p, deadline: n.currentCycle() + n.reduceDelta()})
+	n.rwaiting = append(n.rwaiting, gatherWait{payload: p, deadline: n.currentCycle() + n.reduceDelta(), tag: n.tag})
 	n.wake.Wake()
 }
 
@@ -436,7 +454,8 @@ func (n *NIC) checkTimeouts() {
 // sweepTimeouts drops acked waiters and fires the δ fallback for expired
 // ones. Retract succeeds only while the payload is still pending at the
 // station; if a packet reserved it, the ack is imminent and we keep
-// waiting (retry next cycle if the reservation is released).
+// waiting (retry next cycle if the reservation is released). The fallback
+// packet is enqueued under the tag the payload was submitted with.
 func (n *NIC) sweepTimeouts(waiting []gatherWait, retract func(uint64) bool, fallback func(flit.Payload)) []gatherWait {
 	if len(waiting) == 0 {
 		return waiting
@@ -448,7 +467,10 @@ func (n *NIC) sweepTimeouts(waiting []gatherWait, retract func(uint64) bool, fal
 			continue
 		}
 		if n.now >= w.deadline && retract(w.payload.Seq) {
+			cur := n.tag
+			n.tag = w.tag
 			fallback(w.payload)
+			n.tag = cur
 			continue
 		}
 		keep = append(keep, w)
@@ -469,6 +491,7 @@ func (n *NIC) selfInitiateReduce(p flit.Payload) {
 
 func (n *NIC) enqueue(p flit.Packet) uint64 {
 	p.ID = n.nextID()
+	p.Tag = n.tag
 	p.InjectCycle = n.currentCycle()
 	n.queue.PushBack(p)
 	n.PacketsInjected.Inc()

@@ -1,0 +1,46 @@
+package stats
+
+// MaxMinRatio returns the ratio of the largest to the smallest positive
+// value — the max/min slowdown fairness figure for per-job completion
+// times (1.0 = perfectly even). Non-positive values are ignored; with
+// fewer than one positive value the ratio is 0.
+func MaxMinRatio(vs []float64) float64 {
+	min, max := 0.0, 0.0
+	seen := false
+	for _, v := range vs {
+		if v <= 0 {
+			continue
+		}
+		if !seen || v < min {
+			min = v
+		}
+		if !seen || v > max {
+			max = v
+		}
+		seen = true
+	}
+	if !seen {
+		return 0
+	}
+	return max / min
+}
+
+// JainIndex returns Jain's fairness index (Σv)² / (n·Σv²) over the
+// positive values: 1.0 when all shares are equal, approaching 1/n as one
+// value dominates. With no positive values it is 0.
+func JainIndex(vs []float64) float64 {
+	var sum, sq float64
+	n := 0
+	for _, v := range vs {
+		if v <= 0 {
+			continue
+		}
+		sum += v
+		sq += v * v
+		n++
+	}
+	if n == 0 || sq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(n) * sq)
+}

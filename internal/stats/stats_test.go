@@ -179,3 +179,38 @@ func TestReductionStatsString(t *testing.T) {
 		t.Errorf("String() = %q", r.String())
 	}
 }
+
+func TestMaxMinRatio(t *testing.T) {
+	cases := []struct {
+		vs   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{0, -3}, 0},
+		{[]float64{5}, 1},
+		{[]float64{2, 8}, 4},
+		{[]float64{4, 0, 2, -1, 8}, 4}, // non-positive values ignored
+	}
+	for _, tc := range cases {
+		if got := MaxMinRatio(tc.vs); got != tc.want {
+			t.Errorf("MaxMinRatio(%v) = %v, want %v", tc.vs, got, tc.want)
+		}
+	}
+}
+
+func TestJainIndex(t *testing.T) {
+	if got := JainIndex(nil); got != 0 {
+		t.Errorf("JainIndex(nil) = %v, want 0", got)
+	}
+	if got := JainIndex([]float64{3, 3, 3}); got != 1 {
+		t.Errorf("equal shares: %v, want 1", got)
+	}
+	// One dominant value among n drives the index toward 1/n.
+	skewed := JainIndex([]float64{1000, 1e-9, 1e-9, 1e-9})
+	if skewed > 0.3 || skewed <= 0.25-1e-6 {
+		t.Errorf("skewed shares: %v, want just above 1/4", skewed)
+	}
+	if even, uneven := JainIndex([]float64{5, 5}), JainIndex([]float64{9, 1}); uneven >= even {
+		t.Errorf("uneven (%v) not below even (%v)", uneven, even)
+	}
+}

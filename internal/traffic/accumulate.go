@@ -165,12 +165,26 @@ type AccumulationController struct {
 
 	rows, cols int
 
+	// tag is the workload job/phase identity (zero standalone): it stamps
+	// injected packets, namespaces payload sequence numbers and is encoded
+	// into every ReduceID, so concurrent controllers on one fabric never
+	// collide.
+	tag flit.Tag
+	// foreign, when set, receives payloads whose ReduceID carries another
+	// controller's tag — a collective packet of one phase may pick up
+	// another phase's payloads en route to a shared sink, and the workload
+	// scheduler routes them home through this hook.
+	foreign func(flit.Payload)
+
 	phase      phase
 	round      int
 	roundStart int64
 
 	doneAt    []int64
 	submitted []bool
+	// pendingOps counts the current round's not-yet-submitted operands;
+	// zero in the final round means injection is complete (Injected).
+	pendingOps int
 
 	acc      []rowAcc
 	rowsDone int
@@ -187,11 +201,33 @@ const (
 	phaseDone
 )
 
-// NewAccumulationController prepares an accumulation run on nw. It wires
-// the row-collection target callbacks and scales the collection scheme's
-// δ with each node's distance from the initiator sweeping it, like the
-// gather workloads (DESIGN.md §3 and §7).
+// NewAccumulationController prepares a standalone accumulation run on nw.
+// It wires the row-collection target callbacks and scales the collection
+// scheme's δ with each node's distance from the initiator sweeping it,
+// like the gather workloads (DESIGN.md §3 and §7).
 func NewAccumulationController(nw *noc.Network, cfg AccumulationConfig) (*AccumulationController, error) {
+	c, err := NewAccumulationDriver(nw, cfg)
+	if err != nil {
+		return nil, err
+	}
+	for row := 0; row < c.rows; row++ {
+		if c.plans[row].TargetIsSink {
+			nw.Sink(row).OnReceive(c.OnPacket)
+		} else {
+			nw.NIC(c.plans[row].Target).OnReceive(c.OnPacket)
+		}
+	}
+	c.startRound(0)
+	return c, nil
+}
+
+// NewAccumulationDriver prepares an accumulation phase for a workload
+// scheduler: identical δ scaling and round bookkeeping, but no receive
+// callbacks are wired (the scheduler dispatches this phase's packets to
+// OnPacket by tag) and the first round starts at Start, not construction.
+// A single-phase scheduler run is bit-identical to the standalone path
+// (DESIGN.md §8).
+func NewAccumulationDriver(nw *noc.Network, cfg AccumulationConfig) (*AccumulationController, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -244,20 +280,47 @@ func NewAccumulationController(nw *noc.Network, cfg AccumulationConfig) (*Accumu
 			}
 		}
 	}
-	for row := 0; row < c.rows; row++ {
-		if c.plans[row].TargetIsSink {
-			nw.Sink(row).OnReceive(c.onPacket)
-		} else {
-			nw.NIC(c.plans[row].Target).OnReceive(c.onPacket)
-		}
-	}
-	c.startRound(0)
 	return c, nil
 }
 
-// reduceID tags row r's reduction of the current round.
+// SetTag assigns the workload tag encoded into this controller's packets,
+// payload sequence numbers and ReduceIDs (workload.Taggable; the scheduler
+// calls it before Start). The zero tag reproduces the historic untagged
+// encodings bit for bit.
+func (c *AccumulationController) SetTag(t flit.Tag) { c.tag = t }
+
+// SetForeignPayloadHandler installs the hook receiving payloads that
+// arrived in this phase's packets but belong to another phase
+// (workload.ForeignPayloadRouter). Without one, foreign payloads are
+// counted as oracle errors.
+func (c *AccumulationController) SetForeignPayloadHandler(fn func(flit.Payload)) { c.foreign = fn }
+
+// Start begins the first round at the given cycle (workload.Driver).
+func (c *AccumulationController) Start(cycle int64) { c.startRound(cycle) }
+
+// Injected reports whether every operand of the final simulated round has
+// been submitted (workload.Driver: overlap successors may start while the
+// last round's collection still drains).
+func (c *AccumulationController) Injected() bool {
+	return c.phase == phaseDone || (c.round == c.cfg.Rounds-1 && c.pendingOps == 0)
+}
+
+// Drained reports whether all simulated rounds completed and verified
+// (workload.Driver: barrier successors may start).
+func (c *AccumulationController) Drained() bool { return c.Done() }
+
+// reduceID tags row r's reduction of the current round with this
+// controller's workload tag.
 func (c *AccumulationController) reduceID(row int) uint64 {
-	return uint64(row)<<32 | uint64(uint32(c.round))
+	return flit.TaggedReduceID(c.tag, row, uint32(c.round))
+}
+
+// nextSeq allocates a payload sequence number namespaced by the workload
+// tag, so concurrent controllers sharing a NIC's wait lists and stations
+// never collide (zero tag: the historic bare counter).
+func (c *AccumulationController) nextSeq() uint64 {
+	c.seq++
+	return uint64(c.tag)<<32 | c.seq
 }
 
 // operandValue derives the deterministic synthetic partial sum PE id
@@ -278,6 +341,7 @@ func (c *AccumulationController) startRound(now int64) {
 	for i := range c.submitted {
 		c.submitted[i] = false
 	}
+	c.pendingOps = len(c.submitted)
 	topo := c.nw.Topology()
 	for row := 0; row < c.rows; row++ {
 		rid := c.reduceID(row)
@@ -289,31 +353,47 @@ func (c *AccumulationController) startRound(now int64) {
 	}
 }
 
-// onPacket folds arriving payloads into the per-row accounts and checks
-// completed reductions against the oracle.
-func (c *AccumulationController) onPacket(p *nic.ReceivedPacket) {
+// OnPacket records one arriving packet and folds its payloads into the
+// per-row accounts (standalone: the wired receive callback; scheduler:
+// the dispatch target for this phase's tag). Payloads tagged for another
+// controller — picked up en route by this phase's collective packet — are
+// routed through the foreign handler instead.
+func (c *AccumulationController) OnPacket(p *nic.ReceivedPacket) {
 	c.res.PacketLatency.Observe(float64(p.Latency()))
 	for _, pl := range p.Payloads {
-		row := int(pl.ReduceID >> 32)
-		if row < 0 || row >= c.rows || uint32(pl.ReduceID) != uint32(c.round) {
-			c.res.OracleErrors++
+		if flit.ReduceIDTag(pl.ReduceID) != c.tag && c.foreign != nil {
+			c.foreign(pl)
 			continue
 		}
-		a := &c.acc[row]
-		a.sum += pl.Value
-		a.ops += pl.OpsCount()
-		if a.done {
-			// Operands beyond a verified reduction are duplicates.
+		c.OnPayload(pl)
+	}
+}
+
+// OnPayload folds one delivered payload into its row's account and checks
+// completed reductions against the oracle. Payloads whose ReduceID does
+// not name this controller's tag, a valid row and the current round count
+// as oracle errors.
+func (c *AccumulationController) OnPayload(pl flit.Payload) {
+	row := flit.ReduceIDRow(pl.ReduceID)
+	if flit.ReduceIDTag(pl.ReduceID) != c.tag || row >= c.rows ||
+		flit.ReduceIDRound(pl.ReduceID) != uint32(c.round) {
+		c.res.OracleErrors++
+		return
+	}
+	a := &c.acc[row]
+	a.sum += pl.Value
+	a.ops += pl.OpsCount()
+	if a.done {
+		// Operands beyond a verified reduction are duplicates.
+		c.res.OracleErrors++
+		return
+	}
+	if a.ops >= c.cols {
+		if err := c.oracle.Verify(c.reduceID(row), a.sum, a.ops); err != nil {
 			c.res.OracleErrors++
-			continue
 		}
-		if a.ops >= c.cols {
-			if err := c.oracle.Verify(c.reduceID(row), a.sum, a.ops); err != nil {
-				c.res.OracleErrors++
-			}
-			a.done = true
-			c.rowsDone++
-		}
+		a.done = true
+		c.rowsDone++
 	}
 }
 
@@ -335,13 +415,13 @@ func (c *AccumulationController) releaseOperands(cycle int64) {
 			continue
 		}
 		c.submitted[id] = true
+		c.pendingOps--
 		node := topology.NodeID(id)
 		plan := &c.plans[topo.Coord(node).Row]
 		dst := plan.Target
 		rid := c.reduceID(plan.Row)
-		c.seq++
 		p := flit.Payload{
-			Seq: c.seq, Src: node, Dst: dst,
+			Seq: c.nextSeq(), Src: node, Dst: dst,
 			Bits:       c.nw.Config().PayloadBits,
 			Value:      operandValue(id, c.round),
 			ReadyCycle: cycle,
@@ -349,6 +429,7 @@ func (c *AccumulationController) releaseOperands(cycle int64) {
 			Ops:        1,
 		}
 		nicAt := c.nw.NIC(node)
+		nicAt.SetTag(c.tag)
 		switch {
 		case c.cfg.Scheme == CollectUnicast:
 			nicAt.SendUnicastPayload(dst, p)
@@ -420,6 +501,17 @@ func (c *AccumulationController) result(cycles int64) *AccumulationResult {
 		r.SinkFlits += ej.FlitsEjected.Value()
 		r.SinkPackets += ej.PacketsEjected.Value()
 	}
+	return c.Snapshot()
+}
+
+// Snapshot finalizes and returns the controller-local result fields:
+// round and packet latencies, the extrapolated whole-workload totals and
+// the oracle error count. Unlike Run's full result it aggregates no
+// network-wide counters, so it is the accessor scheduler-driven phases use
+// — concurrent phases share those counters and summing them per phase
+// would double-count.
+func (c *AccumulationController) Snapshot() *AccumulationResult {
+	r := &c.res
 	if r.RoundCycles.N() > 0 {
 		r.TotalCycles = int64(r.RoundCycles.Mean()*float64(r.TotalRounds) + 0.5)
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"gathernoc/internal/flit"
 	"gathernoc/internal/nic"
 	"gathernoc/internal/noc"
 	"gathernoc/internal/stats"
@@ -63,38 +64,92 @@ type GeneratorResult struct {
 	Throughput float64
 }
 
-// Generator drives an open-loop synthetic workload on a network. Create
-// one per run.
+// Generator drives an open-loop synthetic workload on a network, either
+// standalone (NewGenerator + Run, which wire the NIC callbacks and own the
+// engine loop) or as a workload.Driver phase (NewGeneratorDriver, where a
+// scheduler admits the phase, ticks it and dispatches its tagged packets
+// back through OnPacket). Create one per run or phase.
 type Generator struct {
 	nw  *noc.Network
 	cfg GeneratorConfig
 	rng *rand.Rand
+	tag flit.Tag
 
+	// base is the engine cycle the injection windows are measured from:
+	// 0 standalone, the phase admission cycle under a scheduler.
+	base      int64
 	injecting bool
 	injected  uint64
 	received  uint64
+	// sent/delivered count every packet of the run (warm-up included), the
+	// conservation pair behind Drained.
+	sent      uint64
+	delivered uint64
 	res       GeneratorResult
 }
 
-// NewGenerator wires a generator to nw's NIC callbacks.
+// NewGenerator wires a generator to nw's NIC callbacks for a standalone
+// Run.
 func NewGenerator(nw *noc.Network, cfg GeneratorConfig) (*Generator, error) {
-	if err := cfg.Validate(); err != nil {
+	g, err := NewGeneratorDriver(nw, cfg)
+	if err != nil {
 		return nil, err
 	}
-	g := &Generator{
-		nw:        nw,
-		cfg:       cfg,
-		rng:       rand.New(rand.NewSource(cfg.Seed)),
-		injecting: true,
-	}
+	g.injecting = true
 	for id := 0; id < nw.Mesh().NumNodes(); id++ {
-		nw.NIC(topology.NodeID(id)).OnReceive(g.onPacket)
+		nw.NIC(topology.NodeID(id)).OnReceive(g.OnPacket)
 	}
 	return g, nil
 }
 
-func (g *Generator) onPacket(p *nic.ReceivedPacket) {
-	if p.InjectCycle >= g.cfg.Warmup && p.InjectCycle < g.cfg.Warmup+g.cfg.Measure {
+// NewGeneratorDriver prepares a generator phase for a workload scheduler:
+// no NIC callbacks are wired (the scheduler owns them and dispatches this
+// phase's packets to OnPacket by tag) and injection starts at Start, not
+// construction.
+func NewGeneratorDriver(nw *noc.Network, cfg GeneratorConfig) (*Generator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Generator{
+		nw:  nw,
+		cfg: cfg,
+		rng: rand.New(rand.NewSource(cfg.Seed)),
+	}, nil
+}
+
+// SetTag assigns the workload tag stamped onto every injected packet
+// (workload.Taggable; the scheduler calls it before Start).
+func (g *Generator) SetTag(t flit.Tag) { g.tag = t }
+
+// Start begins the injection windows at the given cycle (workload.Driver).
+func (g *Generator) Start(cycle int64) {
+	g.base = cycle
+	g.injecting = true
+}
+
+// Injected reports whether the injection window has elapsed
+// (workload.Driver: overlap successors may start).
+func (g *Generator) Injected() bool { return !g.injecting }
+
+// Drained reports whether every injected packet has been delivered
+// (workload.Driver: barrier successors may start). Meaningful only when
+// packet deliveries reach OnPacket — standalone via NewGenerator's
+// callbacks, under a scheduler via tag dispatch.
+func (g *Generator) Drained() bool { return !g.injecting && g.delivered == g.sent }
+
+// Sent and Delivered expose the conservation pair: every packet the
+// generator injected (warm-up included) and every one that reached an
+// ejection point.
+func (g *Generator) Sent() uint64      { return g.sent }
+func (g *Generator) Delivered() uint64 { return g.delivered }
+
+// OnPacket records one delivered generator packet (measurement-window
+// packets feed the latency samples). The scheduler dispatches tagged
+// packets here; standalone runs wire it as the NIC receive callback.
+func (g *Generator) OnPacket(p *nic.ReceivedPacket) {
+	g.delivered++
+	rel := p.InjectCycle - g.base
+	if rel >= g.cfg.Warmup && rel < g.cfg.Warmup+g.cfg.Measure {
 		g.received++
 		g.res.Latency.Observe(float64(p.Latency()))
 		g.res.QueueLatency.Observe(float64(p.QueueLatency()))
@@ -109,11 +164,12 @@ func (g *Generator) Tick(cycle int64) {
 	if !g.injecting {
 		return
 	}
-	if cycle >= g.cfg.Warmup+g.cfg.Measure {
+	rel := cycle - g.base
+	if rel >= g.cfg.Warmup+g.cfg.Measure {
 		g.injecting = false
 		return
 	}
-	measured := cycle >= g.cfg.Warmup
+	measured := rel >= g.cfg.Warmup
 	for id := 0; id < g.nw.Mesh().NumNodes(); id++ {
 		if g.rng.Float64() >= g.cfg.InjectionRate {
 			continue
@@ -123,7 +179,10 @@ func (g *Generator) Tick(cycle int64) {
 		if dst == src {
 			continue
 		}
-		g.nw.NIC(src).SendUnicastN(dst, g.cfg.PacketFlits)
+		n := g.nw.NIC(src)
+		n.SetTag(g.tag)
+		n.SendUnicastN(dst, g.cfg.PacketFlits)
+		g.sent++
 		if measured {
 			g.injected++
 		}
@@ -140,6 +199,12 @@ func (g *Generator) Run(maxCycles int64) (*GeneratorResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	return g.Result(cycles), nil
+}
+
+// Result finalizes the run summary. Run calls it; scheduler-driven phases
+// call it once the scheduler completes, with the run length to record.
+func (g *Generator) Result(cycles int64) *GeneratorResult {
 	g.res.Injected = g.injected
 	g.res.Received = g.received
 	g.res.Cycles = cycles
@@ -147,5 +212,5 @@ func (g *Generator) Run(maxCycles int64) (*GeneratorResult, error) {
 		g.res.Throughput = float64(g.received) /
 			float64(g.cfg.Measure) / float64(g.nw.Mesh().NumNodes())
 	}
-	return &g.res, nil
+	return &g.res
 }

@@ -8,6 +8,7 @@ import (
 
 	"gathernoc/internal/cnn"
 	"gathernoc/internal/flit"
+	"gathernoc/internal/nic"
 	"gathernoc/internal/noc"
 	"gathernoc/internal/topology"
 )
@@ -106,14 +107,88 @@ func GenerateLayerTrace(layer cnn.LayerConfig, rows, cols int, gather bool, star
 	return events
 }
 
-// Replayer injects a recorded trace into a network at the recorded cycles.
+// Replayer injects a recorded trace into a network at the recorded cycles,
+// either standalone (Run) or as a workload.Driver phase — under a
+// scheduler, event cycles are relative to the phase's admission cycle and
+// the scheduler dispatches the phase's tagged packets back to OnPacket.
 type Replayer struct {
 	nw     *noc.Network
 	events []Event
 	next   int
-	// Injected counts injected events.
-	Injected uint64
+	tag    flit.Tag
+	// foreign, when set, receives payloads that arrived inside this
+	// phase's packets but carry another phase's tag in their ReduceID —
+	// a replayed gather packet can pick up a concurrent phase's payload
+	// at a shared station, and the scheduler routes it home through this
+	// hook (workload.ForeignPayloadRouter).
+	foreign func(flit.Payload)
+	// base is the cycle event timestamps are measured from: 0 standalone,
+	// the phase admission cycle under a scheduler.
+	base int64
+	// outstanding counts expected delivery units not yet observed by
+	// OnPacket: one per unicast/gather event, one per multicast
+	// destination, one per deposited payload. Each arriving packet retires
+	// one unit for itself plus one per piggybacked (non-seeded) payload,
+	// whichever packet carried it — so δ-timeout self-initiations do not
+	// skew the account.
+	outstanding int64
+	// EventsInjected counts injected events.
+	EventsInjected uint64
 }
+
+// SetTag assigns the workload tag stamped onto replayed packets
+// (workload.Taggable).
+func (rp *Replayer) SetTag(t flit.Tag) { rp.tag = t }
+
+// SetForeignPayloadHandler installs the hook receiving payloads that
+// arrived in this phase's packets but belong to another phase
+// (workload.ForeignPayloadRouter).
+func (rp *Replayer) SetForeignPayloadHandler(fn func(flit.Payload)) { rp.foreign = fn }
+
+// Start begins the replay clock at the given cycle (workload.Driver).
+func (rp *Replayer) Start(cycle int64) { rp.base = cycle }
+
+// Injected reports whether every event has been injected
+// (workload.Driver overlap edge; identical to Done).
+func (rp *Replayer) Injected() bool { return rp.Done() }
+
+// Drained reports whether the trace is injected and every expected
+// delivery has been observed (workload.Driver barrier edge). Meaningful
+// only when the phase's packets are dispatched to OnPacket — the
+// standalone Run path uses network quiescence instead.
+func (rp *Replayer) Drained() bool { return rp.Done() && rp.outstanding == 0 }
+
+// OnPacket retires the delivery units an arriving packet accounts for:
+// the packet itself plus any of this phase's payloads beyond the one the
+// packet's injection event seeded. Under a scheduler, payloads tagged
+// for another phase (picked up at a shared station en route) are routed
+// home through the foreign handler instead of being counted here.
+func (rp *Replayer) OnPacket(p *nic.ReceivedPacket) {
+	own := 0
+	for _, pl := range p.Payloads {
+		if rp.tag != 0 && flit.ReduceIDTag(pl.ReduceID) != rp.tag {
+			if rp.foreign != nil {
+				rp.foreign(pl)
+			}
+			continue
+		}
+		own++
+	}
+	units := int64(1 + own)
+	switch p.PT {
+	case flit.Gather:
+		units-- // the gather (or self-initiated) packet seeded one payload
+	case flit.Unicast:
+		if own > 0 {
+			units-- // payload-carrying unicast: the payload is the packet
+		}
+	}
+	rp.outstanding -= units
+}
+
+// OnPayload retires one delivery unit for a payload of this phase that
+// arrived inside another phase's packet (workload.PayloadSink).
+func (rp *Replayer) OnPayload(pl flit.Payload) { rp.outstanding-- }
 
 // NewReplayer validates the trace against the network and prepares the
 // replay. Events must be sorted by cycle.
@@ -147,20 +222,38 @@ func NewReplayer(nw *noc.Network, events []Event) (*Replayer, error) {
 // Done reports whether every event has been injected.
 func (rp *Replayer) Done() bool { return rp.next >= len(rp.events) }
 
-// Tick injects all events scheduled at or before the current cycle.
+// Tick injects all events scheduled at or before the current cycle
+// (relative to the replay's Start cycle).
 func (rp *Replayer) Tick(cycle int64) {
-	for rp.next < len(rp.events) && rp.events[rp.next].Cycle <= cycle {
+	rel := cycle - rp.base
+	for rp.next < len(rp.events) && rp.events[rp.next].Cycle <= rel {
 		e := rp.events[rp.next]
 		rp.next++
-		rp.Injected++
+		rp.EventsInjected++
 		src := topology.NodeID(e.Src)
 		n := rp.nw.NIC(src)
+		n.SetTag(rp.tag)
+		// Payload sequence numbers are namespaced by the workload tag like
+		// the accumulation controller's (tag<<32 | trace seq), so a
+		// replayed phase's payloads cannot collide with another phase's at
+		// a shared NIC wait list or router station, and the ReduceID
+		// carries the tag so a payload picked up by another phase's
+		// packet can be routed home. Untagged standalone replays keep the
+		// trace's raw seqs and a zero ReduceID.
+		seq := e.Seq
+		var rid uint64
+		if rp.tag != 0 {
+			seq = uint64(rp.tag)<<32 | (e.Seq & 0xFFFFFFFF)
+			rid = flit.TaggedReduceID(rp.tag, 0, 0)
+		}
 		payload := flit.Payload{
-			Seq: e.Seq, Src: src, Dst: topology.NodeID(e.Dst),
+			Seq: seq, Src: src, Dst: topology.NodeID(e.Dst),
 			Bits: rp.nw.Config().PayloadBits, Value: e.Value, ReadyCycle: cycle,
+			ReduceID: rid,
 		}
 		switch e.Type {
 		case EventUnicast:
+			rp.outstanding++
 			if e.Flits > 0 {
 				n.SendUnicastN(topology.NodeID(e.Dst), e.Flits)
 			} else {
@@ -175,10 +268,13 @@ func (rp *Replayer) Tick(cycle int64) {
 			if flits == 0 {
 				flits = rp.nw.Config().UnicastFlits
 			}
+			rp.outstanding += int64(set.Len())
 			n.SendMulticast(set, flits)
 		case EventGather:
+			rp.outstanding++
 			n.SendGather(topology.NodeID(e.Dst), &payload)
 		case EventPayload:
+			rp.outstanding++
 			n.SubmitGatherPayload(payload)
 		}
 	}

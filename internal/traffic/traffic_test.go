@@ -248,8 +248,8 @@ func TestReplayerDeliversTrace(t *testing.T) {
 	if _, err := rp.Run(100000); err != nil {
 		t.Fatal(err)
 	}
-	if rp.Injected != 16 {
-		t.Errorf("injected = %d, want 16", rp.Injected)
+	if rp.EventsInjected != 16 {
+		t.Errorf("injected = %d, want 16", rp.EventsInjected)
 	}
 	if payloads != 16 {
 		t.Errorf("payloads delivered = %d, want 16", payloads)

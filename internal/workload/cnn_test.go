@@ -1,0 +1,160 @@
+package workload
+
+import (
+	"fmt"
+	"testing"
+
+	"gathernoc/internal/cnn"
+	"gathernoc/internal/noc"
+	"gathernoc/internal/traffic"
+)
+
+// smokeLayers is the Conv1→Pool1→Conv2 AlexNet prefix the CI pipeline
+// smoke runs.
+func smokeLayers(t *testing.T) []cnn.LayerConfig {
+	t.Helper()
+	all := cnn.AlexNetAllLayers()
+	layers := all[:3]
+	if layers[0].Name != "Conv1" || layers[1].Name != "Pool1" || layers[2].Name != "Conv2" {
+		t.Fatalf("unexpected AlexNet prefix: %v", layers)
+	}
+	return layers
+}
+
+// TestPipelineShortSmoke runs the Conv1→Pool1→Conv2 prefix on an 8x8 mesh
+// and torus, in both barrier and overlap modes: every layer's reduction
+// oracle must verify, the whole job must drain, and overlap must finish
+// no later than the barrier schedule on the same fabric.
+func TestPipelineShortSmoke(t *testing.T) {
+	fabrics := []struct {
+		name string
+		cfg  noc.Config
+	}{
+		{"mesh", noc.DefaultConfig(8, 8)},
+		{"torus", noc.DefaultTorusConfig(8, 8)},
+	}
+	for _, fab := range fabrics {
+		fab := fab
+		t.Run(fab.name, func(t *testing.T) {
+			cycles := map[bool]int64{}
+			for _, overlap := range []bool{false, true} {
+				nw, err := noc.New(fab.cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				job, drivers, err := NewPipelineJob(nw, "alexnet-prefix", PipelineConfig{
+					Layers:  smokeLayers(t),
+					Scheme:  traffic.CollectGather,
+					Rounds:  1,
+					Overlap: overlap,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				s, err := New(nw, []Job{job})
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := s.Run(1_000_000)
+				if err != nil {
+					t.Fatalf("overlap=%v: %v", overlap, err)
+				}
+				for i, d := range drivers {
+					snap := d.Snapshot()
+					if snap.OracleErrors != 0 {
+						t.Errorf("overlap=%v layer %d (%s): %d oracle errors",
+							overlap, i, job.Phases[i].Name, snap.OracleErrors)
+					}
+					if snap.RoundCycles.N() == 0 {
+						t.Errorf("overlap=%v layer %d (%s): no rounds completed",
+							overlap, i, job.Phases[i].Name)
+					}
+				}
+				if res.OrphanPackets != 0 || res.OrphanPayloads != 0 {
+					t.Errorf("overlap=%v: orphans %d/%d", overlap, res.OrphanPackets, res.OrphanPayloads)
+				}
+				cycles[overlap] = res.Jobs[0].Time()
+			}
+			if cycles[true] >= cycles[false] {
+				t.Errorf("overlap (%d cycles) not faster than barrier (%d)", cycles[true], cycles[false])
+			}
+		})
+	}
+}
+
+// TestMultiJobConservationMatrix is the per-job conservation oracle over
+// every topology×routing cell: four batched single-layer inference jobs
+// share each fabric under the gather scheme (whose packets can pick up
+// other jobs' payloads en route, exercising the scheduler's foreign
+// payload routing), and every job's every row-reduction must verify
+// exactly — sum and operand count — with no duplicated or orphaned
+// delivery and no leaked flit.
+func TestMultiJobConservationMatrix(t *testing.T) {
+	layer, ok := cnn.LayerByName(cnn.AlexNetConvLayers(), "Conv3")
+	if !ok {
+		t.Fatal("Conv3 missing")
+	}
+	const jobs = 4
+	for _, topo := range []string{"mesh", "torus"} {
+		for _, routing := range []string{"xy", "westfirst", "oddeven"} {
+			topo, routing := topo, routing
+			t.Run(fmt.Sprintf("%s/%s", topo, routing), func(t *testing.T) {
+				if testing.Short() && routing != "xy" {
+					t.Skip("adaptive-routing cells skipped in -short")
+				}
+				cfg := noc.DefaultConfig(8, 8)
+				if topo == "torus" {
+					cfg = noc.DefaultTorusConfig(8, 8)
+				}
+				cfg.Routing = routing
+				cfg.DebugFlitPool = true
+				nw, err := noc.New(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				batch, perJob, err := NewInferenceBatch(nw, jobs, 3, PipelineConfig{
+					Layers:  []cnn.LayerConfig{layer},
+					Scheme:  traffic.CollectGather,
+					Rounds:  2,
+					Overlap: false,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				drivers := make([]*traffic.AccumulationController, jobs)
+				for j, drv := range perJob {
+					drivers[j] = drv[0]
+				}
+				s, err := New(nw, batch)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := s.Run(2_000_000)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for j, d := range drivers {
+					snap := d.Snapshot()
+					if snap.OracleErrors != 0 {
+						t.Errorf("job %d: %d oracle errors", j, snap.OracleErrors)
+					}
+					if res.Jobs[j].Time() <= 0 {
+						t.Errorf("job %d: non-positive makespan %d", j, res.Jobs[j].Time())
+					}
+					if res.Jobs[j].Latency.N() == 0 {
+						t.Errorf("job %d: no latency samples", j)
+					}
+				}
+				if res.OrphanPackets != 0 || res.OrphanPayloads != 0 {
+					t.Errorf("orphans: %d packets, %d payloads", res.OrphanPackets, res.OrphanPayloads)
+				}
+				if live := nw.FlitPool().Live(); live != 0 {
+					t.Errorf("%d flits leaked", live)
+				}
+				if slow := res.MaxMinSlowdown(); slow < 1 {
+					t.Errorf("max/min slowdown %v < 1", slow)
+				}
+			})
+		}
+	}
+}
