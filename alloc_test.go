@@ -68,6 +68,96 @@ func TestAllocationRatchet(t *testing.T) {
 	}
 }
 
+// TestShardedAllocationRatchet extends the ratchet to the sharded tick
+// loop (DESIGN.md §9): the same operating point as the direct test, run
+// on 4 row-partition shards. The parallel phases must not allocate per
+// cycle either — shard views of the flit pool keep freelists local, the
+// worker loop reuses its channels and WaitGroup, and staged ejection
+// reuses its packet and payload arenas. The ceiling is shared with the
+// sequential path.
+func TestShardedAllocationRatchet(t *testing.T) {
+	cfg := noc.DefaultConfig(8, 8)
+	cfg.EastSinks = false
+	cfg.Shards = 4
+	nw, err := noc.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	gen, err := traffic.NewGenerator(nw, traffic.GeneratorConfig{
+		Pattern:       traffic.UniformRandom{Nodes: 64},
+		InjectionRate: 0.05,
+		PacketFlits:   2,
+		Warmup:        0,
+		Measure:       1 << 40, // never stop injecting
+		Seed:          1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := nw.Engine()
+	eng.AddTicker(gen)
+
+	// Warm-up: reach the high-water marks *and* start the shard workers
+	// (lazily spawned on the first step — their goroutine and channel
+	// allocations are one-time, not steady state).
+	eng.Run(3000)
+
+	const cyclesPerRun = 500
+	avg := testing.AllocsPerRun(4, func() {
+		eng.Run(cyclesPerRun)
+	})
+	perCycle := avg / cyclesPerRun
+	t.Logf("sharded steady state: %.4f allocs/cycle (%.0f allocs per %d-cycle run)", perCycle, avg, cyclesPerRun)
+	if perCycle > maxSteadyStateAllocsPerCycle {
+		t.Fatalf("sharded steady-state allocations regressed: %.4f allocs/cycle, ratchet ceiling %v",
+			perCycle, maxSteadyStateAllocsPerCycle)
+	}
+}
+
+// TestShardedFlitPoolLeakFreedom runs cross-shard traffic with the
+// pool's ownership checker on and asserts a drained sharded network
+// holds zero outstanding flits. Flits routinely migrate between shard
+// views here — acquired by a NIC in one row block, released by an
+// ejector in another — so this pins the aggregate accounting across
+// views (per-view counters may individually go negative; only the
+// root's sum is meaningful).
+func TestShardedFlitPoolLeakFreedom(t *testing.T) {
+	cfg := noc.DefaultConfig(8, 8)
+	cfg.EastSinks = false
+	cfg.Shards = 4
+	cfg.DebugFlitPool = true
+	nw, err := noc.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	gen, err := traffic.NewGenerator(nw, traffic.GeneratorConfig{
+		Pattern:       traffic.UniformRandom{Nodes: 64},
+		InjectionRate: 0.05,
+		PacketFlits:   2,
+		Warmup:        100,
+		Measure:       900,
+		Seed:          1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := gen.Run(1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Injected != res.Received {
+		t.Fatalf("drain incomplete: injected %d, received %d", res.Injected, res.Received)
+	}
+	if live := nw.FlitPool().Live(); live != 0 {
+		t.Fatalf("drained sharded network holds %d leaked flits", live)
+	}
+	if nw.FlitPool().Misses() == 0 {
+		t.Fatal("pool never allocated — workload did not exercise it")
+	}
+}
+
 // TestSchedulerAllocationRatchet extends the ratchet to the workload
 // scheduler's multi-job path: three concurrent tagged jobs on one fabric,
 // dispatched per-cycle through the scheduler's admission scan and

@@ -287,6 +287,77 @@ func BenchmarkEngineStepping(b *testing.B) {
 	}
 }
 
+// engineScalingShards returns the shard grid BenchmarkEngineScaling and
+// benchreport sweep: 1, 2, 4 plus NumCPU when it differs.
+func engineScalingShards() []int {
+	counts := []int{1, 2, 4}
+	if n := runtime.NumCPU(); n != 1 && n != 2 && n != 4 {
+		counts = append(counts, n)
+	}
+	return counts
+}
+
+// runEngineScaling drives one sharded large-fabric workload — uniform
+// traffic at a moderate per-node rate, so total load grows with the node
+// count — and returns the simulated cycles (identical for every shard
+// count; the equivalence tests enforce it).
+func runEngineScaling(mesh, shards int) (int64, error) {
+	cfg := noc.DefaultConfig(mesh, mesh)
+	cfg.EastSinks = false
+	cfg.Shards = shards
+	nw, err := noc.New(cfg)
+	if err != nil {
+		return 0, err
+	}
+	defer nw.Close()
+	gen, err := traffic.NewGenerator(nw, traffic.GeneratorConfig{
+		Pattern:       traffic.UniformRandom{Nodes: mesh * mesh},
+		InjectionRate: 0.02,
+		PacketFlits:   2,
+		Warmup:        100,
+		Measure:       900,
+		Seed:          1,
+	})
+	if err != nil {
+		return 0, err
+	}
+	res, err := gen.Run(1_000_000)
+	if err != nil {
+		return 0, err
+	}
+	return res.Cycles, nil
+}
+
+// BenchmarkEngineScaling measures the sharded engine's strong scaling on
+// the ROADMAP's large fabrics: one simulation spread across worker
+// goroutines, shards ∈ {1, 2, 4, NumCPU}, with cycles/sec as the headline
+// metric. shards=1 runs the sharded two-phase schedule inline and is the
+// scaling baseline; the acceptance bar is >= 2x cycles/sec at 4 shards on
+// the 64x64 fabric.
+func BenchmarkEngineScaling(b *testing.B) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(runtime.NumCPU()))
+	for _, mesh := range []int{32, 64} {
+		for _, shards := range engineScalingShards() {
+			mesh, shards := mesh, shards
+			b.Run(fmt.Sprintf("%dx%d/shards=%d", mesh, mesh, shards), func(b *testing.B) {
+				if testing.Short() && (mesh > 32 || shards > 2) {
+					b.Skip("large scaling grid skipped in -short")
+				}
+				var cycles int64
+				for i := 0; i < b.N; i++ {
+					c, err := runEngineScaling(mesh, shards)
+					if err != nil {
+						b.Fatal(err)
+					}
+					cycles = c
+				}
+				b.ReportMetric(float64(cycles), "cycles")
+				b.ReportMetric(float64(cycles)*float64(b.N)/b.Elapsed().Seconds(), "cycles/sec")
+			})
+		}
+	}
+}
+
 // BenchmarkSweepFig7 regenerates the whole Fig. 7 grid through the
 // parallel sweep harness, serial vs all-cores — the end-to-end win of the
 // engine refactor plus worker-pool sweeps.

@@ -10,11 +10,19 @@
 //	go run ./cmd/benchreport -out BENCH_PR3.json # regenerate the pinned file
 //	go run ./cmd/benchreport -baseline BENCH_PR2.json -out BENCH_PR3.json
 //
-// Each benchmark entry records the GOMAXPROCS it actually ran at: the
-// parallel sweep is forced to all cores even when the process was started
-// with GOMAXPROCS=1, so the serial-vs-parallel comparison measures the
-// worker pool rather than the environment (the PR2 snapshot was taken at
-// GOMAXPROCS=1, where "parallel" silently degenerated to serial).
+// Each benchmark entry records the GOMAXPROCS it actually ran at, and the
+// harness pins it per family rather than inheriting the environment:
+// single-simulation benchmarks (EngineStepping, the pipeline and batch
+// runs) are pinned to GOMAXPROCS(1) so scheduler noise and background
+// goroutines cannot perturb a measurement that is semantically serial,
+// while the scaling families (SweepFig7/parallel, EngineScaling) are
+// forced to all cores even when the process was started with
+// GOMAXPROCS=1, so they measure the worker pool rather than the
+// environment (the PR2 snapshot was taken at GOMAXPROCS=1, where
+// "parallel" silently degenerated to serial). EngineScaling entries also
+// record num_cpu: on a single-core host the sharded engine still
+// verifies, but cycles/sec speedup is bounded by the hardware and the
+// recorded numbers must be read against that bound.
 //
 // With -baseline pointing at a previous snapshot, every matching
 // benchmark gains a vs_baseline block with the ns/op, allocs/op and
@@ -97,7 +105,9 @@ func run(args []string, w io.Writer) error {
 	}
 
 	// Engine stepping: the BenchmarkEngineStepping grid. Single-network
-	// runs, measured at the process's own parallelism.
+	// sequential runs, pinned to GOMAXPROCS(1) for a noise-free serial
+	// measurement.
+	prevProcs := runtime.GOMAXPROCS(1)
 	for _, tc := range []struct {
 		name   string
 		always bool
@@ -146,6 +156,71 @@ func run(args []string, w io.Writer) error {
 		}
 		report.Benchmarks = append(report.Benchmarks, toResult(tc.name, r, metrics))
 	}
+	runtime.GOMAXPROCS(prevProcs)
+
+	// Engine scaling: one large saturated simulation sharded across
+	// cores (BenchmarkEngineScaling, DESIGN.md §9), at full machine
+	// parallelism. cycles/sec is the headline metric; speedup_vs_1shard
+	// is measured against the shards=1 cell of the same mesh, and
+	// num_cpu records the hardware bound the speedup must be read
+	// against (1 core ⇒ parity is the ceiling).
+	{
+		prev := runtime.GOMAXPROCS(runtime.NumCPU())
+		shardGrid := []int{1, 2, 4}
+		if n := runtime.NumCPU(); n != 1 && n != 2 && n != 4 {
+			shardGrid = append(shardGrid, n)
+		}
+		for _, mesh := range []int{32, 64} {
+			var baseRate float64
+			for _, shards := range shardGrid {
+				var cycles int64
+				r := testing.Benchmark(func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						cfg := noc.DefaultConfig(mesh, mesh)
+						cfg.EastSinks = false
+						cfg.Shards = shards
+						nw, err := noc.New(cfg)
+						if err != nil {
+							b.Fatal(err)
+						}
+						gen, err := traffic.NewGenerator(nw, traffic.GeneratorConfig{
+							Pattern:       traffic.UniformRandom{Nodes: mesh * mesh},
+							InjectionRate: 0.02,
+							PacketFlits:   2,
+							Warmup:        100,
+							Measure:       900,
+							Seed:          1,
+						})
+						if err != nil {
+							b.Fatal(err)
+						}
+						res, err := gen.Run(1_000_000)
+						if err != nil {
+							b.Fatal(err)
+						}
+						cycles = res.Cycles
+						nw.Close()
+					}
+				})
+				rate := float64(cycles) / (float64(r.NsPerOp()) / 1e9)
+				if shards == 1 {
+					baseRate = rate
+				}
+				metrics := map[string]float64{
+					"cycles":         float64(cycles),
+					"cycles_per_sec": rate,
+					"num_cpu":        float64(runtime.NumCPU()),
+				}
+				if baseRate > 0 {
+					metrics["speedup_vs_1shard"] = rate / baseRate
+				}
+				report.Benchmarks = append(report.Benchmarks,
+					toResult(fmt.Sprintf("EngineScaling/%dx%d/shards=%d", mesh, mesh, shards), r, metrics))
+			}
+		}
+		runtime.GOMAXPROCS(prev)
+	}
 
 	// Fig. 7 sweep: serial vs all-cores, as in BenchmarkSweepFig7. The
 	// parallel case forces GOMAXPROCS to the machine's core count so the
@@ -172,6 +247,10 @@ func run(args []string, w io.Writer) error {
 		res.GOMAXPROCS = tc.procs
 		report.Benchmarks = append(report.Benchmarks, res)
 	}
+
+	// The remaining families are single sequential simulations; pin them
+	// to GOMAXPROCS(1) like EngineStepping.
+	prevProcs = runtime.GOMAXPROCS(1)
 
 	// INA comparison: the accumulation-phase sweep added with the INA
 	// subsystem, pinning its cost alongside the headline benchmarks.
@@ -257,6 +336,7 @@ func run(args []string, w io.Writer) error {
 		report.Benchmarks = append(report.Benchmarks, toResult("MultiJob/4+background", r,
 			map[string]float64{"batch_cycles": float64(cycles), "maxmin_slowdown": slowdown}))
 	}
+	runtime.GOMAXPROCS(prevProcs)
 
 	if *baseline != "" {
 		if err := applyBaseline(&report, *baseline); err != nil {

@@ -9,6 +9,8 @@
 //	nocsim -topology torus -routing xy -rate 0.05 # wraparound fabric
 //	nocsim -topology torus -ina -inamode ina      # INA on the torus
 //	nocsim -rate 0.005 -cpuprofile cpu.out        # profile a run
+//	nocsim -rate 0.005 -memprofile mem.out        # heap profile at exit
+//	nocsim -rows 64 -cols 64 -shards 4            # sharded tick loop
 //	nocsim -rate 0.005 -alwaystick                # naive engine reference
 //	nocsim -ina -inamode ina -inarounds 4         # in-network accumulation
 //	nocsim -model alexnet -overlap                # whole-model pipeline
@@ -53,7 +55,9 @@ func run(args []string, w io.Writer) error {
 		maxCycles  = fs.Int64("maxcycles", 10_000_000, "simulation cycle budget")
 		heatmap    = fs.Bool("heatmap", false, "print a per-router utilization heatmap after the run")
 		alwaysTick = fs.Bool("alwaystick", false, "disable sleep/wake scheduling (tick every component every cycle)")
+		shards     = fs.Int("shards", 0, "row-partitioned tick-loop shards (0 = sequential engine)")
 		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProfile = fs.String("memprofile", "", "write an allocation profile at exit to this file")
 		ina        = fs.Bool("ina", false, "run the in-network accumulation workload instead of synthetic traffic")
 		inaMode    = fs.String("inamode", "ina", "accumulation collection scheme (unicast, gather, ina)")
 		inaRounds  = fs.Int("inarounds", 4, "accumulation rounds to simulate")
@@ -77,6 +81,19 @@ func run(args []string, w io.Writer) error {
 		}
 		defer pprof.StopCPUProfile()
 	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			return fmt.Errorf("memprofile: %w", err)
+		}
+		// The "allocs" profile keeps every allocation site since process
+		// start, which is what the steady-state ratchet work cares about
+		// (inuse heap at exit is near zero — the pools hold everything).
+		defer func() {
+			pprof.Lookup("allocs").WriteTo(f, 0)
+			f.Close()
+		}()
+	}
 
 	cfg := noc.DefaultConfig(*rows, *cols)
 	if *topo == "torus" {
@@ -90,11 +107,13 @@ func run(args []string, w io.Writer) error {
 	cfg.Router.BufferDepth = *depth
 	cfg.Routing = *routing
 	cfg.AlwaysTick = *alwaysTick
+	cfg.Shards = *shards
 	cfg.EnableINA = *ina
 	nw, err := noc.New(cfg)
 	if err != nil {
 		return err
 	}
+	defer nw.Close()
 
 	if *model != "" {
 		if err := runPipeline(nw, *model, *jobs, *rounds, *overlap, *maxCycles, w); err != nil {

@@ -5,6 +5,7 @@ import (
 
 	"gathernoc/internal/cnn"
 	"gathernoc/internal/core"
+	"gathernoc/internal/noc"
 	"gathernoc/internal/systolic"
 )
 
@@ -54,5 +55,25 @@ func TestGoldenDeterminism(t *testing.T) {
 	}
 	if g.Events != g2.Events {
 		t.Errorf("replay diverged:\n%+v\n%+v", g.Events, g2.Events)
+	}
+
+	// The sharded engine is the same contract from a different backend:
+	// the row-partitioned two-phase schedule must land on the identical
+	// golden numbers at every shard count (here the interesting extremes;
+	// the full matrix runs in TestShardedEngineEquivalenceLayers).
+	for _, shards := range []int{1, 4} {
+		gs, err := core.RunLayer(8, 8, layer, systolic.GatherMode, core.Options{
+			Rounds:        1,
+			MutateNetwork: func(c *noc.Config) { c.Shards = shards },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := int64(gs.Result.RoundCycles.Mean()); got != 406 {
+			t.Errorf("shards=%d gather round = %d cycles, golden 406", shards, got)
+		}
+		if g.Events != gs.Events {
+			t.Errorf("shards=%d activity diverged:\n%+v\n%+v", shards, g.Events, gs.Events)
+		}
 	}
 }

@@ -87,6 +87,9 @@ func RunLayer(rows, cols int, layer cnn.LayerConfig, mode systolic.Mode, opts Op
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
+	// Stop any shard workers when the run ends (no-op for the default
+	// sequential engine); RunLayer owns the network for its whole life.
+	defer nw.Close()
 	sysCfg := systolic.Config{
 		Layer:             layer,
 		Mode:              mode,

@@ -2,14 +2,17 @@ package flit
 
 import (
 	"fmt"
+	"sync"
 
 	"gathernoc/internal/ring"
 )
 
 // Pool is a freelist of Flit objects that removes per-flit heap
 // allocation from the simulator's steady state. One pool serves one
-// network (the engine is single-threaded, so no locking is needed);
-// parallel sweeps give every network its own pool.
+// network (the sequential engine is single-threaded, so no locking is
+// needed); parallel sweeps give every network its own pool, and a sharded
+// engine gives every shard its own lock-free view of the network's pool
+// (see NewView).
 //
 // Ownership discipline (DESIGN.md §6): whoever creates a flit acquires it
 // (the NIC through PacketizeInto, a router forking a multicast copy), and
@@ -25,9 +28,19 @@ type Pool struct {
 	free ring.FreeList[*Flit]
 
 	// debug, when enabled, tracks every outstanding flit so tests can
-	// catch double releases, releases of foreign flits, and leaks.
+	// catch double releases, releases of foreign flits, and leaks. The
+	// checker state lives on the root pool and is shared by all views,
+	// guarded by mu — a flit acquired in one shard and released in
+	// another (packets routinely cross shard boundaries) must stay a
+	// single entry in one live set.
 	debug bool
+	mu    sync.Mutex
 	live  map[*Flit]bool
+
+	// parent is the root pool for a shard view, nil on a root. views
+	// lists a root's shard views for Live/Misses aggregation.
+	parent *Pool
+	views  []*Pool
 
 	acquired uint64
 	released uint64
@@ -36,6 +49,26 @@ type Pool struct {
 
 // NewPool returns an empty pool.
 func NewPool() *Pool { return &Pool{} }
+
+// NewView returns a shard-local view of the pool: an independent freelist
+// with its own (unsynchronized) counters, sharing the root's debug
+// checker. Each view must be used by at most one goroutine per engine
+// phase; flits may freely migrate between views — a flit acquired from
+// one view and released into another simply changes freelists, which the
+// root's aggregate accounting absorbs.
+func (p *Pool) NewView() *Pool {
+	root := p.root()
+	v := &Pool{parent: root}
+	root.views = append(root.views, v)
+	return v
+}
+
+func (p *Pool) root() *Pool {
+	if p.parent != nil {
+		return p.parent
+	}
+	return p
+}
 
 // SetDebug toggles the ownership checker. With it on, Release panics on a
 // flit that is not currently outstanding (double free, or a flit the pool
@@ -60,8 +93,10 @@ func (p *Pool) Acquire() *Flit {
 		p.misses++
 		f = &Flit{}
 	}
-	if p.debug {
-		p.live[f] = true
+	if root := p.root(); root.debug {
+		root.mu.Lock()
+		root.live[f] = true
+		root.mu.Unlock()
 	}
 	return f
 }
@@ -72,11 +107,14 @@ func (p *Pool) Release(f *Flit) {
 	if p == nil {
 		return
 	}
-	if p.debug {
-		if !p.live[f] {
+	if root := p.root(); root.debug {
+		root.mu.Lock()
+		ok := root.live[f]
+		delete(root.live, f)
+		root.mu.Unlock()
+		if !ok {
 			panic(fmt.Sprintf("flit: double release or foreign flit %p (%s)", f, f))
 		}
-		delete(p.live, f)
 	}
 	p.released++
 	payloads := f.Payloads[:0]
@@ -85,23 +123,38 @@ func (p *Pool) Release(f *Flit) {
 }
 
 // Live returns the number of outstanding flits (acquired, not yet
-// released). Without debug mode it is derived from the acquire/release
-// counters, which is equivalent as long as no foreign flits are released.
+// released), views included when called on a root. Without debug mode it
+// is derived from the acquire/release counters, which is equivalent as
+// long as no foreign flits are released; a single view's balance can go
+// negative (flits migrate between views), so leak checks call Live on the
+// root.
 func (p *Pool) Live() int {
 	if p == nil {
 		return 0
 	}
 	if p.debug {
-		return len(p.live)
+		p.mu.Lock()
+		n := len(p.live)
+		p.mu.Unlock()
+		return n
 	}
-	return int(p.acquired - p.released)
+	n := int(int64(p.acquired) - int64(p.released))
+	for _, v := range p.views {
+		n += int(int64(v.acquired) - int64(v.released))
+	}
+	return n
 }
 
 // Misses returns how many Acquires fell through to the heap — the pool's
-// high-water mark, and zero growth once the steady state is reached.
+// high-water mark, and zero growth once the steady state is reached. On a
+// root it aggregates the shard views.
 func (p *Pool) Misses() uint64 {
 	if p == nil {
 		return 0
 	}
-	return p.misses
+	n := p.misses
+	for _, v := range p.views {
+		n += v.misses
+	}
+	return n
 }

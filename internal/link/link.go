@@ -111,11 +111,29 @@ func (l *Link) InFlight() int { return l.flits.Len() }
 // uniform, so popping ripe items off the ring front preserves per-VC flit
 // order.
 func (l *Link) Commit(now int64) {
+	l.CommitFlits(now)
+	l.CommitCredits(now)
+}
+
+// CommitFlits delivers the ripe half of the forward path only: flits into
+// the downstream input buffer. The sharded engine registers it with the
+// shard owning the downstream endpoint, while CommitCredits goes to the
+// upstream endpoint's shard — the two halves touch disjoint state (the
+// flits ring and the downstream buffers vs the credits ring and the
+// upstream counters), so a link spanning a shard boundary is committed by
+// two goroutines without a race, and in either order without a schedule
+// change.
+func (l *Link) CommitFlits(now int64) {
 	for !l.flits.Empty() && l.flits.Front().due <= now {
 		in := l.flits.PopFront()
 		l.down.AcceptFlit(in.f, in.vc)
 		l.FlitsCarried.Inc()
 	}
+}
+
+// CommitCredits delivers the ripe credits to the upstream endpoint; see
+// CommitFlits for the sharding contract.
+func (l *Link) CommitCredits(now int64) {
 	for !l.credits.Empty() && l.credits.Front().due <= now {
 		c := l.credits.PopFront()
 		if l.up != nil {

@@ -117,11 +117,31 @@ type Ejector struct {
 	packetOverhead int64
 	pausedUntil    int64
 
+	// Staged delivery (sharded engines): instead of firing recv inside
+	// Tick — which runs concurrently across shards while the callbacks
+	// mutate shared driver state — completed packets are parked here and
+	// replayed by DispatchStaged in the serial sub-phase, in the exact
+	// order the sequential engine would have fired them. Payloads are
+	// copied into the stagedPay arena (slices would dangle once the
+	// partial record is recycled); both slices are reused across cycles.
+	staged    bool
+	stagedPkt []stagedPacket
+	stagedPay []flit.Payload
+
 	// FlitsEjected counts drained flits; PacketsEjected completed packets.
 	FlitsEjected   stats.Counter
 	PacketsEjected stats.Counter
 	// PacketLatency samples end-to-end packet latencies in cycles.
 	PacketLatency stats.Sample
+}
+
+// stagedPacket is one completed packet awaiting serial-phase dispatch.
+// Payloads are recorded as an offset/length into the ejector's stagedPay
+// arena, not a slice: the arena's backing array may move as later packets
+// append to it within the same cycle.
+type stagedPacket struct {
+	pkt            ReceivedPacket // Payloads nil; filled at dispatch
+	payOff, payLen int
 }
 
 // NewEjector returns an ejector with vcs virtual channels of the given
@@ -298,10 +318,44 @@ func (e *Ejector) assemble(f *flit.Flit, cycle int64) {
 	}
 	e.PacketsEjected.Inc()
 	e.PacketLatency.Observe(float64(rp.Latency()))
-	if e.recv != nil {
+	if e.staged {
+		sp := stagedPacket{pkt: *rp, payOff: len(e.stagedPay), payLen: len(rp.Payloads)}
+		sp.pkt.Payloads = nil
+		e.stagedPay = append(e.stagedPay, rp.Payloads...)
+		e.stagedPkt = append(e.stagedPkt, sp)
+	} else if e.recv != nil {
 		e.recv(rp)
 	}
-	// The callback has returned; pp (whose payload array rp borrowed)
-	// may now be recycled.
+	// The callback has returned (or the packet was deep-copied into the
+	// staging arena); pp, whose payload array rp borrowed, may now be
+	// recycled.
 	e.releasePartial(pp)
+}
+
+// SetStaged switches the ejector to staged delivery: completed packets are
+// buffered during Tick and their receive callbacks fired only when
+// DispatchStaged is called. Sharded engines enable this so Tick can run
+// concurrently while callbacks — which reach into shared workload/driver
+// state — stay on the serial sub-phase.
+func (e *Ejector) SetStaged(on bool) { e.staged = on }
+
+// DispatchStaged fires the receive callback for every packet completed
+// since the last dispatch, in completion order. The sharded engine calls
+// it once per cycle, ejector by ejector in the sequential engine's
+// registration order, which reproduces the sequential callback schedule
+// exactly (DESIGN.md §9).
+func (e *Ejector) DispatchStaged() {
+	for i := range e.stagedPkt {
+		sp := &e.stagedPkt[i]
+		rp := &e.scratch
+		*rp = sp.pkt
+		if sp.payLen > 0 {
+			rp.Payloads = e.stagedPay[sp.payOff : sp.payOff+sp.payLen]
+		}
+		if e.recv != nil {
+			e.recv(rp)
+		}
+	}
+	e.stagedPkt = e.stagedPkt[:0]
+	e.stagedPay = e.stagedPay[:0]
 }

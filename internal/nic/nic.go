@@ -143,7 +143,10 @@ type NIC struct {
 	waiting  []gatherWait
 	rwaiting []gatherWait // reduce operands awaiting an INA merge
 	sendRR   int
-	pool     *flit.Pool // flit allocation for outgoing packets
+	// streaming counts injection VCs with flits left to send, so Idle and
+	// Pending answer without scanning vcPkt.
+	streaming int
+	pool      *flit.Pool // flit allocation for outgoing packets
 	// tag stamps every enqueued packet with the workload job/phase it
 	// belongs to. Multiple drivers share one NIC, so each driver sets the
 	// tag immediately before its Send/Submit calls (the simulator is
@@ -241,15 +244,8 @@ func (n *NIC) currentCycle() int64 {
 // come from enqueues, payload submissions, credit returns and ejection
 // deliveries).
 func (n *NIC) Idle() bool {
-	if n.queue.Len() > 0 || len(n.waiting) > 0 || len(n.rwaiting) > 0 || n.eject.Buffered() > 0 {
-		return false
-	}
-	for v := range n.vcPkt {
-		if !n.vcPkt[v].empty() {
-			return false
-		}
-	}
-	return true
+	return n.streaming == 0 && n.queue.Len() == 0 &&
+		len(n.waiting) == 0 && len(n.rwaiting) == 0 && n.eject.Buffered() == 0
 }
 
 // AcceptCredit implements link.CreditSink for the injection channel.
@@ -424,16 +420,9 @@ func (n *NIC) SubmitReduceOperand(p flit.Payload) {
 // Pending reports whether the NIC still has packets queued, flits
 // streaming, or payloads awaiting pickup.
 func (n *NIC) Pending() bool {
-	if n.queue.Len() > 0 || len(n.waiting) > 0 || len(n.rwaiting) > 0 ||
-		n.eject.Buffered() > 0 || n.eject.PendingPackets() > 0 {
-		return true
-	}
-	for v := range n.vcPkt {
-		if !n.vcPkt[v].empty() {
-			return true
-		}
-	}
-	return false
+	return n.streaming > 0 || n.queue.Len() > 0 ||
+		len(n.waiting) > 0 || len(n.rwaiting) > 0 ||
+		n.eject.Buffered() > 0 || n.eject.PendingPackets() > 0
 }
 
 // Tick advances the NIC: δ timeouts, packet-to-VC binding, and one flit of
@@ -540,6 +529,9 @@ func (n *NIC) bindTo(vc int, p flit.Packet) {
 	}
 	s.flits = flits
 	s.next = 0
+	if !s.empty() {
+		n.streaming++
+	}
 }
 
 func (n *NIC) freeVCFor(pt flit.PacketType) int {
@@ -581,6 +573,9 @@ func (n *NIC) injectOne(cycle int64) {
 		f := s.flits[s.next]
 		s.flits[s.next] = nil // do not pin the flit once it leaves
 		s.next++
+		if s.empty() {
+			n.streaming--
+		}
 		f.NetworkCycle = cycle
 		n.out.Send(f, vc, cycle)
 		n.credits[vc]--

@@ -71,6 +71,17 @@ type Config struct {
 	// output selection, and both confined to the mesh sub-network on a
 	// torus (see topology.NewRouting). Multicast always uses the XY tree.
 	Routing string
+	// Shards selects the engine backend: 0 (default) runs the sequential
+	// single-goroutine engine; N >= 1 partitions the fabric into N
+	// contiguous row blocks, each ticked and committed by its own worker
+	// goroutine under the deterministic two-phase schedule (DESIGN.md §9).
+	// Schedules are bit-identical for every value, sequential included;
+	// shard counts above Rows are clamped (see EffectiveShards), and
+	// Shards=1 exercises the sharded machinery without parallelism. The
+	// sharded engine always ticks every component (AlwaysTick is implied):
+	// sharding targets exactly the high-load regimes where sleep/wake
+	// bookkeeping is a net loss.
+	Shards int
 	// AlwaysTick disables the engine's sleep/wake scheduling, evaluating
 	// every router, link and NIC every cycle. The default (false) skips
 	// quiescent components, which is bit-identical but much faster at the
@@ -151,6 +162,8 @@ func (c Config) Validate() error {
 	switch {
 	case c.Rows < 1 || c.Cols < 1:
 		return fmt.Errorf("noc: fabric %dx%d invalid", c.Rows, c.Cols)
+	case c.Shards < 0:
+		return fmt.Errorf("noc: Shards must be >= 0, got %d", c.Shards)
 	case c.LinkLatency < 1:
 		return fmt.Errorf("noc: LinkLatency must be >= 1, got %d", c.LinkLatency)
 	case c.UnicastFlits < 1:
@@ -185,6 +198,16 @@ func (c Config) Validate() error {
 		}
 	}
 	return c.Router.Validate()
+}
+
+// EffectiveShards resolves the shard count the engine actually runs:
+// 0 stays sequential, and positive counts are clamped to Rows so every
+// shard owns at least one row of the fabric partition.
+func (c Config) EffectiveShards() int {
+	if c.Shards > c.Rows {
+		return c.Rows
+	}
+	return c.Shards
 }
 
 // EffectiveGatherCapacity resolves the η=0 default to the row width.

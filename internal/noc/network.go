@@ -67,13 +67,22 @@ type Network struct {
 	// branch values out, never mutating the slice.
 	portBranch [topology.NumPorts][]topology.MulticastBranch
 
-	// routeScratch backs adaptive port lists handed to the router, which
-	// consumes them inside completeRC and never retains them; reusing it
-	// keeps adaptive route computation allocation-free. Routing runs on
-	// the engine goroutine only, so one buffer suffices.
-	routeScratch [4]topology.Port
+	// Sharded-mode state (Config.Shards > 0): rowShard maps a fabric row
+	// to the shard that owns it, pools holds the per-shard flit-pool views
+	// hanging off the root pool, and linkRecs remembers each link's
+	// endpoint shards so the two halves of its commit can be registered
+	// with the shards that own the mutated state (DESIGN.md §9).
+	rowShard []int
+	pools    []*flit.Pool
+	linkRecs []linkRec
+}
 
-	packetSeq uint64
+// linkRec records which shard owns each end of a link: downShard mutates
+// on flit delivery (the downstream input buffer), upShard on credit return
+// (the upstream output credit counters).
+type linkRec struct {
+	l                  *link.Link
+	downShard, upShard int
 }
 
 // New builds and wires a network according to cfg.
@@ -111,6 +120,23 @@ func New(cfg Config) (*Network, error) {
 		pool:    flit.NewPool(),
 	}
 	nw.pool.SetDebug(cfg.DebugFlitPool)
+	if shards := cfg.EffectiveShards(); shards > 0 {
+		// Sharded engine: contiguous row blocks, shard s owning rows
+		// [s*Rows/S, (s+1)*Rows/S). Rows are the natural cut for this
+		// fabric — a node's router, NIC and row sink land in one shard, so
+		// only the vertical inter-router links cross shard boundaries.
+		nw.engine = sim.NewShardedEngine(shards)
+		nw.rowShard = make([]int, cfg.Rows)
+		for s := 0; s < shards; s++ {
+			for r := s * cfg.Rows / shards; r < (s+1)*cfg.Rows/shards; r++ {
+				nw.rowShard[r] = s
+			}
+		}
+		nw.pools = make([]*flit.Pool, shards)
+		for s := range nw.pools {
+			nw.pools[s] = nw.pool.NewView()
+		}
+	}
 	for p := 0; p < topology.NumPorts; p++ {
 		nw.portBranch[p] = []topology.MulticastBranch{{Out: topology.Port(p)}}
 	}
@@ -123,7 +149,15 @@ func New(cfg Config) (*Network, error) {
 	}
 	nw.routers = make([]*router.Router, topo.NumNodes())
 	for id := 0; id < topo.NumNodes(); id++ {
-		r, err := router.New(topology.NodeID(id), rcfg, nw.routeFlit)
+		// Every router gets its own adaptive-route scratch buffer: route
+		// computation may run concurrently across shards, and even in
+		// sequential mode the buffer's contents never outlive one call,
+		// so per-router scratch is always safe and allocation-free.
+		scratch := new([4]topology.Port)
+		rf := func(cur topology.NodeID, f *flit.Flit) router.Route {
+			return nw.routeFlit(scratch, cur, f)
+		}
+		r, err := router.New(topology.NodeID(id), rcfg, rf)
 		if err != nil {
 			return nil, err
 		}
@@ -166,22 +200,38 @@ func New(cfg Config) (*Network, error) {
 	}
 	nw.nics = make([]*nic.NIC, topo.NumNodes())
 	for id := 0; id < topo.NumNodes(); id++ {
-		n, err := nic.New(topology.NodeID(id), nicCfg, nw.routers[id], nw.nextPacketID)
+		// Packet ids are striped per NIC — node id's NIC issues id+1,
+		// id+1+N, id+1+2N, ... — so every id is network-unique (ejectors
+		// key reassembly on them) without a global counter. A shared
+		// counter would be read-modify-written concurrently in sharded
+		// mode (self-initiated gathers draw ids inside NIC.Tick), and
+		// per-NIC striping keeps the sequence identical for any shard
+		// count, sequential mode included.
+		stride := uint64(topo.NumNodes())
+		base := uint64(id) + 1
+		var seq uint64
+		nextID := func() uint64 {
+			pid := base + seq*stride
+			seq++
+			return pid
+		}
+		n, err := nic.New(topology.NodeID(id), nicCfg, nw.routers[id], nextID)
 		if err != nil {
 			return nil, err
 		}
 		nw.nics[id] = n
 		rtr := nw.routers[id]
 
+		sh := nw.shardOfNode(topology.NodeID(id))
 		inj := link.New(fmt.Sprintf("inj%d", id), cfg.LinkLatency, rtr.InputSink(topology.LocalPort), n)
 		n.ConnectInjection(inj)
 		rtr.ConnectInput(topology.LocalPort, inj)
-		nw.links = append(nw.links, inj)
+		nw.addLink(inj, sh, sh)
 
 		ej := link.New(fmt.Sprintf("ej%d", id), cfg.LinkLatency, n.Ejector(), rtr.CreditSink(topology.LocalPort))
 		rtr.ConnectOutput(topology.LocalPort, ej, cfg.Router.VCs, cfg.Router.BufferDepth)
 		n.Ejector().ConnectReverse(ej)
-		nw.links = append(nw.links, ej)
+		nw.addLink(ej, sh, sh)
 	}
 
 	// Global-buffer sinks past the east edge (mesh only: Validate rejects
@@ -200,36 +250,109 @@ func New(cfg Config) (*Network, error) {
 			edge.ConnectOutput(topology.EastPort, l, cfg.Router.VCs, cfg.Router.BufferDepth)
 			s.ej.ConnectReverse(l)
 			nw.sinks[row] = s
-			nw.links = append(nw.links, l)
+			sh := nw.shardOfRow(row)
+			nw.addLink(l, sh, sh)
 		}
 	}
 
-	// Engine registration: routers, sinks, then NICs as tickers; all links
-	// as committers. Controllers added by callers tick after NICs. Every
-	// component gets its wake handle (and NICs the engine clock) so the
-	// activity-tracked engine can sleep idle components and re-evaluate
-	// them on flit/credit handoff or packet submission.
+	if nw.engine.Sharded() {
+		nw.registerSharded()
+	} else {
+		// Engine registration: routers, sinks, then NICs as tickers; all
+		// links as committers. Controllers added by callers tick after
+		// NICs. Every component gets its wake handle (and NICs the engine
+		// clock) so the activity-tracked engine can sleep idle components
+		// and re-evaluate them on flit/credit handoff or packet submission.
+		for _, r := range nw.routers {
+			r.SetWake(nw.engine.AddTicker(r))
+			r.SetFlitPool(nw.pool)
+		}
+		for _, s := range nw.sinks {
+			s.ej.SetWake(nw.engine.AddTicker(s))
+			s.ej.SetFlitPool(nw.pool)
+		}
+		for _, n := range nw.nics {
+			h := nw.engine.AddTicker(n)
+			n.SetWake(h)
+			n.Ejector().SetWake(h)
+			n.SetClock(nw.engine)
+			n.SetFlitPool(nw.pool)
+			n.Ejector().SetFlitPool(nw.pool)
+		}
+		for _, l := range nw.links {
+			l.SetWake(nw.engine.AddCommitter(l))
+		}
+		nw.engine.SetAlwaysTick(cfg.AlwaysTick)
+		// High-load fallback: saturated fabrics tick naively in bursts
+		// instead of paying per-component wake bookkeeping that skips
+		// nothing (the schedules are bit-identical either way; see
+		// sim.Engine.SetAdaptive).
+		nw.engine.SetAdaptive(true)
+	}
+	return nw, nil
+}
+
+// registerSharded wires every component into the two-phase sharded engine
+// (DESIGN.md §9). Each shard's tick list keeps the sequential engine's
+// relative order — routers by id, then sinks, then NICs — and no wake
+// handles are attached: the sharded engine always ticks everything, and a
+// nil handle makes every Wake call a no-op. Each link's commit is split
+// between the shards owning its endpoints, ejectors switch to staged
+// delivery, and the staged-dispatch hook becomes the first serial ticker
+// so receive callbacks fire — in the sequential callback order — before
+// any workload driver runs.
+func (nw *Network) registerSharded() {
 	for _, r := range nw.routers {
-		r.SetWake(nw.engine.AddTicker(r))
-		r.SetFlitPool(nw.pool)
+		sh := nw.shardOfNode(r.ID())
+		nw.engine.AddShardTicker(sh, r)
+		r.SetFlitPool(nw.pools[sh])
 	}
 	for _, s := range nw.sinks {
-		s.ej.SetWake(nw.engine.AddTicker(s))
-		s.ej.SetFlitPool(nw.pool)
+		sh := nw.shardOfRow(s.row)
+		nw.engine.AddShardTicker(sh, s)
+		s.ej.SetFlitPool(nw.pools[sh])
+		s.ej.SetStaged(true)
 	}
 	for _, n := range nw.nics {
-		h := nw.engine.AddTicker(n)
-		n.SetWake(h)
-		n.Ejector().SetWake(h)
+		sh := nw.shardOfNode(n.ID())
+		nw.engine.AddShardTicker(sh, n)
 		n.SetClock(nw.engine)
-		n.SetFlitPool(nw.pool)
-		n.Ejector().SetFlitPool(nw.pool)
+		n.SetFlitPool(nw.pools[sh])
+		n.Ejector().SetFlitPool(nw.pools[sh])
+		n.Ejector().SetStaged(true)
 	}
-	for _, l := range nw.links {
-		l.SetWake(nw.engine.AddCommitter(l))
+	for _, rec := range nw.linkRecs {
+		nw.engine.AddShardCommitter(rec.downShard, flitHalf{rec.l})
+		nw.engine.AddShardCommitter(rec.upShard, creditHalf{rec.l})
 	}
-	nw.engine.SetAlwaysTick(cfg.AlwaysTick)
-	return nw, nil
+	nw.engine.AddTicker(stagedDispatcher{nw})
+}
+
+// flitHalf commits a link's forward path only; registered with the shard
+// owning the downstream endpoint.
+type flitHalf struct{ l *link.Link }
+
+func (h flitHalf) Commit(now int64) { h.l.CommitFlits(now) }
+
+// creditHalf commits a link's credit return only; registered with the
+// shard owning the upstream endpoint.
+type creditHalf struct{ l *link.Link }
+
+func (h creditHalf) Commit(now int64) { h.l.CommitCredits(now) }
+
+// stagedDispatcher replays the cycle's staged packet deliveries on the
+// serial sub-phase, in the order the sequential engine fires them: sink
+// callbacks row by row (sinks register before NICs), then NIC callbacks
+// in node order.
+type stagedDispatcher struct{ nw *Network }
+
+func (d stagedDispatcher) Tick(cycle int64) {
+	for _, s := range d.nw.sinks {
+		s.ej.DispatchStaged()
+	}
+	for _, n := range d.nw.nics {
+		n.Ejector().DispatchStaged()
+	}
 }
 
 func (nw *Network) wireRouterPair(src, dst *router.Router, out topology.Port) {
@@ -242,12 +365,28 @@ func (nw *Network) wireRouterPair(src, dst *router.Router, out topology.Port) {
 	)
 	src.ConnectOutput(out, l, nw.cfg.Router.VCs, nw.cfg.Router.BufferDepth)
 	dst.ConnectInput(in, l)
-	nw.links = append(nw.links, l)
+	nw.addLink(l, nw.shardOfNode(dst.ID()), nw.shardOfNode(src.ID()))
 }
 
-func (nw *Network) nextPacketID() uint64 {
-	nw.packetSeq++
-	return nw.packetSeq
+// addLink records a wired link with the shards owning its two endpoints:
+// flit delivery mutates the downstream endpoint, credit return the
+// upstream one. Sequential networks record shard 0 throughout.
+func (nw *Network) addLink(l *link.Link, downShard, upShard int) {
+	nw.links = append(nw.links, l)
+	nw.linkRecs = append(nw.linkRecs, linkRec{l: l, downShard: downShard, upShard: upShard})
+}
+
+// shardOfNode returns the shard owning node id's row (0 when sequential).
+func (nw *Network) shardOfNode(id topology.NodeID) int {
+	return nw.shardOfRow(nw.topo.Coord(id).Row)
+}
+
+// shardOfRow returns the shard owning a fabric row (0 when sequential).
+func (nw *Network) shardOfRow(row int) int {
+	if nw.rowShard == nil {
+		return 0
+	}
+	return nw.rowShard[row]
 }
 
 // Config returns the network's configuration.
@@ -272,6 +411,11 @@ func (nw *Network) Format() *flit.Format { return nw.format }
 // Engine returns the cycle engine, for registering controllers.
 func (nw *Network) Engine() *sim.Engine { return nw.engine }
 
+// Close stops the engine's shard workers. A no-op on sequential networks
+// (and safe to call repeatedly); sharded networks should be closed when
+// done so the persistent worker goroutines exit.
+func (nw *Network) Close() { nw.engine.Close() }
+
 // FlitPool returns the network's flit pool. Tests use it (with
 // Config.DebugFlitPool) to assert that a drained network leaked no flits.
 func (nw *Network) FlitPool() *flit.Pool { return nw.pool }
@@ -281,6 +425,18 @@ func (nw *Network) Router(id topology.NodeID) *router.Router { return nw.routers
 
 // NIC returns the network interface at node id.
 func (nw *Network) NIC(id topology.NodeID) *nic.NIC { return nw.nics[id] }
+
+// ClearNICTags resets every NIC to the untagged state, skipping the ones
+// already untagged. Workload schedulers call it once per cycle after their
+// drivers ran; the fast path matters on large fabrics where most NICs
+// never saw a tagged injection this cycle.
+func (nw *Network) ClearNICTags() {
+	for _, n := range nw.nics {
+		if n.Tag() != 0 {
+			n.SetTag(0)
+		}
+	}
+}
 
 // Sink returns the global-buffer sink of the given row, or nil when east
 // sinks are disabled.
@@ -303,11 +459,11 @@ func (nw *Network) IsSinkID(id topology.NodeID) bool {
 	return int(id) >= n && int(id) < n+len(nw.sinks)
 }
 
-// routeFlit is the RoutingFunc shared by all routers: the configured
-// topology.Routing for unicast, gather and accumulate traffic — extended
-// to the virtual sink nodes past the mesh's east edge — and XY-tree
-// branching for multicast.
-func (nw *Network) routeFlit(cur topology.NodeID, f *flit.Flit) router.Route {
+// routeFlit is the RoutingFunc behind every router (each closes over its
+// own scratch buffer): the configured topology.Routing for unicast, gather
+// and accumulate traffic — extended to the virtual sink nodes past the
+// mesh's east edge — and XY-tree branching for multicast.
+func (nw *Network) routeFlit(scratch *[4]topology.Port, cur topology.NodeID, f *flit.Flit) router.Route {
 	if f.PT == flit.Multicast {
 		branches, local := topology.MulticastRoute(nw.topo, cur, f.MDst)
 		rt := router.Route{Branches: branches}
@@ -323,17 +479,17 @@ func (nw *Network) routeFlit(cur topology.NodeID, f *flit.Flit) router.Route {
 		if cur == edge {
 			return router.Route{Branches: nw.portBranch[topology.EastPort]}
 		}
-		return nw.unicastRoute(f.Src, cur, edge)
+		return nw.unicastRoute(scratch, f.Src, cur, edge)
 	}
-	return nw.unicastRoute(f.Src, cur, dst)
+	return nw.unicastRoute(scratch, f.Src, cur, dst)
 }
 
 // unicastRoute translates the routing algorithm's port set into a
 // router.Route: a shared single-branch route (plus the hop's dateline VC
 // class) when deterministic, an adaptive alternative list when several
 // ports are productive, and local delivery when the packet has arrived.
-func (nw *Network) unicastRoute(src, cur, dst topology.NodeID) router.Route {
-	ports := nw.routing.AppendPorts(nw.routeScratch[:0], src, cur, dst)
+func (nw *Network) unicastRoute(scratch *[4]topology.Port, src, cur, dst topology.NodeID) router.Route {
+	ports := nw.routing.AppendPorts(scratch[:0], src, cur, dst)
 	switch len(ports) {
 	case 0:
 		return router.Route{Branches: nw.portBranch[topology.LocalPort]}

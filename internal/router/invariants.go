@@ -16,11 +16,27 @@ import (
 //   - every downstream-VC ownership entry points back at an input VC that
 //     actually holds that allocation;
 //   - a raised gather or accumulate Load signal has a reserved station
-//     entry.
+//     entry;
+//   - the incrementally maintained stage-occupancy counters (which let
+//     Tick skip whole pipeline stages) agree with a full rescan.
 func (r *Router) CheckInvariants() error {
+	buffered, loads, vaPending, active := 0, 0, 0, 0
 	for p := 0; p < topology.NumPorts; p++ {
 		for v := range r.inputs[p] {
 			vc := &r.inputs[p][v]
+			buffered += vc.buf.Len()
+			if vc.gatherLoad {
+				loads++
+			}
+			if vc.reduceLoad {
+				loads++
+			}
+			switch vc.stage {
+			case vcVA:
+				vaPending++
+			case vcActive:
+				active++
+			}
 			if vc.buf.Len() > r.cfg.BufferDepth {
 				return fmt.Errorf("router %d: input %s vc%d holds %d flits (depth %d)",
 					r.id, topology.Port(p), v, vc.buf.Len(), r.cfg.BufferDepth)
@@ -88,6 +104,10 @@ func (r *Router) CheckInvariants() error {
 					r.id, topology.Port(p), v, op, ov)
 			}
 		}
+	}
+	if buffered != r.buffered || loads != r.loads || vaPending != r.vaPending || active != r.active {
+		return fmt.Errorf("router %d: occupancy counters (buffered=%d loads=%d vaPending=%d active=%d) drifted from rescan (%d %d %d %d)",
+			r.id, r.buffered, r.loads, r.vaPending, r.active, buffered, loads, vaPending, active)
 	}
 	return nil
 }

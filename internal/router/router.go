@@ -209,6 +209,16 @@ type Router struct {
 
 	wake *sim.Handle // engine wake-up, armed on flit/credit arrival
 
+	// Stage occupancy counters, maintained incrementally so Tick can skip
+	// whole pipeline stages (and Idle can answer) in O(1) instead of
+	// scanning every (port, VC) ring. They never influence *what* a stage
+	// does — only whether a stage that would be a pure no-op runs at all —
+	// so schedules are bit-identical with the scanning implementation.
+	buffered  int // flits held across all input VC buffers
+	loads     int // raised gather/accumulate Load signals awaiting upload
+	vaPending int // input VCs in the vcVA stage
+	active    int // input VCs in the vcActive stage
+
 	// Counters is exported for the power model and reports.
 	Counters Counters
 }
@@ -253,17 +263,8 @@ func (r *Router) SetFlitPool(p *flit.Pool) { r.pool = p }
 // tick is a pure no-op (stages only act on buffered flits, the SA arbiters
 // only rotate past a winner, and the VA rotation is derived from the cycle
 // number), so the engine may skip the router until a flit or credit
-// arrives.
-func (r *Router) Idle() bool {
-	for p := 0; p < topology.NumPorts; p++ {
-		for v := range r.inputs[p] {
-			if !r.inputs[p][v].buf.Empty() {
-				return false
-			}
-		}
-	}
-	return true
-}
+// arrives. Buffer occupancy is counted incrementally, so the check is O(1).
+func (r *Router) Idle() bool { return r.buffered == 0 }
 
 // ConnectOutput attaches l as the outgoing channel on port p; downstreamDepth
 // is the buffer depth of the receiving input VCs (credit initialization).
@@ -318,6 +319,7 @@ func (r *Router) acceptFlit(p topology.Port, f *flit.Flit, vc int) {
 		panic(fmt.Sprintf("router %d: input %s vc%d overflow (%s)", r.id, p, vc, f))
 	}
 	in.buf.PushBack(f)
+	r.buffered++
 	f.Hops++
 	r.Counters.BufferWrites.Inc()
 	r.wake.Wake()
@@ -367,31 +369,31 @@ func (r *Router) ReduceBacklog() int { return r.rstation.Backlog() }
 
 // BufferedFlits reports the total flits currently held in input buffers;
 // the network layer uses it for drain detection.
-func (r *Router) BufferedFlits() int {
-	n := 0
-	for p := 0; p < topology.NumPorts; p++ {
-		for v := range r.inputs[p] {
-			n += r.inputs[p][v].buf.Len()
-		}
-	}
-	return n
-}
+func (r *Router) BufferedFlits() int { return r.buffered }
 
 // Tick advances the router by one cycle. Stages run in reverse pipeline
 // order (gather upload, SA/ST, VA, RC) so a flit progresses through at most
 // one stage per cycle.
 //
 // An idle router's tick is a pure no-op (the Idle contract the sleep/wake
-// engine already relies on), so it returns after one buffer scan instead
-// of walking all four stages — the always-tick reference path pays four
-// times less for quiescent routers without changing a single schedule.
+// engine already relies on), so it returns immediately; a busy router runs
+// only the stages with work, using the occupancy counters: a stage whose
+// skip condition holds would touch nothing (the SA arbiters only rotate
+// past a winner and the VA rotation is derived from the cycle number), so
+// eliding it changes no schedule.
 func (r *Router) Tick(cycle int64) {
-	if r.Idle() {
+	if r.buffered == 0 {
 		return
 	}
-	r.gatherUploadStage()
-	r.switchStage(cycle)
-	r.vaStage(cycle)
+	if r.loads > 0 {
+		r.gatherUploadStage()
+	}
+	if r.active > 0 {
+		r.switchStage(cycle)
+	}
+	if r.vaPending > 0 {
+		r.vaStage(cycle)
+	}
 	r.rcStage()
 }
 
@@ -412,6 +414,7 @@ func (r *Router) gatherUploadStage() {
 					r.Counters.GatherUploads.Inc()
 					vc.gatherEntry = nil
 					vc.gatherLoad = false
+					r.loads--
 				}
 			}
 			if vc.reduceLoad && vc.reduceEntry != nil {
@@ -422,6 +425,7 @@ func (r *Router) gatherUploadStage() {
 					r.Counters.ReduceMerges.Inc()
 					vc.reduceEntry = nil
 					vc.reduceLoad = false
+					r.loads--
 				}
 			}
 		}
@@ -486,6 +490,7 @@ func (r *Router) completeRC(vc *inputVC) {
 			f.ASpace--
 			vc.gatherLoad = true
 			vc.gatherEntry = e
+			r.loads++
 			r.Counters.GatherReserves.Inc()
 		}
 	}
@@ -499,12 +504,14 @@ func (r *Router) completeRC(vc *inputVC) {
 			f.ASpace--
 			vc.reduceLoad = true
 			vc.reduceEntry = e
+			r.loads++
 			r.Counters.ReduceReserves.Inc()
 		}
 	}
 
 	vc.stage = vcVA
 	vc.wait = r.cfg.VADelay - 1
+	r.vaPending++
 }
 
 // vaStage allocates downstream VCs to packets that completed RC. Multicast
@@ -516,16 +523,30 @@ func (r *Router) completeRC(vc *inputVC) {
 // router's tick stateless — a prerequisite for sleep/wake scheduling to be
 // bit-identical with the always-tick engine.
 func (r *Router) vaStage(cycle int64) {
-	total := topology.NumPorts * r.cfg.VCs
+	nv := r.cfg.VCs
+	total := topology.NumPorts * nv
 	start := int(cycle % int64(total))
-	for off := 0; off < total; off++ {
-		idx := (start + off) % total
-		p := idx / r.cfg.VCs
-		v := idx % r.cfg.VCs
-		vc := &r.inputs[p][v]
+	p := start / nv
+	v := start - p*nv
+	// pending snapshots the vcVA population; no VC enters the stage during
+	// this pass (only rcStage, which runs later, promotes into it), so the
+	// scan may stop once every pending VC has been visited.
+	pending := r.vaPending
+	for off := 0; off < total && pending > 0; off++ {
+		cp, cv := p, v
+		vc := &r.inputs[cp][cv]
+		v++
+		if v == nv {
+			v = 0
+			p++
+			if p == topology.NumPorts {
+				p = 0
+			}
+		}
 		if vc.stage != vcVA {
 			continue
 		}
+		pending--
 		if vc.wait > 0 {
 			vc.wait--
 			continue
@@ -558,13 +579,15 @@ func (r *Router) vaStage(cycle int64) {
 				done = false
 				continue
 			}
-			out.ownerPort[alloc] = p
-			out.ownerVC[alloc] = v
+			out.ownerPort[alloc] = cp
+			out.ownerVC[alloc] = cv
 			br.vc = alloc
 			r.Counters.VAAllocations.Inc()
 		}
 		if done {
 			vc.stage = vcActive
+			r.vaPending--
+			r.active++
 		}
 	}
 }
@@ -623,12 +646,30 @@ func (r *Router) vcAllowed(pt flit.PacketType, vc, nVCs, class int, datelined bo
 // granted flits are copied onto their branch links and retired once every
 // branch has been served.
 func (r *Router) switchStage(cycle int64) {
-	// Input arbitration: one candidate VC per input port.
+	// Input arbitration: one candidate VC per input port. The round-robin
+	// scans are inlined (no closure indirection — this is the hottest loop
+	// in the simulator) but advance the arbiters exactly as rrArbiter.pick
+	// would, so grant rotations replay identically.
 	var candidate [topology.NumPorts]int
 	for p := 0; p < topology.NumPorts; p++ {
-		candidate[p] = r.saInputArb[p].pick(func(v int) bool {
-			return r.vcReady(&r.inputs[p][v])
-		})
+		candidate[p] = -1
+		arb := r.saInputArb[p]
+		in := r.inputs[p]
+		idx := arb.next
+		for off := 0; off < arb.n; off++ {
+			if idx >= arb.n {
+				idx -= arb.n
+			}
+			if r.vcReady(&in[idx]) {
+				arb.next = idx + 1
+				if arb.next == arb.n {
+					arb.next = 0
+				}
+				candidate[p] = idx
+				break
+			}
+			idx++
+		}
 	}
 
 	// Output arbitration: for each output port, grant one requesting input.
@@ -644,22 +685,26 @@ func (r *Router) switchStage(cycle int64) {
 		if !o.connected() {
 			continue
 		}
-		win := r.saOutputArb[out].pick(func(p int) bool {
-			v := candidate[p]
-			if v < 0 {
-				return false
+		arb := r.saOutputArb[out]
+		idx := arb.next
+		for off := 0; off < arb.n; off++ {
+			if idx >= arb.n {
+				idx -= arb.n
 			}
-			bi := r.branchRequesting(&r.inputs[p][v], topology.Port(out))
-			return bi >= 0
-		})
-		if win < 0 {
-			continue
+			if v := candidate[idx]; v >= 0 {
+				if bi := r.branchRequesting(&r.inputs[idx][v], topology.Port(out)); bi >= 0 {
+					arb.next = idx + 1
+					if arb.next == arb.n {
+						arb.next = 0
+					}
+					grants[nGrants] = grant{inPort: idx, inVC: v, branch: bi}
+					nGrants++
+					r.Counters.SAGrants.Inc()
+					break
+				}
+			}
+			idx++
 		}
-		v := candidate[win]
-		bi := r.branchRequesting(&r.inputs[win][v], topology.Port(out))
-		grants[nGrants] = grant{inPort: win, inVC: v, branch: bi}
-		nGrants++
-		r.Counters.SAGrants.Inc()
 	}
 
 	// Switch traversal: copy flits onto links, then retire fully-served
@@ -703,6 +748,7 @@ func (r *Router) switchStage(cycle int64) {
 			continue
 		}
 		f := vc.buf.PopFront()
+		r.buffered--
 		forked := len(vc.branches) > 1
 		r.Counters.BufferReads.Inc()
 		if r.inLinks[p] != nil {
@@ -712,20 +758,27 @@ func (r *Router) switchStage(cycle int64) {
 			vc.branches[i].sent = false
 		}
 		if f.IsTail() {
-			if vc.gatherLoad && vc.gatherEntry != nil {
-				// The packet left before the upload could complete;
-				// return the payload so the δ-timeout can recover it.
-				r.station.Release(vc.gatherEntry)
-				vc.gatherEntry = nil
+			if vc.gatherLoad {
+				if vc.gatherEntry != nil {
+					// The packet left before the upload could complete;
+					// return the payload so the δ-timeout can recover it.
+					r.station.Release(vc.gatherEntry)
+					vc.gatherEntry = nil
+				}
+				vc.gatherLoad = false
+				r.loads--
 			}
-			vc.gatherLoad = false
-			if vc.reduceLoad && vc.reduceEntry != nil {
-				r.rstation.Release(vc.reduceEntry)
-				vc.reduceEntry = nil
+			if vc.reduceLoad {
+				if vc.reduceEntry != nil {
+					r.rstation.Release(vc.reduceEntry)
+					vc.reduceEntry = nil
+				}
+				vc.reduceLoad = false
+				r.loads--
 			}
-			vc.reduceLoad = false
 			vc.branches = vc.branches[:0]
 			vc.stage = vcIdle
+			r.active--
 		}
 		if forked {
 			// Forked packets sent pool copies on every branch; the
@@ -740,7 +793,7 @@ func (r *Router) switchStage(cycle int64) {
 // cycle: it is active and at least one unserved branch has downstream
 // credit.
 func (r *Router) vcReady(vc *inputVC) bool {
-	if vc.stage != vcActive || vc.head() == nil {
+	if vc.stage != vcActive || vc.buf.Empty() {
 		return false
 	}
 	for i := range vc.branches {
@@ -755,7 +808,7 @@ func (r *Router) vcReady(vc *inputVC) bool {
 // branchRequesting returns the index of the unserved credited branch of vc
 // aimed at out, or -1.
 func (r *Router) branchRequesting(vc *inputVC, out topology.Port) int {
-	if vc.stage != vcActive || vc.head() == nil {
+	if vc.stage != vcActive || vc.buf.Empty() {
 		return -1
 	}
 	for i := range vc.branches {

@@ -34,6 +34,7 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // Ticker is evaluated in phase 1 of every cycle. Implementations read
@@ -83,9 +84,12 @@ type Handle struct {
 
 // Wake marks the component runnable again. Calling Wake on an already
 // awake component (or on a nil handle) is a cheap no-op, so callers wake
-// unconditionally on every potentially state-changing event.
+// unconditionally on every potentially state-changing event. Duplicate
+// wakes are coalesced with a read-before-write: at high load nearly every
+// per-flit Wake hits an already awake component, and skipping the store
+// keeps the node's cache line clean.
 func (h *Handle) Wake() {
-	if h != nil && h.n != nil {
+	if h != nil && h.n != nil && !h.n.awake {
 		h.n.awake = true
 	}
 }
@@ -95,13 +99,40 @@ func (h *Handle) Wake() {
 // livelock diagnosis.
 var ErrMaxCyclesExceeded = errors.New("sim: max cycles exceeded")
 
+// Adaptive-mode tuning: when at least adaptiveNum/adaptiveDen of the
+// registered components were awake in a tracked step, the engine runs the
+// next adaptiveBurst cycles naively (no awake checks, no Idle calls) and
+// then re-arms activity tracking. The threshold is where per-component
+// bookkeeping costs more than the few skips it buys; the burst length
+// amortizes the re-arm (one full evaluate-and-sleep pass) to ~1.5%.
+const (
+	adaptiveNum   = 3
+	adaptiveDen   = 4
+	adaptiveBurst = 64
+)
+
 // Engine owns the simulated clock and the component lists.
-// The zero value is ready to use, with activity tracking enabled.
+// The zero value is ready to use, with activity tracking enabled and the
+// adaptive high-load fallback off (see SetAdaptive; the network layer
+// turns it on for fully wired fabrics).
 type Engine struct {
 	cycle      int64
 	tickers    []*node
 	committers []*node
 	alwaysTick bool
+
+	// Adaptive mode: when the still-awake fraction crosses the load
+	// threshold, fall back to naive ticking for a burst of cycles, then
+	// re-arm activity tracking.
+	adaptive bool
+	burst    int // remaining naive-burst cycles
+
+	// Sharded backend (NewShardedEngine; see sharded.go). A non-empty
+	// shards slice switches Step to the two-phase parallel schedule, with
+	// the tickers/committers lists above serving as its serial sub-phases.
+	shards []shard
+	work   []chan workerOp // one signal channel per worker (shards[1:])
+	wg     sync.WaitGroup
 
 	evaluated uint64
 	skipped   uint64
@@ -125,6 +156,7 @@ func (e *Engine) Cycle() int64 {
 func (e *Engine) SetAlwaysTick(v bool) {
 	e.alwaysTick = v
 	if v {
+		e.burst = 0
 		// Components that slept while tracking was on must not stay
 		// skipped if tracking is re-enabled later mid-run: waking
 		// everything keeps both toggle orders correct (an idle
@@ -140,6 +172,25 @@ func (e *Engine) SetAlwaysTick(v bool) {
 
 // AlwaysTick reports whether sleep/wake scheduling is disabled.
 func (e *Engine) AlwaysTick() bool { return e.alwaysTick }
+
+// SetAdaptive enables or disables the high-load fallback (off by default;
+// noc.New enables it): with it on, a tracked step in which at least 3/4 of
+// the components stayed awake after their idle checks switches the engine
+// to naive ticking for a burst of cycles, after which every component is
+// woken and the next tracked step re-arms the sleep states. Naive steps
+// evaluate every component in registration order — a superset of the
+// tracked evaluation in which the extra calls are pure no-ops by the Idle
+// contract — so toggling the mode never changes a schedule; it only moves
+// the bookkeeping cost off the hot path when skipping pays for nothing.
+func (e *Engine) SetAdaptive(v bool) {
+	e.adaptive = v
+	if !v {
+		e.burst = 0
+	}
+}
+
+// Adaptive reports whether the high-load naive fallback is enabled.
+func (e *Engine) Adaptive() bool { return e.adaptive }
 
 // Evaluated returns how many component evaluations ran; Skipped how many
 // were elided by sleep/wake scheduling. Their sum is what the naive engine
@@ -179,27 +230,52 @@ func (e *Engine) AddCommitter(c Committer) *Handle {
 
 // Step advances the simulation by exactly one cycle.
 func (e *Engine) Step() {
+	if len(e.shards) > 0 {
+		e.stepSharded()
+		return
+	}
 	cycle := e.cycle
 	if e.alwaysTick {
-		for _, n := range e.tickers {
-			n.ticker.Tick(cycle)
-		}
-		for _, n := range e.committers {
-			n.committer.Commit(cycle)
-		}
-		e.evaluated += uint64(len(e.tickers) + len(e.committers))
+		e.stepNaive(cycle)
 		e.cycle++
 		return
 	}
+	if e.burst > 0 {
+		// Adaptive high-load fallback: tick naively (sleeping components'
+		// evaluations are no-ops by the Idle contract, and registration
+		// order is unchanged, so the schedule is bit-identical). When the
+		// burst expires, wake everything so the next tracked step
+		// re-evaluates each component once and re-arms its sleep state.
+		e.stepNaive(cycle)
+		e.burst--
+		if e.burst == 0 {
+			for _, n := range e.tickers {
+				n.awake = true
+			}
+			for _, n := range e.committers {
+				n.awake = true
+			}
+		}
+		e.cycle++
+		return
+	}
+	// load counts components still awake after their idle check — the
+	// measure the adaptive fallback thresholds on. Counting evaluations
+	// instead would deadlock the heuristic: the post-burst re-arm step
+	// evaluates everything by construction, and would always re-trigger
+	// the next burst regardless of the actual load.
+	ran, load := 0, 0
 	for _, n := range e.tickers {
 		if !n.awake {
 			e.skipped++
 			continue
 		}
 		n.ticker.Tick(cycle)
-		e.evaluated++
+		ran++
 		if n.idler != nil && n.idler.Idle() {
 			n.awake = false
+		} else {
+			load++
 		}
 	}
 	for _, n := range e.committers {
@@ -208,12 +284,29 @@ func (e *Engine) Step() {
 			continue
 		}
 		n.committer.Commit(cycle)
-		e.evaluated++
+		ran++
 		if n.idler != nil && n.idler.Idle() {
 			n.awake = false
+		} else {
+			load++
 		}
 	}
+	e.evaluated += uint64(ran)
+	if e.adaptive && load*adaptiveDen >= (len(e.tickers)+len(e.committers))*adaptiveNum {
+		e.burst = adaptiveBurst
+	}
 	e.cycle++
+}
+
+// stepNaive evaluates every component in registration order, awake or not.
+func (e *Engine) stepNaive(cycle int64) {
+	for _, n := range e.tickers {
+		n.ticker.Tick(cycle)
+	}
+	for _, n := range e.committers {
+		n.committer.Commit(cycle)
+	}
+	e.evaluated += uint64(len(e.tickers) + len(e.committers))
 }
 
 // Run advances the simulation by n cycles.

@@ -228,7 +228,7 @@ func (s *Scheduler) Tick(cycle int64) {
 		s.started = true
 		s.startAt = cycle
 	}
-	defer s.clearTags()
+	ticked := false
 	for j := range s.jobs {
 		jr := &s.jobs[j]
 		if jr.remaining == 0 || cycle < s.startAt+jr.arrival {
@@ -255,6 +255,7 @@ func (s *Scheduler) Tick(cycle int64) {
 				continue
 			}
 			pr.driver.Tick(cycle)
+			ticked = true
 			if !pr.injected && pr.driver.Injected() {
 				pr.injected = true
 				pr.injectedAt = cycle
@@ -274,12 +275,12 @@ func (s *Scheduler) Tick(cycle int64) {
 			}
 		}
 	}
-}
-
-// clearTags resets every NIC to the untagged state (see Tick).
-func (s *Scheduler) clearTags() {
-	for id := 0; id < s.nw.Topology().NumNodes(); id++ {
-		s.nw.NIC(topology.NodeID(id)).SetTag(0)
+	// Tag hygiene (see the method comment): only cycles in which a driver
+	// actually ran can have left a sticky tag behind, so the common
+	// all-drained / not-yet-arrived cycle skips the NIC sweep entirely,
+	// and the sweep itself only rewrites NICs that hold a tag.
+	if ticked {
+		s.nw.ClearNICTags()
 	}
 }
 

@@ -1,0 +1,227 @@
+package gathernoc
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"gathernoc/internal/cnn"
+	"gathernoc/internal/core"
+	"gathernoc/internal/noc"
+	"gathernoc/internal/stats"
+	"gathernoc/internal/systolic"
+	"gathernoc/internal/traffic"
+	"gathernoc/internal/workload"
+)
+
+// shardMatrix is the shard-count grid the equivalence tests sweep,
+// NumCPU included so CI exercises whatever parallelism the host has.
+func shardMatrix() []int {
+	counts := []int{1, 2, 4}
+	if n := runtime.NumCPU(); n != 1 && n != 2 && n != 4 {
+		counts = append(counts, n)
+	}
+	return counts
+}
+
+// TestShardedEngineEquivalenceSyntheticTraffic is the bit-identity proof
+// for the sharded engine on synthetic traffic: for every shard count the
+// row-partitioned two-phase engine must reproduce the sequential engine's
+// packet accounting, latency statistics and network activity exactly,
+// from the low operating point through saturation. Any divergence means a
+// parallel phase touched state it did not own, or serial-phase work ran
+// out of canonical order (DESIGN.md §9).
+func TestShardedEngineEquivalenceSyntheticTraffic(t *testing.T) {
+	for _, rate := range []float64{0.005, 0.30} {
+		rate := rate
+		t.Run(ratename(rate), func(t *testing.T) {
+			type outcome struct {
+				res      *traffic.GeneratorResult
+				activity noc.Activity
+			}
+			run := func(shards int) outcome {
+				t.Helper()
+				cfg := noc.DefaultConfig(8, 8)
+				cfg.EastSinks = false
+				cfg.Shards = shards
+				nw, err := noc.New(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer nw.Close()
+				gen, err := traffic.NewGenerator(nw, traffic.GeneratorConfig{
+					Pattern:       traffic.UniformRandom{Nodes: 64},
+					InjectionRate: rate,
+					PacketFlits:   2,
+					Warmup:        200,
+					Measure:       1800,
+					Seed:          7,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := gen.Run(1_000_000)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return outcome{res: res, activity: nw.Activity()}
+			}
+			seq := run(0)
+			for _, shards := range shardMatrix() {
+				shards := shards
+				t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+					got := run(shards)
+					if got.activity != seq.activity {
+						t.Errorf("activity diverged:\nsequential %+v\nsharded    %+v", seq.activity, got.activity)
+					}
+					s, g := seq.res, got.res
+					if s.Injected != g.Injected || s.Received != g.Received || s.Cycles != g.Cycles {
+						t.Errorf("accounting diverged: sequential inj=%d recv=%d cyc=%d, sharded inj=%d recv=%d cyc=%d",
+							s.Injected, s.Received, s.Cycles, g.Injected, g.Received, g.Cycles)
+					}
+					for _, c := range []struct {
+						name string
+						seq  *stats.Sample
+						got  *stats.Sample
+					}{
+						{"latency", &s.Latency, &g.Latency},
+						{"queue-latency", &s.QueueLatency, &g.QueueLatency},
+						{"network-latency", &s.NetworkLatency, &g.NetworkLatency},
+						{"hops", &s.Hops, &g.Hops},
+					} {
+						if !sameSample(c.seq, c.got) {
+							t.Errorf("%s sample diverged: sequential %s, sharded %s", c.name, c.seq, c.got)
+						}
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestShardedEngineEquivalenceScheduler drives the workload scheduler —
+// the serial sub-phase's main customer, with its per-cycle tag clearing
+// and multi-job admission — on a sharded fabric and requires the
+// sequential schedule bit for bit: per-job timelines, latency samples and
+// total activity.
+func TestShardedEngineEquivalenceScheduler(t *testing.T) {
+	run := func(shards int) (*workload.Result, noc.Activity) {
+		t.Helper()
+		cfg := noc.DefaultConfig(8, 8)
+		cfg.EastSinks = false
+		cfg.Shards = shards
+		nw, err := noc.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer nw.Close()
+		jobs := make([]workload.Job, 3)
+		for i := range jobs {
+			gen, err := traffic.NewGeneratorDriver(nw, traffic.GeneratorConfig{
+				Pattern:       traffic.UniformRandom{Nodes: 64},
+				InjectionRate: 0.02,
+				PacketFlits:   2,
+				Warmup:        100,
+				Measure:       900,
+				Seed:          int64(i + 1),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			jobs[i] = workload.Job{
+				Name:   fmt.Sprintf("soak%d", i),
+				Phases: []workload.Phase{{Name: "uniform", Driver: gen}},
+			}
+		}
+		s, err := workload.New(nw, jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run(1_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, nw.Activity()
+	}
+	seqRes, seqAct := run(0)
+	for _, shards := range shardMatrix() {
+		shards := shards
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			res, act := run(shards)
+			if act != seqAct {
+				t.Errorf("activity diverged:\nsequential %+v\nsharded    %+v", seqAct, act)
+			}
+			if res.Cycles != seqRes.Cycles {
+				t.Errorf("run length diverged: sequential %d, sharded %d", seqRes.Cycles, res.Cycles)
+			}
+			for j := range seqRes.Jobs {
+				sj, gj := &seqRes.Jobs[j], &res.Jobs[j]
+				if sj.StartCycle != gj.StartCycle || sj.DrainedCycle != gj.DrainedCycle ||
+					sj.PacketsEjected != gj.PacketsEjected {
+					t.Errorf("job %s diverged: sequential start=%d done=%d pkts=%d, sharded start=%d done=%d pkts=%d",
+						sj.Name, sj.StartCycle, sj.DrainedCycle, sj.PacketsEjected,
+						gj.StartCycle, gj.DrainedCycle, gj.PacketsEjected)
+				}
+				if !sameSample(sj.Latency, gj.Latency) {
+					t.Errorf("job %s latency diverged: sequential %s, sharded %s", sj.Name, sj.Latency, gj.Latency)
+				}
+			}
+		})
+	}
+}
+
+// TestShardedEngineEquivalenceLayers replays the paper's CNN collection
+// workloads — repetitive unicast and gather mode, with their east-edge
+// sinks, gather stations and piggybacked acks — on the sharded engine and
+// requires the golden-pinned schedule bit for bit at every shard count.
+func TestShardedEngineEquivalenceLayers(t *testing.T) {
+	layer, ok := cnn.LayerByName(cnn.AlexNetConvLayers(), "Conv1")
+	if !ok {
+		t.Fatal("Conv1 missing")
+	}
+	for _, mode := range []systolic.Mode{systolic.RepetitiveUnicast, systolic.GatherMode} {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			run := func(shards int) *core.LayerReport {
+				t.Helper()
+				rep, err := core.RunLayer(8, 8, layer, mode, core.Options{
+					Rounds:        1,
+					MutateNetwork: func(c *noc.Config) { c.Shards = shards },
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return rep
+			}
+			seq := run(0)
+			for _, shards := range shardMatrix() {
+				shards := shards
+				t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+					got := run(shards)
+					if seq.Events != got.Events {
+						t.Errorf("activity diverged:\nsequential %+v\nsharded    %+v", seq.Events, got.Events)
+					}
+					sr, gr := seq.Result, got.Result
+					if sr.TotalCycles != gr.TotalCycles || sr.MeasuredCycles != gr.MeasuredCycles {
+						t.Errorf("cycles diverged: sequential total=%d measured=%d, sharded total=%d measured=%d",
+							sr.TotalCycles, sr.MeasuredCycles, gr.TotalCycles, gr.MeasuredCycles)
+					}
+					if sr.RoundCycles.Mean() != gr.RoundCycles.Mean() ||
+						sr.CollectionCycles.Mean() != gr.CollectionCycles.Mean() {
+						t.Errorf("round latencies diverged: sequential %v/%v, sharded %v/%v",
+							sr.RoundCycles.Mean(), sr.CollectionCycles.Mean(),
+							gr.RoundCycles.Mean(), gr.CollectionCycles.Mean())
+					}
+					if sr.SelfInitiatedGathers != gr.SelfInitiatedGathers || sr.PiggybackAcks != gr.PiggybackAcks {
+						t.Errorf("gather protocol diverged: sequential self=%d acks=%d, sharded self=%d acks=%d",
+							sr.SelfInitiatedGathers, sr.PiggybackAcks,
+							gr.SelfInitiatedGathers, gr.PiggybackAcks)
+					}
+					if sr.PayloadErrors != 0 || gr.PayloadErrors != 0 {
+						t.Errorf("payload errors: sequential %d, sharded %d", sr.PayloadErrors, gr.PayloadErrors)
+					}
+				})
+			}
+		})
+	}
+}
