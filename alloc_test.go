@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"gathernoc/internal/noc"
+	"gathernoc/internal/telemetry"
 	"gathernoc/internal/traffic"
 	"gathernoc/internal/workload"
 )
@@ -155,6 +156,49 @@ func TestShardedFlitPoolLeakFreedom(t *testing.T) {
 	}
 	if nw.FlitPool().Misses() == 0 {
 		t.Fatal("pool never allocated — workload did not exercise it")
+	}
+}
+
+// TestTelemetryAllocationRatchet extends the ratchet to a telemetry-on
+// network (DESIGN.md §11): every probe ring and event buffer is
+// preallocated at Collector.Start, so epoch snapshots write into fixed
+// slots and sampled Emits append within capacity — the recording path
+// must stay off the allocator cycle to cycle, bounded by the same
+// ceiling as the dark network.
+func TestTelemetryAllocationRatchet(t *testing.T) {
+	cfg := noc.DefaultConfig(8, 8)
+	cfg.EastSinks = false
+	cfg.Telemetry = &telemetry.Config{Epoch: 64, TraceSample: 16}
+	nw, err := noc.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := traffic.NewGenerator(nw, traffic.GeneratorConfig{
+		Pattern:       traffic.UniformRandom{Nodes: 64},
+		InjectionRate: 0.05,
+		PacketFlits:   2,
+		Warmup:        0,
+		Measure:       1 << 40, // never stop injecting
+		Seed:          1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := nw.Engine()
+	eng.AddTicker(gen)
+
+	// Warm-up: reach the pool/ring/chunk high-water marks.
+	eng.Run(3000)
+
+	const cyclesPerRun = 500
+	avg := testing.AllocsPerRun(4, func() {
+		eng.Run(cyclesPerRun)
+	})
+	perCycle := avg / cyclesPerRun
+	t.Logf("telemetry-on steady state: %.4f allocs/cycle (%.0f allocs per %d-cycle run)", perCycle, avg, cyclesPerRun)
+	if perCycle > maxSteadyStateAllocsPerCycle {
+		t.Fatalf("telemetry-on steady-state allocations regressed: %.4f allocs/cycle, ratchet ceiling %v",
+			perCycle, maxSteadyStateAllocsPerCycle)
 	}
 }
 

@@ -45,6 +45,7 @@ import (
 	"gathernoc/internal/cnn"
 	"gathernoc/internal/experiments"
 	"gathernoc/internal/noc"
+	"gathernoc/internal/telemetry"
 	"gathernoc/internal/traffic"
 	"gathernoc/internal/workload"
 )
@@ -335,6 +336,60 @@ func run(args []string, w io.Writer) error {
 		}
 		report.Benchmarks = append(report.Benchmarks, toResult("MultiJob/4+background", r,
 			map[string]float64{"batch_cycles": float64(cycles), "maxmin_slowdown": slowdown}))
+	}
+	// Telemetry overhead: the identical 8x8 uniform-traffic run dark and
+	// with the CLI's default observability configuration (DESIGN.md §11).
+	// The "on" entry records overhead_pct against the "off" entry of the
+	// same snapshot; the acceptance bar is < 10%. The 10K-cycle window
+	// (~40 epochs) matches bench_test.go's runTelemetryOverheadPoint so
+	// the one-time ring preallocation amortizes as in real observation
+	// windows and the pair prices the recording path.
+	{
+		var offNs int64
+		for _, tc := range []struct {
+			name string
+			tcfg *telemetry.Config
+		}{
+			{"TelemetryOverhead/off", nil},
+			{"TelemetryOverhead/on", func() *telemetry.Config { c := telemetry.DefaultConfig(); return &c }()},
+		} {
+			r := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					cfg := noc.DefaultConfig(8, 8)
+					cfg.EastSinks = false
+					cfg.Telemetry = tc.tcfg
+					nw, err := noc.New(cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					gen, err := traffic.NewGenerator(nw, traffic.GeneratorConfig{
+						Pattern:       traffic.UniformRandom{Nodes: 64},
+						InjectionRate: 0.05,
+						PacketFlits:   2,
+						Warmup:        100,
+						Measure:       9900,
+						Seed:          1,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if _, err := gen.Run(1_000_000); err != nil {
+						b.Fatal(err)
+					}
+					nw.Close()
+				}
+			})
+			var metrics map[string]float64
+			if tc.tcfg == nil {
+				offNs = r.NsPerOp()
+			} else if offNs > 0 {
+				metrics = map[string]float64{
+					"overhead_pct": (float64(r.NsPerOp()) - float64(offNs)) / float64(offNs) * 100,
+				}
+			}
+			report.Benchmarks = append(report.Benchmarks, toResult(tc.name, r, metrics))
+		}
 	}
 	runtime.GOMAXPROCS(prevProcs)
 

@@ -1,6 +1,6 @@
 // Command cnntrace generates the per-layer result-collection traffic
 // traces the paper derives from AlexNet and VGG-16 (Table III), in the
-// repository's JSON-lines trace format, for replay with nocsim -trace.
+// repository's JSON-lines trace format, for replay with nocsim -replay.
 //
 // Usage:
 //

@@ -5,11 +5,18 @@
 // cycle-accurate network in both gather and in-network-accumulation modes
 // and renders each router's measured payload uploads and operand merges.
 //
+// With -metrics it instead renders congestion heatmaps from a telemetry
+// epoch-metrics CSV produced by nocsim -metrics (DESIGN.md §11): one
+// ASCII grid per requested field, each cell the field's total over the
+// run at that grid position.
+//
 // Usage:
 //
 //	gatherviz            # the paper's 6x6 example, row 2
 //	gatherviz -size 8 -row 0
 //	gatherviz -merges    # simulated per-router upload/merge counts
+//	nocsim -rate 0.02 -metrics m.csv && gatherviz -metrics m.csv
+//	gatherviz -metrics m.csv -field gather_uploads -kind router
 package main
 
 import (
@@ -17,10 +24,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strings"
 
 	"gathernoc/internal/flit"
 	"gathernoc/internal/noc"
+	"gathernoc/internal/telemetry"
 	"gathernoc/internal/topology"
 )
 
@@ -36,8 +45,14 @@ func run(args []string, w io.Writer) error {
 	size := fs.Int("size", 6, "mesh dimension")
 	row := fs.Int("row", 2, "row whose PEs send to the global buffer")
 	merges := fs.Bool("merges", false, "simulate the row collection and render per-router gather uploads and accumulation merges")
+	metrics := fs.String("metrics", "", "render congestion heatmaps from a nocsim -metrics CSV instead of the Fig. 1 example")
+	field := fs.String("field", "buffer_writes", "metrics field to render (with -metrics)")
+	kind := fs.String("kind", "router", "metrics source kind to render (with -metrics): router, nic, sink")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *metrics != "" {
+		return renderMetrics(w, *metrics, *kind, *field)
 	}
 	if *size < 2 || *size > 32 {
 		return fmt.Errorf("size %d out of range [2,32]", *size)
@@ -138,6 +153,122 @@ func drawPickups(w io.Writer, size, row int) error {
 			mode.name+":", strings.Join(cells, "---"), sinkFlits)
 	}
 	fmt.Fprintf(w, "    (n) = payloads picked up at that router as the packet passed\n")
+	return nil
+}
+
+// heatGlyphs maps normalized load to increasing intensity (the idiom of
+// noc.UtilizationHeatmap).
+var heatGlyphs = []byte{'.', ':', '-', '=', '+', '*', '#', '@'}
+
+// renderMetrics reads a telemetry epoch-metrics CSV and renders the chosen
+// field of the chosen source kind as an ASCII heatmap over the grid, with
+// each source's value summed (delta fields) across every retained epoch,
+// plus the hottest cells.
+func renderMetrics(w io.Writer, path, kind, field string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	pts, err := telemetry.ReadMetricsCSV(f)
+	if err != nil {
+		return err
+	}
+
+	type cell struct {
+		row, col int
+		name     string
+		total    int64
+	}
+	byID := map[int]*cell{}
+	rows, cols, epochs := 0, 0, map[int64]bool{}
+	fields := map[string]bool{}
+	for _, p := range pts {
+		if p.Kind != kind {
+			continue
+		}
+		fields[p.Field] = true
+		epochs[p.Epoch] = true
+		if p.Field != field || p.Row < 0 || p.Col < 0 {
+			continue
+		}
+		c := byID[p.ID]
+		if c == nil {
+			c = &cell{row: p.Row, col: p.Col, name: p.Name}
+			byID[p.ID] = c
+		}
+		c.total += p.Value
+		if p.Row >= rows {
+			rows = p.Row + 1
+		}
+		if p.Col >= cols {
+			cols = p.Col + 1
+		}
+	}
+	if len(byID) == 0 {
+		known := make([]string, 0, len(fields))
+		for k := range fields {
+			known = append(known, k)
+		}
+		sort.Strings(known)
+		return fmt.Errorf("no %s/%s data in %s (kind %q has fields: %s)",
+			kind, field, path, kind, strings.Join(known, ", "))
+	}
+
+	var peak int64
+	cells := make([]*cell, 0, len(byID))
+	for _, c := range byID {
+		cells = append(cells, c)
+		if c.total > peak {
+			peak = c.total
+		}
+	}
+	fmt.Fprintf(w, "%s %s over %d epochs (%s), peak %d\n\n", kind, field, len(epochs), path, peak)
+	grid := make([][]int64, rows)
+	have := make([][]bool, rows)
+	for r := range grid {
+		grid[r] = make([]int64, cols)
+		have[r] = make([]bool, cols)
+	}
+	for _, c := range cells {
+		grid[c.row][c.col] = c.total
+		have[c.row][c.col] = true
+	}
+	for r := 0; r < rows; r++ {
+		var b strings.Builder
+		b.WriteString("    ")
+		for c := 0; c < cols; c++ {
+			switch {
+			case !have[r][c]:
+				b.WriteByte(' ')
+			case peak == 0 || grid[r][c] == 0:
+				b.WriteByte(heatGlyphs[0])
+			default:
+				idx := int(grid[r][c] * int64(len(heatGlyphs)-1) / peak)
+				if idx >= len(heatGlyphs) {
+					idx = len(heatGlyphs) - 1
+				}
+				b.WriteByte(heatGlyphs[idx])
+			}
+		}
+		fmt.Fprintln(w, b.String())
+	}
+	fmt.Fprintf(w, "\n    %s = idle .. %s = peak\n\n", string(heatGlyphs[0]), string(heatGlyphs[len(heatGlyphs)-1]))
+
+	sort.Slice(cells, func(i, j int) bool {
+		if cells[i].total != cells[j].total {
+			return cells[i].total > cells[j].total
+		}
+		return cells[i].name < cells[j].name
+	})
+	n := 5
+	if len(cells) < n {
+		n = len(cells)
+	}
+	fmt.Fprintf(w, "    hottest:\n")
+	for _, c := range cells[:n] {
+		fmt.Fprintf(w, "    %-8s (%d,%d)  %d\n", c.name, c.row, c.col, c.total)
+	}
 	return nil
 }
 

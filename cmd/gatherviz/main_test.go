@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -48,6 +50,66 @@ func TestRunMerges(t *testing.T) {
 		if !strings.Contains(out, frag) {
 			t.Errorf("output missing %q:\n%s", frag, out)
 		}
+	}
+}
+
+// writeMetricsFixture writes a small telemetry metrics CSV: a 2x2 router
+// grid over two epochs with a load gradient, plus a NIC row so the kind
+// filter has something to exclude.
+func writeMetricsFixture(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "metrics.csv")
+	csv := `epoch,cycle,kind,id,name,row,col,field,value,per_cycle
+0,63,router,0,r0,0,0,buffer_writes,0,0.0000
+0,63,router,1,r1,0,1,buffer_writes,4,0.0625
+0,63,router,2,r2,1,0,buffer_writes,8,0.1250
+0,63,router,3,r3,1,1,buffer_writes,16,0.2500
+1,127,router,0,r0,0,0,buffer_writes,0,0.0000
+1,127,router,1,r1,0,1,buffer_writes,4,0.0625
+1,127,router,2,r2,1,0,buffer_writes,8,0.1250
+1,127,router,3,r3,1,1,buffer_writes,16,0.2500
+0,63,nic,0,n0,0,0,packets_injected,2,0.0312
+`
+	if err := os.WriteFile(path, []byte(csv), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunMetricsHeatmap(t *testing.T) {
+	path := writeMetricsFixture(t)
+	var b strings.Builder
+	if err := run([]string{"-metrics", path}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, frag := range []string{
+		"router buffer_writes over 2 epochs",
+		"peak 32",
+		".:", // row 0: idle r0, low r1
+		"=@", // row 1: mid r2, peak r3
+		"hottest:",
+		"r3       (1,1)  32",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestRunMetricsUnknownField(t *testing.T) {
+	path := writeMetricsFixture(t)
+	var b strings.Builder
+	err := run([]string{"-metrics", path, "-field", "bogus"}, &b)
+	if err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	// The error names the fields the CSV actually has for the kind.
+	if !strings.Contains(err.Error(), "buffer_writes") {
+		t.Errorf("error does not list known fields: %v", err)
+	}
+	if err := run([]string{"-metrics", "/nonexistent/metrics.csv"}, &b); err == nil {
+		t.Error("missing metrics file accepted")
 	}
 }
 

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	nocsim -rows 8 -cols 8 -pattern uniform -rate 0.05
-//	nocsim -rows 8 -cols 8 -trace conv3.trace
+//	nocsim -rows 8 -cols 8 -replay conv3.trace
 //	nocsim -topology torus -routing xy -rate 0.05 # wraparound fabric
 //	nocsim -topology torus -ina -inamode ina      # INA on the torus
 //	nocsim -rate 0.005 -cpuprofile cpu.out        # profile a run
@@ -15,16 +15,27 @@
 //	nocsim -ina -inamode ina -inarounds 4         # in-network accumulation
 //	nocsim -model alexnet -overlap                # whole-model pipeline
 //	nocsim -model alexnet -jobs 4                 # batched inferences
+//	nocsim -trace trace.json -metrics metrics.csv -epoch 256
+//	                                              # telemetry: Perfetto
+//	                                              # trace + epoch metrics
+//
+// A long run answers SIGINT (ctrl-C) by stopping at the next cycle
+// boundary and flushing whatever artifacts were requested — profiles,
+// telemetry — instead of leaving truncated files behind.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime/pprof"
 
 	"gathernoc/internal/noc"
+	"gathernoc/internal/sim"
+	"gathernoc/internal/telemetry"
 	"gathernoc/internal/traffic"
 	"gathernoc/internal/workload"
 )
@@ -36,7 +47,7 @@ func main() {
 	}
 }
 
-func run(args []string, w io.Writer) error {
+func run(args []string, w io.Writer) (err error) {
 	fs := flag.NewFlagSet("nocsim", flag.ContinueOnError)
 	var (
 		rows       = fs.Int("rows", 8, "fabric rows")
@@ -51,7 +62,7 @@ func run(args []string, w io.Writer) error {
 		vcs        = fs.Int("vcs", 4, "virtual channels")
 		depth      = fs.Int("depth", 4, "buffer depth in flits")
 		routing    = fs.String("routing", "xy", "routing algorithm (xy, westfirst, oddeven)")
-		tracePath  = fs.String("trace", "", "replay a JSON trace file instead of synthetic traffic")
+		replayPath = fs.String("replay", "", "replay a JSON trace file instead of synthetic traffic")
 		maxCycles  = fs.Int64("maxcycles", 10_000_000, "simulation cycle budget")
 		heatmap    = fs.Bool("heatmap", false, "print a per-router utilization heatmap after the run")
 		alwaysTick = fs.Bool("alwaystick", false, "disable sleep/wake scheduling (tick every component every cycle)")
@@ -65,6 +76,10 @@ func run(args []string, w io.Writer) error {
 		jobs       = fs.Int("jobs", 1, "concurrent inference jobs of the pipeline workload")
 		overlap    = fs.Bool("overlap", false, "double-buffered inter-layer overlap (default: strict barrier)")
 		rounds     = fs.Int("rounds", 2, "simulated rounds per pipeline layer")
+		traceOut   = fs.String("trace", "", "write a Chrome Trace Event JSON (Perfetto-loadable) of sampled packet lifecycles to this file")
+		metricsOut = fs.String("metrics", "", "write per-epoch congestion/utilization metrics CSV to this file")
+		epoch      = fs.Int64("epoch", 256, "telemetry metrics snapshot period in cycles (with -metrics)")
+		traceEvery = fs.Uint64("tracesample", 64, "trace one packet in N (with -trace; 1 traces everything)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -109,14 +124,58 @@ func run(args []string, w io.Writer) error {
 	cfg.AlwaysTick = *alwaysTick
 	cfg.Shards = *shards
 	cfg.EnableINA = *ina
+	if *traceOut != "" || *metricsOut != "" {
+		tcfg := telemetry.Config{}
+		if *metricsOut != "" {
+			tcfg.Epoch = *epoch
+		}
+		if *traceOut != "" {
+			tcfg.TraceSample = *traceEvery
+		}
+		cfg.Telemetry = &tcfg
+	}
 	nw, err := noc.New(cfg)
 	if err != nil {
 		return err
 	}
 	defer nw.Close()
 
+	// Telemetry is harvested on every exit path — normal completion,
+	// errors and interrupts alike — so a stopped run still leaves usable
+	// artifacts. Registered after nw.Close's defer, so it runs first.
+	defer func() {
+		if ferr := writeTelemetry(nw, *traceOut, *metricsOut, w); ferr != nil && err == nil {
+			err = ferr
+		}
+	}()
+
+	// SIGINT stops the engine at the next cycle boundary; the deferred
+	// profile and telemetry writers then flush as usual.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	defer func() {
+		signal.Stop(sig)
+		close(sig) // after Stop: releases the handler goroutine
+	}()
+	go func() {
+		if _, ok := <-sig; ok {
+			fmt.Fprintln(os.Stderr, "nocsim: interrupt — stopping at the next cycle boundary")
+			nw.Engine().Interrupt()
+		}
+	}()
+
+	// interruptedOK maps a SIGINT-triggered stop to a clean exit (partial
+	// results were already reported; artifacts flush in the defers above).
+	interruptedOK := func(err error) error {
+		if errors.Is(err, sim.ErrInterrupted) {
+			fmt.Fprintf(w, "interrupted    at cycle %d; flushing artifacts\n", nw.Engine().Cycle())
+			return nil
+		}
+		return err
+	}
+
 	if *model != "" {
-		if err := runPipeline(nw, *model, *jobs, *rounds, *overlap, *maxCycles, w); err != nil {
+		if err := interruptedOK(runPipeline(nw, *model, *jobs, *rounds, *overlap, *maxCycles, w)); err != nil {
 			return err
 		}
 		if *heatmap {
@@ -126,7 +185,7 @@ func run(args []string, w io.Writer) error {
 	}
 
 	if *ina {
-		if err := runINA(nw, *inaMode, *inaRounds, *maxCycles, w); err != nil {
+		if err := interruptedOK(runINA(nw, *inaMode, *inaRounds, *maxCycles, w)); err != nil {
 			return err
 		}
 		if *heatmap {
@@ -135,8 +194,8 @@ func run(args []string, w io.Writer) error {
 		return nil
 	}
 
-	if *tracePath != "" {
-		if err := replay(nw, *tracePath, *maxCycles, w); err != nil {
+	if *replayPath != "" {
+		if err := interruptedOK(replay(nw, *replayPath, *maxCycles, w)); err != nil {
 			return err
 		}
 		if *heatmap {
@@ -161,6 +220,10 @@ func run(args []string, w io.Writer) error {
 		return err
 	}
 	res, err := gen.Run(*maxCycles)
+	if errors.Is(err, sim.ErrInterrupted) {
+		fmt.Fprintf(w, "interrupted    at cycle %d; flushing artifacts\n", nw.Engine().Cycle())
+		return nil
+	}
 	if err != nil {
 		return err
 	}
@@ -283,6 +346,46 @@ func runINA(nw *noc.Network, mode string, rounds int, maxCycles int64, w io.Writ
 	fmt.Fprintf(w, "cycles         %d\n", res.Cycles)
 	if res.OracleErrors != 0 {
 		return fmt.Errorf("reduction oracle mismatch: %d errors", res.OracleErrors)
+	}
+	return nil
+}
+
+// writeTelemetry harvests the run's telemetry (if enabled) and writes the
+// requested export files.
+func writeTelemetry(nw *noc.Network, tracePath, metricsPath string, w io.Writer) error {
+	rep := nw.HarvestTelemetry()
+	if rep == nil {
+		return nil
+	}
+	if metricsPath != "" {
+		f, err := os.Create(metricsPath)
+		if err != nil {
+			return fmt.Errorf("metrics: %w", err)
+		}
+		werr := rep.WriteMetricsCSV(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return fmt.Errorf("metrics: %w", werr)
+		}
+		fmt.Fprintf(w, "metrics        %s (%d epochs x %d sources, epoch %d cycles)\n",
+			metricsPath, len(rep.EpochIndex), len(rep.Sources), rep.Epoch)
+	}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		werr := rep.WriteChromeTrace(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return fmt.Errorf("trace: %w", werr)
+		}
+		fmt.Fprintf(w, "trace          %s (%d events, %d dropped) — load in ui.perfetto.dev\n",
+			tracePath, len(rep.Events), rep.DroppedEvents)
 	}
 	return nil
 }

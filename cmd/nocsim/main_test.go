@@ -1,11 +1,13 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"gathernoc/internal/telemetry"
 	"gathernoc/internal/traffic"
 )
 
@@ -105,7 +107,7 @@ func TestRunTraceReplay(t *testing.T) {
 	f.Close()
 
 	var b strings.Builder
-	if err := run([]string{"-rows", "4", "-cols", "4", "-trace", path}, &b); err != nil {
+	if err := run([]string{"-rows", "4", "-cols", "4", "-replay", path}, &b); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(b.String(), "replayed       2 events") {
@@ -140,8 +142,103 @@ func TestRunINARejectsBadMode(t *testing.T) {
 
 func TestRunTraceMissingFile(t *testing.T) {
 	var b strings.Builder
-	if err := run([]string{"-trace", "/nonexistent/file"}, &b); err == nil {
+	if err := run([]string{"-replay", "/nonexistent/file"}, &b); err == nil {
 		t.Error("missing trace file accepted")
+	}
+}
+
+// TestRunTelemetryExports is the end-to-end observability smoke: an 8x8
+// INA run with both exports on must leave a Chrome trace that parses as
+// JSON with job/phase-tagged events and a metrics CSV whose row count is
+// exactly epochs x sources x fields for the epoch length requested.
+func TestRunTelemetryExports(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.json")
+	metricsPath := filepath.Join(dir, "metrics.csv")
+	var b strings.Builder
+	err := run([]string{
+		"-rows", "8", "-cols", "8", "-ina", "-inamode", "ina", "-inarounds", "2",
+		"-trace", tracePath, "-metrics", metricsPath,
+		"-epoch", "64", "-tracesample", "1",
+	}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, frag := range []string{"metrics        " + metricsPath, "trace          " + tracePath, "0 dropped"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("output missing %q:\n%s", frag, out)
+		}
+	}
+
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &trace); err != nil {
+		t.Fatalf("trace is not valid Chrome Trace JSON: %v", err)
+	}
+	phases := map[string]int{}
+	merges := 0
+	for _, ev := range trace.TraceEvents {
+		phases[ev.Ph]++
+		if ev.Name == "ina-merge" {
+			merges++
+		}
+	}
+	if phases["b"] == 0 || phases["e"] == 0 || phases["X"] == 0 {
+		t.Errorf("trace lacks packet spans or stage slices: %v", phases)
+	}
+	if merges == 0 {
+		t.Error("INA run traced no ina-merge instants")
+	}
+
+	f, err := os.Open(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	pts, err := telemetry.ReadMetricsCSV(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	epochs := map[int64]int64{}
+	perEpoch := map[int64]int{}
+	for _, p := range pts {
+		epochs[p.Epoch] = p.Cycle
+		perEpoch[p.Epoch]++
+	}
+	if len(epochs) == 0 {
+		t.Fatal("metrics CSV has no epochs")
+	}
+	var rows0 int
+	for e, n := range perEpoch {
+		if rows0 == 0 {
+			rows0 = n
+		}
+		if n != rows0 {
+			t.Errorf("epoch %d has %d rows, others %d — series ragged", e, n, rows0)
+		}
+	}
+	// Every full epoch must end on a 64-cycle boundary; only the flushed
+	// final partial epoch may not.
+	var last int64 = -1
+	for e := range epochs {
+		if e > last {
+			last = e
+		}
+	}
+	for e, cyc := range epochs {
+		if e != last && (cyc+1)%64 != 0 {
+			t.Errorf("epoch %d ends at cycle %d, not a 64-cycle boundary", e, cyc)
+		}
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 	"gathernoc/internal/core"
 	"gathernoc/internal/flit"
 	"gathernoc/internal/noc"
+	"gathernoc/internal/telemetry"
 	"gathernoc/internal/topology"
 )
 
@@ -40,6 +41,12 @@ type Options struct {
 	// Overlap selects double-buffered pipelining for the multi-job
 	// experiment's inference phases (false = strict barrier).
 	Overlap bool
+	// Telemetry, when non-nil, enables the observability layer on every
+	// simulated sweep cell (each cell runs on its own Network, so each
+	// gets its own collector); the cell's report then carries epoch/event
+	// counts from the harvested run. Nil leaves telemetry off — the
+	// default, and the configuration every published number uses.
+	Telemetry *telemetry.Config
 }
 
 func (o Options) meshes() []int {

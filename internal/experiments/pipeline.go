@@ -33,6 +33,11 @@ type PipelineRow struct {
 	// OracleErrors counts row reductions that failed verification
 	// (must be 0).
 	OracleErrors int
+	// TelemetryEpochs/TelemetryEvents summarize the cell's harvested
+	// telemetry when Options.Telemetry opted in (0/0 otherwise; the
+	// analytic arm runs many short fabrics and reports none).
+	TelemetryEpochs int
+	TelemetryEvents int
 }
 
 // pipelineTMAC is the MAC latency entering every pipeline arm's per-round
@@ -46,12 +51,15 @@ type pipelinePoint struct {
 	mode     string
 }
 
-// pipelineFabric builds the 8x8 network for a topology name.
-func pipelineFabric(topology string) (*noc.Network, error) {
+// pipelineFabric builds the 8x8 network for a topology name, with the
+// sweep's telemetry opt-in applied (each cell owns its network, so each
+// harvests independently).
+func pipelineFabric(topology string, opts Options) (*noc.Network, error) {
 	cfg := noc.DefaultConfig(8, 8)
 	if topology == "torus" {
 		cfg = noc.DefaultTorusConfig(8, 8)
 	}
+	cfg.Telemetry = opts.Telemetry
 	return noc.New(cfg)
 }
 
@@ -89,7 +97,10 @@ func PipelineComparison(opts Options) ([]PipelineRow, error) {
 // and sums — no flit of layer k ever contends with layer k-1.
 func analyticComposition(row PipelineRow, layers []cnn.LayerConfig, opts Options) (PipelineRow, error) {
 	for _, layer := range layers {
-		nw, err := pipelineFabric(row.Topology)
+		// The analytic arm intentionally passes a telemetry-free Options:
+		// it runs one throwaway fabric per layer, and a per-layer harvest
+		// would not compose into one run's series.
+		nw, err := pipelineFabric(row.Topology, Options{})
 		if err != nil {
 			return row, err
 		}
@@ -117,7 +128,7 @@ func analyticComposition(row PipelineRow, layers []cnn.LayerConfig, opts Options
 // pipelineRun composes the whole model on one fabric through the
 // scheduler.
 func pipelineRun(row PipelineRow, layers []cnn.LayerConfig, overlap bool, opts Options) (PipelineRow, error) {
-	nw, err := pipelineFabric(row.Topology)
+	nw, err := pipelineFabric(row.Topology, opts)
 	if err != nil {
 		return row, err
 	}
@@ -144,6 +155,10 @@ func pipelineRun(row PipelineRow, layers []cnn.LayerConfig, overlap bool, opts O
 		snap := d.Snapshot()
 		row.ExtrapolatedCycles += snap.TotalCycles
 		row.OracleErrors += snap.OracleErrors
+	}
+	if rep := nw.HarvestTelemetry(); rep != nil {
+		row.TelemetryEpochs = len(rep.EpochIndex)
+		row.TelemetryEvents = len(rep.Events)
 	}
 	return row, nil
 }
@@ -204,6 +219,10 @@ type MultiJobReport struct {
 	OrphanPayloads  uint64
 	BackgroundRate  float64
 	InferenceLayers int
+	// TelemetryEpochs/TelemetryEvents summarize the run's harvested
+	// telemetry when Options.Telemetry opted in (0/0 otherwise).
+	TelemetryEpochs int
+	TelemetryEvents int
 }
 
 // MultiJob batches opts.Jobs (default 4) concurrent two-layer inference
@@ -216,7 +235,7 @@ func MultiJob(opts Options) (*MultiJobReport, error) {
 	layers := cnn.AlexNetAllLayers()[:2] // Conv1 → Pool1
 	const bgRate = 0.005
 
-	nw, err := pipelineFabric("mesh")
+	nw, err := pipelineFabric("mesh", opts)
 	if err != nil {
 		return nil, err
 	}
@@ -299,6 +318,10 @@ func MultiJob(opts Options) (*MultiJobReport, error) {
 		for _, d := range drv {
 			rep.OracleErrors += d.Snapshot().OracleErrors
 		}
+	}
+	if trep := nw.HarvestTelemetry(); trep != nil {
+		rep.TelemetryEpochs = len(trep.EpochIndex)
+		rep.TelemetryEvents = len(trep.Events)
 	}
 	return rep, nil
 }

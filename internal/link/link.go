@@ -14,6 +14,7 @@ import (
 	"gathernoc/internal/ring"
 	"gathernoc/internal/sim"
 	"gathernoc/internal/stats"
+	"gathernoc/internal/telemetry"
 )
 
 // FlitSink receives flits delivered by a link into a per-VC input buffer.
@@ -55,9 +56,15 @@ type Link struct {
 
 	wake *sim.Handle // engine wake-up, armed when traffic is staged
 
+	probe *telemetry.Probe
+	loc   int32 // downstream node id reported in trace events
+
 	// FlitsCarried counts flits that completed traversal, by the power
 	// model and utilization reports.
 	FlitsCarried stats.Counter
+	// CreditsCarried counts credits returned upstream; telemetry derives
+	// credit-path activity per epoch from it.
+	CreditsCarried stats.Counter
 }
 
 // New returns a link with the given forward latency in cycles (minimum 1:
@@ -83,6 +90,14 @@ func (l *Link) Name() string { return l.name }
 // a sleeping link is committed. Links work without one (nil handles ignore
 // Wake).
 func (l *Link) SetWake(h *sim.Handle) { l.wake = h }
+
+// SetTelemetry attaches a lifecycle-trace probe. loc is the downstream
+// node id recorded on link-traversal events. The probe must belong to the
+// shard that commits this link's flit half (single-writer rule).
+func (l *Link) SetTelemetry(p *telemetry.Probe, loc int) {
+	l.probe = p
+	l.loc = int32(loc)
+}
 
 // Idle implements sim.Idler: with nothing in flight the commit is a pure
 // no-op, so the engine may skip the link until traffic is staged again.
@@ -126,6 +141,10 @@ func (l *Link) Commit(now int64) {
 func (l *Link) CommitFlits(now int64) {
 	for !l.flits.Empty() && l.flits.Front().due <= now {
 		in := l.flits.PopFront()
+		if l.probe != nil && in.f.IsHead() && l.probe.Sampled(in.f.PacketID) {
+			l.probe.Emit(telemetry.Event{Cycle: now, Kind: telemetry.EvLink,
+				Packet: in.f.PacketID, Tag: in.f.Tag, Loc: l.loc, Aux: int64(in.vc)})
+		}
 		l.down.AcceptFlit(in.f, in.vc)
 		l.FlitsCarried.Inc()
 	}
@@ -139,5 +158,6 @@ func (l *Link) CommitCredits(now int64) {
 		if l.up != nil {
 			l.up.AcceptCredit(c.vc)
 		}
+		l.CreditsCarried.Inc()
 	}
 }

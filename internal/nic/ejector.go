@@ -8,6 +8,7 @@ import (
 	"gathernoc/internal/ring"
 	"gathernoc/internal/sim"
 	"gathernoc/internal/stats"
+	"gathernoc/internal/telemetry"
 	"gathernoc/internal/topology"
 )
 
@@ -110,6 +111,9 @@ type Ejector struct {
 	drainRR int
 	wake    *sim.Handle // wakes the owning ticker (NIC or edge sink)
 
+	probe    *telemetry.Probe
+	probeLoc int32 // this ejection point's node id in trace events
+
 	// packetOverhead stalls the drain for this many cycles after every
 	// completed packet, modeling a per-packet write transaction at the
 	// receiving buffer. The global-buffer sinks use it (see
@@ -173,6 +177,15 @@ func (e *Ejector) SetWake(h *sim.Handle) { e.wake = h }
 // into it once their payloads and header fields have been absorbed. A nil
 // pool (standalone tests) leaves flits to the garbage collector.
 func (e *Ejector) SetFlitPool(p *flit.Pool) { e.pool = p }
+
+// SetTelemetry attaches a lifecycle-trace probe; loc is the node id this
+// ejection point reports on its events. On tail arrival the ejector emits
+// the packet's full endpoint timeline (inject/network/head/eject) from the
+// timestamps the flits carried, so injection needs no hook of its own.
+func (e *Ejector) SetTelemetry(p *telemetry.Probe, loc int) {
+	e.probe = p
+	e.probeLoc = int32(loc)
+}
 
 // SetPacketOverhead configures the per-packet transaction stall in cycles
 // (negative values are ignored).
@@ -318,6 +331,18 @@ func (e *Ejector) assemble(f *flit.Flit, cycle int64) {
 	}
 	e.PacketsEjected.Inc()
 	e.PacketLatency.Observe(float64(rp.Latency()))
+	if e.probe != nil && e.probe.Sampled(pp.id) {
+		// Back-dated endpoint events: the source-side timestamps rode on
+		// the head flit, so the whole timeline is emitted here at once.
+		e.probe.Emit(telemetry.Event{Cycle: pp.injectCycle, Kind: telemetry.EvInject,
+			Packet: pp.id, Tag: pp.tag, Loc: int32(pp.src), Aux: int64(pp.dst)})
+		e.probe.Emit(telemetry.Event{Cycle: pp.networkCycle, Kind: telemetry.EvNetwork,
+			Packet: pp.id, Tag: pp.tag, Loc: int32(pp.src)})
+		e.probe.Emit(telemetry.Event{Cycle: pp.headArrival, Kind: telemetry.EvHead,
+			Packet: pp.id, Tag: pp.tag, Loc: e.probeLoc})
+		e.probe.Emit(telemetry.Event{Cycle: cycle, Kind: telemetry.EvEject,
+			Packet: pp.id, Tag: pp.tag, Loc: e.probeLoc, Aux: int64(pp.hops)})
+	}
 	if e.staged {
 		sp := stagedPacket{pkt: *rp, payOff: len(e.stagedPay), payLen: len(rp.Payloads)}
 		sp.pkt.Payloads = nil

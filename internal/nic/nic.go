@@ -212,6 +212,10 @@ func (n *NIC) ID() topology.NodeID { return n.id }
 // output link.
 func (n *NIC) Ejector() *Ejector { return n.eject }
 
+// QueueDepth reports packets waiting in the injection queue; the telemetry
+// epoch collector samples it as a gauge.
+func (n *NIC) QueueDepth() int { return n.queue.Len() }
+
 // ConnectInjection sets the NIC-to-router link.
 func (n *NIC) ConnectInjection(l *link.Link) { n.out = l }
 

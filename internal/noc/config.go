@@ -7,6 +7,7 @@ import (
 
 	"gathernoc/internal/flit"
 	"gathernoc/internal/router"
+	"gathernoc/internal/telemetry"
 	"gathernoc/internal/topology"
 )
 
@@ -94,6 +95,14 @@ type Config struct {
 	// == 0). Off by default — the tracking map costs real time on the
 	// hot path.
 	DebugFlitPool bool
+	// Telemetry enables the observability layer (DESIGN.md §11): an epoch
+	// metrics collector snapshotting counter deltas every Telemetry.Epoch
+	// cycles and a sampled flit-lifecycle tracer, harvested via
+	// Network.HarvestTelemetry. Nil (the default) wires nothing — every
+	// probe pointer stays nil and the hot path is unchanged, keeping
+	// schedules bit-identical to a telemetry-free build. The collector is
+	// purely observational, so schedules are identical with it on, too.
+	Telemetry *telemetry.Config
 	// SinkPacketOverhead is the per-packet write-transaction cost at the
 	// global buffer, in cycles: after a packet's tail is consumed, the
 	// buffer port stalls this long before accepting further flits. This
@@ -195,6 +204,11 @@ func (c Config) Validate() error {
 		case c.EffectiveRouting() == "xy" && c.Router.GatherVC >= 0:
 			return fmt.Errorf("noc: GatherVC %d conflicts with the torus dateline VC classes; "+
 				"use GatherVC=-1 or an adaptive routing (westfirst, oddeven)", c.Router.GatherVC)
+		}
+	}
+	if c.Telemetry != nil {
+		if err := c.Telemetry.Validate(); err != nil {
+			return err
 		}
 	}
 	return c.Router.Validate()

@@ -15,6 +15,7 @@ import (
 	"gathernoc/internal/nic"
 	"gathernoc/internal/router"
 	"gathernoc/internal/sim"
+	"gathernoc/internal/telemetry"
 	"gathernoc/internal/topology"
 )
 
@@ -75,14 +76,20 @@ type Network struct {
 	rowShard []int
 	pools    []*flit.Pool
 	linkRecs []linkRec
+
+	// tele is the telemetry collector, nil unless Config.Telemetry enables
+	// the observability layer (DESIGN.md §11).
+	tele *telemetry.Collector
 }
 
 // linkRec records which shard owns each end of a link: downShard mutates
 // on flit delivery (the downstream input buffer), upShard on credit return
-// (the upstream output credit counters).
+// (the upstream output credit counters). downID is the downstream
+// endpoint's node (or sink) id, reported on link trace events.
 type linkRec struct {
 	l                  *link.Link
 	downShard, upShard int
+	downID             topology.NodeID
 }
 
 // New builds and wires a network according to cfg.
@@ -226,12 +233,12 @@ func New(cfg Config) (*Network, error) {
 		inj := link.New(fmt.Sprintf("inj%d", id), cfg.LinkLatency, rtr.InputSink(topology.LocalPort), n)
 		n.ConnectInjection(inj)
 		rtr.ConnectInput(topology.LocalPort, inj)
-		nw.addLink(inj, sh, sh)
+		nw.addLink(inj, sh, sh, topology.NodeID(id))
 
 		ej := link.New(fmt.Sprintf("ej%d", id), cfg.LinkLatency, n.Ejector(), rtr.CreditSink(topology.LocalPort))
 		rtr.ConnectOutput(topology.LocalPort, ej, cfg.Router.VCs, cfg.Router.BufferDepth)
 		n.Ejector().ConnectReverse(ej)
-		nw.addLink(ej, sh, sh)
+		nw.addLink(ej, sh, sh, topology.NodeID(id))
 	}
 
 	// Global-buffer sinks past the east edge (mesh only: Validate rejects
@@ -251,7 +258,7 @@ func New(cfg Config) (*Network, error) {
 			s.ej.ConnectReverse(l)
 			nw.sinks[row] = s
 			sh := nw.shardOfRow(row)
-			nw.addLink(l, sh, sh)
+			nw.addLink(l, sh, sh, s.id)
 		}
 	}
 
@@ -289,7 +296,146 @@ func New(cfg Config) (*Network, error) {
 		// sim.Engine.SetAdaptive).
 		nw.engine.SetAdaptive(true)
 	}
+	if cfg.Telemetry != nil && cfg.Telemetry.Enabled() {
+		nw.wireTelemetry()
+	}
 	return nw, nil
+}
+
+// wireTelemetry builds the collector, attaches the per-shard probes to
+// every component (tracer), registers the metrics sources with the shard
+// that owns each counter (single-writer rule, DESIGN.md §11), and appends
+// the epoch snapshot as the last committer of each shard — after the link
+// halves — so a snapshot observes every counter its shard wrote that
+// cycle. Runs after engine registration, before the first cycle.
+func (nw *Network) wireTelemetry() {
+	shards := nw.cfg.EffectiveShards()
+	if shards < 1 {
+		shards = 1
+	}
+	tc := telemetry.New(*nw.cfg.Telemetry, shards)
+	nw.tele = tc
+	tracing := tc.Tracing()
+
+	routerFields := []telemetry.Field{
+		{Name: "buffer_writes"}, {Name: "rc_computations"},
+		{Name: "gather_uploads"}, {Name: "reduce_merges"},
+		{Name: "occupancy", Gauge: true}, {Name: "max_vc_occupancy", Gauge: true},
+	}
+	for _, r := range nw.routers {
+		sh := nw.shardOfNode(r.ID())
+		if tracing {
+			r.SetTelemetry(tc.ShardProbe(sh))
+		}
+		co := nw.topo.Coord(r.ID())
+		tc.AddSource(sh, telemetry.SourceMeta{
+			Kind: "router", ID: int(r.ID()), Name: fmt.Sprintf("r%d", r.ID()), Row: co.Row, Col: co.Col,
+		}, routerFields, func(dst []int64) {
+			dst[0] = int64(r.Counters.BufferWrites.Value())
+			dst[1] = int64(r.Counters.RCComputations.Value())
+			dst[2] = int64(r.Counters.GatherUploads.Value())
+			dst[3] = int64(r.Counters.ReduceMerges.Value())
+			dst[4] = int64(r.BufferedFlits())
+			dst[5] = int64(r.MaxVCOccupancy())
+		})
+	}
+
+	// Each link contributes two single-field sources, one per endpoint
+	// shard: the forward flit count lives with the downstream committer,
+	// the credit count with the upstream one, so both reads stay on the
+	// goroutine that writes them.
+	flitFields := []telemetry.Field{{Name: "flits"}}
+	creditFields := []telemetry.Field{{Name: "credits"}}
+	for i, rec := range nw.linkRecs {
+		if tracing {
+			rec.l.SetTelemetry(tc.ShardProbe(rec.downShard), int(rec.downID))
+		}
+		meta := telemetry.SourceMeta{Kind: "link", ID: i, Name: rec.l.Name(), Row: -1, Col: -1}
+		l := rec.l
+		tc.AddSource(rec.downShard, meta, flitFields, func(dst []int64) {
+			dst[0] = int64(l.FlitsCarried.Value())
+		})
+		tc.AddSource(rec.upShard, meta, creditFields, func(dst []int64) {
+			dst[0] = int64(l.CreditsCarried.Value())
+		})
+	}
+
+	nicFields := []telemetry.Field{
+		{Name: "packets_injected"}, {Name: "flits_injected"},
+		{Name: "packets_ejected"}, {Name: "flits_ejected"},
+		{Name: "queue_depth", Gauge: true},
+	}
+	for _, n := range nw.nics {
+		sh := nw.shardOfNode(n.ID())
+		if tracing {
+			n.Ejector().SetTelemetry(tc.ShardProbe(sh), int(n.ID()))
+		}
+		co := nw.topo.Coord(n.ID())
+		tc.AddSource(sh, telemetry.SourceMeta{
+			Kind: "nic", ID: int(n.ID()), Name: fmt.Sprintf("nic%d", n.ID()), Row: co.Row, Col: co.Col,
+		}, nicFields, func(dst []int64) {
+			dst[0] = int64(n.PacketsInjected.Value())
+			dst[1] = int64(n.FlitsInjected.Value())
+			dst[2] = int64(n.Ejector().PacketsEjected.Value())
+			dst[3] = int64(n.Ejector().FlitsEjected.Value())
+			dst[4] = int64(n.QueueDepth())
+		})
+	}
+
+	sinkFields := []telemetry.Field{
+		{Name: "packets_ejected"}, {Name: "flits_ejected"},
+		{Name: "buffered", Gauge: true},
+	}
+	for _, s := range nw.sinks {
+		sh := nw.shardOfRow(s.row)
+		if tracing {
+			s.ej.SetTelemetry(tc.ShardProbe(sh), int(s.id))
+		}
+		tc.AddSource(sh, telemetry.SourceMeta{
+			Kind: "sink", ID: s.row, Name: fmt.Sprintf("sink%d", s.row), Row: s.row, Col: nw.cfg.Cols,
+		}, sinkFields, func(dst []int64) {
+			dst[0] = int64(s.ej.PacketsEjected.Value())
+			dst[1] = int64(s.ej.FlitsEjected.Value())
+			dst[2] = int64(s.ej.Buffered())
+		})
+	}
+
+	// The flit pool is one fabric-wide gauge, attached to shard 0: pool
+	// acquires/releases all happen in the tick phase (NIC packetize,
+	// router forks, ejector reassembly), so by the time any shard commits,
+	// the aggregate Live count is stable behind the tick barrier.
+	tc.AddSource(0, telemetry.SourceMeta{Kind: "pool", ID: 0, Name: "flitpool", Row: -1, Col: -1},
+		[]telemetry.Field{{Name: "live", Gauge: true}}, func(dst []int64) {
+			dst[0] = int64(nw.pool.Live())
+		})
+
+	for s := 0; s < shards; s++ {
+		ec := tc.EpochCommitter(s)
+		if ec == nil {
+			break
+		}
+		if nw.engine.Sharded() {
+			nw.engine.AddShardCommitter(s, ec)
+		} else {
+			nw.engine.AddCommitter(ec)
+		}
+	}
+	tc.Start()
+}
+
+// Telemetry returns the telemetry collector, or nil when
+// Config.Telemetry left the observability layer off. Workload schedulers
+// use it to reach the serial probe for phase-boundary events.
+func (nw *Network) Telemetry() *telemetry.Collector { return nw.tele }
+
+// HarvestTelemetry flushes and merges the telemetry buffers into a report
+// (nil without telemetry). Call after the run, from the goroutine that
+// drove the engine.
+func (nw *Network) HarvestTelemetry() *telemetry.Report {
+	if nw.tele == nil {
+		return nil
+	}
+	return nw.tele.Harvest(nw.engine.Cycle())
 }
 
 // registerSharded wires every component into the two-phase sharded engine
@@ -365,15 +511,15 @@ func (nw *Network) wireRouterPair(src, dst *router.Router, out topology.Port) {
 	)
 	src.ConnectOutput(out, l, nw.cfg.Router.VCs, nw.cfg.Router.BufferDepth)
 	dst.ConnectInput(in, l)
-	nw.addLink(l, nw.shardOfNode(dst.ID()), nw.shardOfNode(src.ID()))
+	nw.addLink(l, nw.shardOfNode(dst.ID()), nw.shardOfNode(src.ID()), dst.ID())
 }
 
 // addLink records a wired link with the shards owning its two endpoints:
 // flit delivery mutates the downstream endpoint, credit return the
 // upstream one. Sequential networks record shard 0 throughout.
-func (nw *Network) addLink(l *link.Link, downShard, upShard int) {
+func (nw *Network) addLink(l *link.Link, downShard, upShard int, downID topology.NodeID) {
 	nw.links = append(nw.links, l)
-	nw.linkRecs = append(nw.linkRecs, linkRec{l: l, downShard: downShard, upShard: upShard})
+	nw.linkRecs = append(nw.linkRecs, linkRec{l: l, downShard: downShard, upShard: upShard, downID: downID})
 }
 
 // shardOfNode returns the shard owning node id's row (0 when sequential).

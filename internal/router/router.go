@@ -23,6 +23,7 @@ import (
 	"gathernoc/internal/ring"
 	"gathernoc/internal/sim"
 	"gathernoc/internal/stats"
+	"gathernoc/internal/telemetry"
 	"gathernoc/internal/topology"
 )
 
@@ -209,6 +210,11 @@ type Router struct {
 
 	wake *sim.Handle // engine wake-up, armed on flit/credit arrival
 
+	// probe, when non-nil, records sampled pipeline-stage events for the
+	// flit-lifecycle tracer. Every hook is behind a nil-check, so the
+	// telemetry-off path does no extra work (DESIGN.md §11).
+	probe *telemetry.Probe
+
 	// Stage occupancy counters, maintained incrementally so Tick can skip
 	// whole pipeline stages (and Idle can answer) in O(1) instead of
 	// scanning every (port, VC) ring. They never influence *what* a stage
@@ -258,6 +264,25 @@ func (r *Router) SetWake(h *sim.Handle) { r.wake = h }
 // acquired from it and forked originals released back. Routers work
 // without one (a nil pool falls back to the garbage collector).
 func (r *Router) SetFlitPool(p *flit.Pool) { r.pool = p }
+
+// SetTelemetry attaches the owning shard's telemetry probe (nil disables
+// tracing; the default).
+func (r *Router) SetTelemetry(p *telemetry.Probe) { r.probe = p }
+
+// MaxVCOccupancy returns the deepest input VC buffer in flits — the
+// congestion gauge the telemetry epoch collector snapshots alongside the
+// total occupancy.
+func (r *Router) MaxVCOccupancy() int {
+	m := 0
+	for p := 0; p < topology.NumPorts; p++ {
+		for v := range r.inputs[p] {
+			if n := r.inputs[p][v].buf.Len(); n > m {
+				m = n
+			}
+		}
+	}
+	return m
+}
 
 // Idle implements sim.Idler: with every input buffer empty the router's
 // tick is a pure no-op (stages only act on buffered flits, the SA arbiters
@@ -386,7 +411,7 @@ func (r *Router) Tick(cycle int64) {
 		return
 	}
 	if r.loads > 0 {
-		r.gatherUploadStage()
+		r.gatherUploadStage(cycle)
 	}
 	if r.active > 0 {
 		r.switchStage(cycle)
@@ -394,7 +419,7 @@ func (r *Router) Tick(cycle int64) {
 	if r.vaPending > 0 {
 		r.vaStage(cycle)
 	}
-	r.rcStage()
+	r.rcStage(cycle)
 }
 
 // gatherUploadStage writes reserved payloads into head-of-buffer body/tail
@@ -402,7 +427,7 @@ func (r *Router) Tick(cycle int64) {
 // head-of-buffer accumulate flits (the INA merge). Per Sec. IV this reuses
 // the RC/VA slots that body flits leave idle, so it costs no extra cycles:
 // the upload or merge happens while the flit waits for switch allocation.
-func (r *Router) gatherUploadStage() {
+func (r *Router) gatherUploadStage(cycle int64) {
 	for p := 0; p < topology.NumPorts; p++ {
 		for v := range r.inputs[p] {
 			vc := &r.inputs[p][v]
@@ -412,6 +437,10 @@ func (r *Router) gatherUploadStage() {
 					f.AddPayload(vc.gatherEntry.Operand()) {
 					r.station.Complete(vc.gatherEntry)
 					r.Counters.GatherUploads.Inc()
+					if r.probe != nil && r.probe.Sampled(f.PacketID) {
+						r.probe.Emit(telemetry.Event{Cycle: cycle, Kind: telemetry.EvGatherUpload,
+							Packet: f.PacketID, Tag: f.Tag, Loc: int32(r.id), Aux: int64(f.Payloads[len(f.Payloads)-1].Src)})
+					}
 					vc.gatherEntry = nil
 					vc.gatherLoad = false
 					r.loads--
@@ -423,6 +452,10 @@ func (r *Router) gatherUploadStage() {
 					f.MergePayload(vc.reduceEntry.Operand()) {
 					r.rstation.Complete(vc.reduceEntry)
 					r.Counters.ReduceMerges.Inc()
+					if r.probe != nil && r.probe.Sampled(f.PacketID) {
+						r.probe.Emit(telemetry.Event{Cycle: cycle, Kind: telemetry.EvReduceMerge,
+							Packet: f.PacketID, Tag: f.Tag, Loc: int32(r.id), Aux: int64(vc.reduceEntry.Operand().Src)})
+					}
 					vc.reduceEntry = nil
 					vc.reduceLoad = false
 					r.loads--
@@ -435,7 +468,7 @@ func (r *Router) gatherUploadStage() {
 // rcStage starts and completes route computation for heads of newly
 // arrived packets, and runs the Gather Load Generator on gather headers
 // (Algorithm 1, lines 1-4).
-func (r *Router) rcStage() {
+func (r *Router) rcStage(cycle int64) {
 	for p := 0; p < topology.NumPorts; p++ {
 		for v := range r.inputs[p] {
 			vc := &r.inputs[p][v]
@@ -448,21 +481,21 @@ func (r *Router) rcStage() {
 				vc.stage = vcRC
 				vc.wait = r.cfg.RCDelay - 1
 				if vc.wait == 0 {
-					r.completeRC(vc)
+					r.completeRC(vc, cycle)
 				}
 			case vcRC:
 				if vc.wait > 0 {
 					vc.wait--
 				}
 				if vc.wait == 0 {
-					r.completeRC(vc)
+					r.completeRC(vc, cycle)
 				}
 			}
 		}
 	}
 }
 
-func (r *Router) completeRC(vc *inputVC) {
+func (r *Router) completeRC(vc *inputVC, cycle int64) {
 	f := vc.head()
 	rt := r.route(r.id, f)
 	vc.vcClass = rt.VCClass
@@ -479,6 +512,10 @@ func (r *Router) completeRC(vc *inputVC) {
 		}
 	}
 	r.Counters.RCComputations.Inc()
+	if r.probe != nil && r.probe.Sampled(f.PacketID) {
+		r.probe.Emit(telemetry.Event{Cycle: cycle, Kind: telemetry.EvRC,
+			Packet: f.PacketID, Tag: f.Tag, Loc: int32(r.id)})
+	}
 
 	// Gather Load Generator: reserve the local payload against this packet
 	// and decrement ASpace in the header (Fig. 3b). The paper splits the
@@ -588,6 +625,10 @@ func (r *Router) vaStage(cycle int64) {
 			vc.stage = vcActive
 			r.vaPending--
 			r.active++
+			if r.probe != nil && f.IsHead() && r.probe.Sampled(f.PacketID) {
+				r.probe.Emit(telemetry.Event{Cycle: cycle, Kind: telemetry.EvVA,
+					Packet: f.PacketID, Tag: f.Tag, Loc: int32(r.id)})
+			}
 		}
 	}
 }
@@ -729,6 +770,10 @@ func (r *Router) switchStage(cycle int64) {
 		}
 		br.sent = true
 		r.Counters.Crossings.Inc()
+		if r.probe != nil && f.IsHead() && r.probe.Sampled(f.PacketID) {
+			r.probe.Emit(telemetry.Event{Cycle: cycle, Kind: telemetry.EvSA,
+				Packet: f.PacketID, Tag: f.Tag, Loc: int32(r.id), Aux: int64(br.out)})
+		}
 
 		if f.IsTail() || f.Type == flit.HeadTail {
 			// Free the downstream VC at this branch once its copy of the

@@ -35,6 +35,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // Ticker is evaluated in phase 1 of every cycle. Implementations read
@@ -99,6 +100,12 @@ func (h *Handle) Wake() {
 // livelock diagnosis.
 var ErrMaxCyclesExceeded = errors.New("sim: max cycles exceeded")
 
+// ErrInterrupted reports that RunUntil stopped early because Interrupt was
+// called. The simulation is left at a clean cycle boundary: the interrupt
+// is honored between steps, never inside one, so harvested state (stats,
+// telemetry, profiles) is consistent.
+var ErrInterrupted = errors.New("sim: interrupted")
+
 // Adaptive-mode tuning: when at least adaptiveNum/adaptiveDen of the
 // registered components were awake in a tracked step, the engine runs the
 // next adaptiveBurst cycles naively (no awake checks, no Idle calls) and
@@ -136,6 +143,10 @@ type Engine struct {
 
 	evaluated uint64
 	skipped   uint64
+
+	// interrupted is set asynchronously (signal handlers) and polled by
+	// RunUntil at cycle boundaries; see Interrupt.
+	interrupted atomic.Bool
 }
 
 // NewEngine returns an empty engine at cycle 0.
@@ -316,13 +327,25 @@ func (e *Engine) Run(n int64) {
 	}
 }
 
+// Interrupt makes any in-progress or future RunUntil return ErrInterrupted
+// at the next cycle boundary. Safe to call from any goroutine (nocsim's
+// SIGINT handler uses it); the flag stays set so a run loop cannot race
+// past it.
+func (e *Engine) Interrupt() { e.interrupted.Store(true) }
+
+// Interrupted reports whether Interrupt has been called.
+func (e *Engine) Interrupted() bool { return e.interrupted.Load() }
+
 // RunUntil steps the simulation until done reports true (checked before
 // each step) or the budget of maxCycles additional cycles is exhausted.
 // It returns the cycle count at exit and ErrMaxCyclesExceeded on budget
-// exhaustion.
+// exhaustion, or ErrInterrupted if Interrupt was called.
 func (e *Engine) RunUntil(done func() bool, maxCycles int64) (int64, error) {
 	deadline := e.cycle + maxCycles
 	for !done() {
+		if e.interrupted.Load() {
+			return e.cycle, ErrInterrupted
+		}
 		if e.cycle >= deadline {
 			return e.cycle, fmt.Errorf("%w (budget %d)", ErrMaxCyclesExceeded, maxCycles)
 		}

@@ -102,11 +102,19 @@ func (s *Sample) Max() float64 {
 	return s.ensureSorted()[s.n-1]
 }
 
-// Percentile returns the p-th percentile (0 <= p <= 100) using
-// nearest-rank on the sorted observations, or 0 with no observations.
+// Percentile returns the p-th percentile using nearest-rank on the sorted
+// observations: the value at rank ceil(p/100 * n), so for n observations
+// Percentile(100k/n) is exactly the k-th smallest and no interpolation is
+// ever performed. Out-of-range p clamps (p <= 0 yields the minimum,
+// p >= 100 the maximum), an empty sample yields 0 for every p, and a NaN
+// p yields NaN — int(math.Ceil(NaN)) is platform-dependent, so it must
+// not reach the rank computation.
 func (s *Sample) Percentile(p float64) float64 {
 	if s.n == 0 {
 		return 0
+	}
+	if math.IsNaN(p) {
+		return math.NaN()
 	}
 	sorted := s.ensureSorted()
 	if p <= 0 {
@@ -118,6 +126,9 @@ func (s *Sample) Percentile(p float64) float64 {
 	rank := int(math.Ceil(p/100*float64(s.n))) - 1
 	if rank < 0 {
 		rank = 0
+	}
+	if rank >= s.n {
+		rank = s.n - 1
 	}
 	return sorted[rank]
 }

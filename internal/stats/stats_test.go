@@ -69,6 +69,65 @@ func TestSampleStdDev(t *testing.T) {
 	}
 }
 
+// TestPercentileTable pins the nearest-rank semantics edge by edge: the
+// telemetry epoch summaries lean on Percentile, so its behavior at p=0,
+// p=100, out-of-range and NaN p, and tiny samples is contract, not
+// accident.
+func TestPercentileTable(t *testing.T) {
+	tests := []struct {
+		name string
+		obs  []float64
+		p    float64
+		want float64
+	}{
+		{"empty p50", nil, 50, 0},
+		{"empty p0", nil, 0, 0},
+		{"empty p100", nil, 100, 0},
+		{"empty NaN", nil, math.NaN(), 0},
+		{"single p0", []float64{7}, 0, 7},
+		{"single p50", []float64{7}, 50, 7},
+		{"single p100", []float64{7}, 100, 7},
+		{"single tiny p", []float64{7}, 0.001, 7},
+		{"p0 is min", []float64{4, 1, 3}, 0, 1},
+		{"negative p clamps to min", []float64{4, 1, 3}, -10, 1},
+		{"p100 is max", []float64{4, 1, 3}, 100, 4},
+		{"p>100 clamps to max", []float64{4, 1, 3}, 250, 4},
+		{"-Inf clamps to min", []float64{4, 1, 3}, math.Inf(-1), 1},
+		{"+Inf clamps to max", []float64{4, 1, 3}, math.Inf(1), 4},
+		// Nearest-rank on n=4: rank = ceil(p/100*4), no interpolation.
+		{"n=4 p25 -> 1st", []float64{10, 20, 30, 40}, 25, 10},
+		{"n=4 p25+eps -> 2nd", []float64{10, 20, 30, 40}, 25.0001, 20},
+		{"n=4 p50 -> 2nd", []float64{10, 20, 30, 40}, 50, 20},
+		{"n=4 p75 -> 3rd", []float64{10, 20, 30, 40}, 75, 30},
+		{"n=4 p99 -> 4th", []float64{10, 20, 30, 40}, 99, 40},
+		{"n=5 p50 -> 3rd", []float64{10, 20, 30, 40, 50}, 50, 30},
+		{"duplicates p50", []float64{5, 5, 5, 1}, 50, 5},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			var s Sample
+			for _, v := range tc.obs {
+				s.Observe(v)
+			}
+			if got := s.Percentile(tc.p); got != tc.want {
+				t.Errorf("Percentile(%v) over %v = %v, want %v", tc.p, tc.obs, got, tc.want)
+			}
+		})
+	}
+}
+
+// A NaN p must not panic or produce a platform-dependent rank; it yields
+// NaN on a non-empty sample.
+func TestPercentileNaNP(t *testing.T) {
+	var s Sample
+	for _, v := range []float64{1, 2, 3} {
+		s.Observe(v)
+	}
+	if got := s.Percentile(math.NaN()); !math.IsNaN(got) {
+		t.Errorf("Percentile(NaN) = %v, want NaN", got)
+	}
+}
+
 // Property: percentiles are monotone in p and bracketed by min/max.
 func TestPercentileMonotone(t *testing.T) {
 	f := func(raw []float64) bool {

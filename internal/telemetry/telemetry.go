@@ -1,0 +1,511 @@
+// Package telemetry is the simulator's observability layer (DESIGN.md
+// §11): an epoch metrics collector that snapshots deltas of the counters
+// the components already keep into preallocated per-shard time-series
+// rings, and a flit-lifecycle tracer that records sampled per-packet
+// pipeline events into bounded per-shard buffers. Both are off by default
+// and purely observational — probes read component state and write only
+// their own buffers, so enabling telemetry never changes a schedule, and
+// a disabled network carries no probe at all (every hook is behind a
+// nil-check).
+//
+// Ownership follows the sharded engine's partition (DESIGN.md §9): each
+// shard gets its own Probe, written only by the goroutine that ticks and
+// commits that shard, plus one serial probe for events emitted on the
+// serial sub-phase (workload phase boundaries). The epoch snapshot runs
+// as the last committer of each shard, after every counter write the
+// shard performs that cycle, so the merged series is identical for every
+// shard count, sequential engine included.
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+
+	"gathernoc/internal/flit"
+)
+
+// Config enables and sizes the telemetry subsystem. The zero value
+// disables everything; a Config reaches the network through
+// noc.Config.Telemetry.
+type Config struct {
+	// Epoch is the metrics snapshot period in cycles; <= 0 disables the
+	// epoch collector (the tracer may still run).
+	Epoch int64
+	// TraceSample enables the flit-lifecycle tracer, sampling one in N
+	// packets (by a hash of the packet id, so the sampled set is
+	// identical for every shard count); 0 disables tracing, 1 traces
+	// every packet.
+	TraceSample uint64
+	// MaxEpochs bounds each probe's time-series ring (0 = 1024 epochs,
+	// i.e. 256K cycles of history at the default period); older epochs
+	// are overwritten, keeping the most recent window. The ring is
+	// preallocated at Start and costs 8 bytes per epoch per field, so
+	// large fabrics with long windows should size this deliberately.
+	MaxEpochs int
+	// MaxEvents bounds each probe's event buffer (0 = 65536 events);
+	// events past the bound are dropped and counted in
+	// Report.DroppedEvents.
+	MaxEvents int
+}
+
+// DefaultConfig returns the default-sampling telemetry configuration the
+// CLIs enable: 256-cycle epochs, one traced packet in 64.
+func DefaultConfig() Config {
+	return Config{Epoch: 256, TraceSample: 64}
+}
+
+// Enabled reports whether the config turns any telemetry on.
+func (c Config) Enabled() bool { return c.Epoch > 0 || c.TraceSample > 0 }
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.MaxEpochs < 0:
+		return fmt.Errorf("telemetry: MaxEpochs must be >= 0, got %d", c.MaxEpochs)
+	case c.MaxEvents < 0:
+		return fmt.Errorf("telemetry: MaxEvents must be >= 0, got %d", c.MaxEvents)
+	}
+	return nil
+}
+
+func (c Config) maxEpochs() int {
+	if c.MaxEpochs > 0 {
+		return c.MaxEpochs
+	}
+	return 1024
+}
+
+func (c Config) maxEvents() int {
+	if c.MaxEvents > 0 {
+		return c.MaxEvents
+	}
+	return 65536
+}
+
+// EventKind identifies one step of a packet's lifecycle (or a workload
+// phase boundary). The numeric order is part of the canonical event sort,
+// so kinds follow pipeline order.
+type EventKind uint8
+
+const (
+	// EvInject: the packet entered its source injection queue (back-dated
+	// from the ejected packet's InjectCycle; Loc = source node, Aux =
+	// destination node).
+	EvInject EventKind = iota + 1
+	// EvNetwork: the head flit left the NIC into the router (back-dated;
+	// Loc = source node).
+	EvNetwork
+	// EvRC: route computation completed for the head at a router
+	// (Loc = router node).
+	EvRC
+	// EvVA: the packet secured downstream VCs on every branch
+	// (Loc = router node).
+	EvVA
+	// EvSA: the head flit won switch allocation and crossed toward an
+	// output (Loc = router node, Aux = output port).
+	EvSA
+	// EvLink: a link delivered the head flit downstream (Loc = the
+	// downstream endpoint's node or sink id).
+	EvLink
+	// EvHead: the head flit reached its ejection point (back-dated;
+	// Loc = ejector id).
+	EvHead
+	// EvEject: the tail drained and the packet completed reassembly
+	// (Loc = ejector id, Aux = hop count).
+	EvEject
+	// EvGatherUpload: a passing gather packet picked up a payload
+	// (Loc = router node, Aux = payload source node).
+	EvGatherUpload
+	// EvReduceMerge: an INA merge folded an operand into a passing
+	// accumulate packet (Loc = router node, Aux = operand source node).
+	EvReduceMerge
+	// EvPhaseStart / EvPhaseInjected / EvPhaseDrained are workload phase
+	// boundaries emitted on the serial sub-phase (Loc = job index,
+	// Aux = phase index; Packet = 0).
+	EvPhaseStart
+	EvPhaseInjected
+	EvPhaseDrained
+)
+
+// String returns the kind's Chrome-trace stage label.
+func (k EventKind) String() string {
+	switch k {
+	case EvInject:
+		return "inject"
+	case EvNetwork:
+		return "network"
+	case EvRC:
+		return "rc"
+	case EvVA:
+		return "va"
+	case EvSA:
+		return "sa"
+	case EvLink:
+		return "link"
+	case EvHead:
+		return "head"
+	case EvEject:
+		return "eject"
+	case EvGatherUpload:
+		return "gather-upload"
+	case EvReduceMerge:
+		return "ina-merge"
+	case EvPhaseStart:
+		return "phase-start"
+	case EvPhaseInjected:
+		return "phase-injected"
+	case EvPhaseDrained:
+		return "phase-drained"
+	}
+	return "unknown"
+}
+
+// Event is one recorded lifecycle step. Events are fixed-size values so
+// the per-probe buffers are flat preallocated arrays.
+type Event struct {
+	// Cycle is when the step happened (ejection-side steps of a packet
+	// are back-dated from the timestamps the flits carry).
+	Cycle int64
+	// Packet is the network-unique packet id (0 for phase events).
+	Packet uint64
+	// Tag carries the workload job/phase (zero for untagged traffic).
+	Tag flit.Tag
+	// Kind is the lifecycle step.
+	Kind EventKind
+	// Loc locates the step: a node id, an ejector/sink id, or a job
+	// index for phase events.
+	Loc int32
+	// Aux is kind-specific (see the EventKind docs).
+	Aux int64
+}
+
+// Field names one metric of a source. Gauge fields snapshot the current
+// value each epoch; non-gauge fields snapshot the delta since the
+// previous epoch.
+type Field struct {
+	Name  string
+	Gauge bool
+}
+
+// SourceMeta identifies one metrics source in exports: a router, link,
+// NIC, sink or pool, with its grid position where applicable (Row/Col are
+// -1 for sources without one).
+type SourceMeta struct {
+	Kind string
+	ID   int
+	Name string
+	Row  int
+	Col  int
+}
+
+// ReadFn writes the source's current cumulative counter values into dst
+// (len(dst) == len(fields)). It runs on the owning shard's goroutine at
+// epoch boundaries, after all of that shard's writes for the cycle.
+type ReadFn func(dst []int64)
+
+type source struct {
+	meta   SourceMeta
+	fields []Field
+	read   ReadFn
+	prev   []int64
+	cur    []int64
+}
+
+// Probe is the single-writer recording endpoint for one shard (or the
+// serial sub-phase). Components hold a *Probe and guard every hook with a
+// nil-check, so a telemetry-off network pays nothing.
+type Probe struct {
+	c       *Collector
+	sources []source
+
+	// Event buffer: a flat preallocated slice, appended until full.
+	events  []Event
+	dropped uint64
+
+	// Epoch ring (see Collector.Harvest for the merge):
+	stride    int     // fields across all sources
+	vals      []int64 // maxEpochs * stride, slot-major
+	epochIdx  []int64 // epoch index per slot
+	epochEnd  []int64 // inclusive end cycle per slot
+	head, cnt int
+	lastEnd   int64 // last snapshotted end cycle (-1 before the first)
+}
+
+// Sampled reports whether packet id pid is in the traced sample. The
+// predicate hashes the id, so it is independent of the shard count (ids
+// are striped per NIC) and spreads the sample across sources.
+func (p *Probe) Sampled(pid uint64) bool {
+	n := p.c.cfg.TraceSample
+	if n <= 1 {
+		return n == 1
+	}
+	x := pid * 0x9E3779B97F4A7C15
+	x ^= x >> 33
+	return x%n == 0
+}
+
+// Emit records one event; when the buffer is full the event is dropped
+// and counted. Callers must hold the probe's single-writer role (the
+// owning shard's goroutine, or the serial sub-phase).
+func (p *Probe) Emit(ev Event) {
+	if len(p.events) == cap(p.events) {
+		p.dropped++
+		return
+	}
+	p.events = append(p.events, ev)
+}
+
+// snapshot records one epoch row: every source's counters are read and
+// delta-ed (or copied, for gauges) into the next ring slot.
+func (p *Probe) snapshot(epoch, endCycle int64) {
+	if p.stride == 0 {
+		p.lastEnd = endCycle
+		return
+	}
+	slot := p.head
+	p.head++
+	if p.head == len(p.epochIdx) {
+		p.head = 0
+	}
+	if p.cnt < len(p.epochIdx) {
+		p.cnt++
+	}
+	p.epochIdx[slot] = epoch
+	p.epochEnd[slot] = endCycle
+	base := slot * p.stride
+	off := 0
+	for i := range p.sources {
+		s := &p.sources[i]
+		s.read(s.cur)
+		for j := range s.fields {
+			v := s.cur[j]
+			if s.fields[j].Gauge {
+				p.vals[base+off] = v
+			} else {
+				p.vals[base+off] = v - s.prev[j]
+				s.prev[j] = v
+			}
+			off++
+		}
+	}
+	p.lastEnd = endCycle
+}
+
+// EpochCommitter is the per-shard component that triggers epoch
+// snapshots. The network registers it as the last committer of its shard,
+// so it observes every counter the shard wrote that cycle. It
+// intentionally does not implement sim.Idler: the sleep/wake engine must
+// evaluate it every cycle or epoch boundaries would be missed.
+type EpochCommitter struct {
+	p     *Probe
+	epoch int64
+}
+
+// Commit snapshots an epoch row when cycle is the epoch's last cycle.
+func (ec *EpochCommitter) Commit(cycle int64) {
+	if (cycle+1)%ec.epoch == 0 {
+		ec.p.snapshot((cycle+1)/ec.epoch-1, cycle)
+	}
+}
+
+// Collector owns the per-shard probes and merges them at harvest.
+// Construction order: New, AddSource/ShardProbe/SerialProbe wiring, then
+// Start (which preallocates every ring) before the first cycle runs.
+type Collector struct {
+	cfg    Config
+	probes []*Probe // [0..shards-1] shard probes, [shards] serial
+}
+
+// New returns a collector for a fabric partitioned into shards (>= 1;
+// sequential networks pass 1).
+func New(cfg Config, shards int) *Collector {
+	if shards < 1 {
+		shards = 1
+	}
+	c := &Collector{cfg: cfg, probes: make([]*Probe, shards+1)}
+	for i := range c.probes {
+		c.probes[i] = &Probe{c: c}
+	}
+	return c
+}
+
+// Config returns the collector's configuration.
+func (c *Collector) Config() Config { return c.cfg }
+
+// Tracing reports whether the flit-lifecycle tracer is on.
+func (c *Collector) Tracing() bool { return c.cfg.TraceSample > 0 }
+
+// ShardProbe returns shard s's single-writer probe.
+func (c *Collector) ShardProbe(s int) *Probe { return c.probes[s] }
+
+// SerialProbe returns the probe for events emitted on the serial
+// sub-phase (workload phase boundaries), where cross-shard order is
+// already deterministic.
+func (c *Collector) SerialProbe() *Probe { return c.probes[len(c.probes)-1] }
+
+// AddSource registers one metrics source with shard s's probe. Must be
+// called before Start; read runs on s's goroutine at epoch boundaries.
+func (c *Collector) AddSource(s int, meta SourceMeta, fields []Field, read ReadFn) {
+	p := c.probes[s]
+	p.sources = append(p.sources, source{
+		meta:   meta,
+		fields: fields,
+		read:   read,
+		prev:   make([]int64, len(fields)),
+		cur:    make([]int64, len(fields)),
+	})
+}
+
+// EpochCommitter returns shard s's snapshot trigger, or nil when the
+// epoch collector is disabled. The network registers it after the shard's
+// links so the snapshot sees the cycle's complete counter state.
+func (c *Collector) EpochCommitter(s int) *EpochCommitter {
+	if c.cfg.Epoch <= 0 {
+		return nil
+	}
+	return &EpochCommitter{p: c.probes[s], epoch: c.cfg.Epoch}
+}
+
+// Start preallocates every probe's rings. Call once, after all sources
+// are registered and before the first cycle; from then on telemetry
+// allocates nothing.
+func (c *Collector) Start() {
+	for _, p := range c.probes {
+		p.lastEnd = -1
+		if c.cfg.TraceSample > 0 {
+			p.events = make([]Event, 0, c.cfg.maxEvents())
+		}
+		if c.cfg.Epoch > 0 {
+			for i := range p.sources {
+				p.stride += len(p.sources[i].fields)
+			}
+			if p.stride > 0 {
+				n := c.cfg.maxEpochs()
+				p.vals = make([]int64, n*p.stride)
+				p.epochIdx = make([]int64, n)
+				p.epochEnd = make([]int64, n)
+			}
+		}
+	}
+}
+
+// SourceSeries is one source's merged epoch series: Values[i] holds the
+// source's field values for the i-th retained epoch (aligned with
+// Report.EpochIndex).
+type SourceSeries struct {
+	Meta   SourceMeta
+	Fields []Field
+	Values [][]int64
+}
+
+// Report is a harvested run's telemetry: the merged epoch series in
+// canonical source order and the canonically sorted trace events.
+type Report struct {
+	// Epoch is the snapshot period; 0 when the epoch collector was off.
+	Epoch int64
+	// EpochIndex[i] is the i-th retained epoch's index; EpochEnd[i] its
+	// inclusive end cycle (the final epoch may be partial).
+	EpochIndex []int64
+	EpochEnd   []int64
+	// Sources holds one series per registered source, sorted by
+	// (kind, id, first field name).
+	Sources []SourceSeries
+	// Events holds every recorded trace event, sorted by
+	// (cycle, packet, kind, loc, aux) — identical for every shard count
+	// as long as no probe overflowed.
+	Events []Event
+	// DroppedEvents counts events lost to full buffers (overflowing runs
+	// are still usable but no longer shard-count-invariant).
+	DroppedEvents uint64
+}
+
+// Harvest flushes a final partial epoch (when cycles ran past the last
+// boundary), merges the per-shard rings in canonical order, and sorts the
+// event streams. Call once, after the run, from the coordinating
+// goroutine. finalCycle is the engine's completed-cycle count.
+func (c *Collector) Harvest(finalCycle int64) *Report {
+	r := &Report{Epoch: c.cfg.Epoch}
+	if c.cfg.Epoch > 0 && finalCycle > 0 {
+		for _, p := range c.probes {
+			if p.lastEnd < finalCycle-1 {
+				p.snapshot((finalCycle-1)/c.cfg.Epoch, finalCycle-1)
+			}
+		}
+	}
+
+	// Epoch axis: every snapping probe recorded the same slots; take the
+	// axis from the first probe with a ring.
+	for _, p := range c.probes {
+		if p.stride == 0 {
+			continue
+		}
+		r.EpochIndex = make([]int64, p.cnt)
+		r.EpochEnd = make([]int64, p.cnt)
+		for i := 0; i < p.cnt; i++ {
+			slot := p.slotAt(i)
+			r.EpochIndex[i] = p.epochIdx[slot]
+			r.EpochEnd[i] = p.epochEnd[slot]
+		}
+		break
+	}
+
+	for _, p := range c.probes {
+		base := 0
+		for i := range p.sources {
+			s := &p.sources[i]
+			ss := SourceSeries{Meta: s.meta, Fields: s.fields, Values: make([][]int64, p.cnt)}
+			for e := 0; e < p.cnt; e++ {
+				slot := p.slotAt(e)
+				row := p.vals[slot*p.stride+base : slot*p.stride+base+len(s.fields)]
+				ss.Values[e] = row
+			}
+			r.Sources = append(r.Sources, ss)
+			base += len(s.fields)
+		}
+		r.Events = append(r.Events, p.events...)
+		r.DroppedEvents += p.dropped
+	}
+	sort.Slice(r.Sources, func(i, j int) bool {
+		a, b := &r.Sources[i], &r.Sources[j]
+		if a.Meta.Kind != b.Meta.Kind {
+			return a.Meta.Kind < b.Meta.Kind
+		}
+		if a.Meta.ID != b.Meta.ID {
+			return a.Meta.ID < b.Meta.ID
+		}
+		return firstField(a.Fields) < firstField(b.Fields)
+	})
+	sort.Slice(r.Events, func(i, j int) bool {
+		a, b := &r.Events[i], &r.Events[j]
+		if a.Cycle != b.Cycle {
+			return a.Cycle < b.Cycle
+		}
+		if a.Packet != b.Packet {
+			return a.Packet < b.Packet
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.Loc != b.Loc {
+			return a.Loc < b.Loc
+		}
+		return a.Aux < b.Aux
+	})
+	return r
+}
+
+// slotAt translates retained-epoch index i (0 = oldest) to a ring slot.
+func (p *Probe) slotAt(i int) int {
+	slot := p.head - p.cnt + i
+	if slot < 0 {
+		slot += len(p.epochIdx)
+	}
+	return slot
+}
+
+func firstField(fs []Field) string {
+	if len(fs) == 0 {
+		return ""
+	}
+	return fs[0].Name
+}

@@ -1,0 +1,372 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"gathernoc/internal/flit"
+)
+
+func TestConfigEnabled(t *testing.T) {
+	cases := []struct {
+		cfg  Config
+		want bool
+	}{
+		{Config{}, false},
+		{Config{Epoch: 256}, true},
+		{Config{TraceSample: 1}, true},
+		{Config{Epoch: 64, TraceSample: 8}, true},
+		{Config{MaxEpochs: 16, MaxEvents: 16}, false}, // bounds alone enable nothing
+	}
+	for _, c := range cases {
+		if got := c.cfg.Enabled(); got != c.want {
+			t.Errorf("%+v Enabled() = %v, want %v", c.cfg, got, c.want)
+		}
+	}
+	if DefaultConfig() != (Config{Epoch: 256, TraceSample: 64}) {
+		t.Errorf("DefaultConfig() = %+v", DefaultConfig())
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{Epoch: 256, TraceSample: 64}).Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	if err := (Config{MaxEpochs: -1}).Validate(); err == nil {
+		t.Error("negative MaxEpochs accepted")
+	}
+	if err := (Config{MaxEvents: -1}).Validate(); err == nil {
+		t.Error("negative MaxEvents accepted")
+	}
+}
+
+// TestSampledSpreadsAcrossStripedIDs pins the hash-based sampling
+// predicate: packet ids are striped per NIC (node i issues i, i+64,
+// i+128, ...), so a naive pid%N==0 would sample one node's packets only.
+// The hash must instead pick roughly 1/N of each node's stripe.
+func TestSampledSpreadsAcrossStripedIDs(t *testing.T) {
+	c := New(Config{TraceSample: 16}, 1)
+	p := c.ShardProbe(0)
+	const nodes, perNode = 64, 256
+	nodesHit := 0
+	total := 0
+	for n := 0; n < nodes; n++ {
+		hits := 0
+		for k := 0; k < perNode; k++ {
+			if p.Sampled(uint64(n + k*nodes)) {
+				hits++
+			}
+		}
+		if hits > 0 {
+			nodesHit++
+		}
+		total += hits
+	}
+	if nodesHit < nodes/2 {
+		t.Errorf("sample concentrated: only %d of %d nodes have sampled packets", nodesHit, nodes)
+	}
+	want := nodes * perNode / 16
+	if total < want/2 || total > want*2 {
+		t.Errorf("sample rate off: %d of %d sampled, want ~%d", total, nodes*perNode, want)
+	}
+}
+
+func TestSampledEdgeRates(t *testing.T) {
+	all := New(Config{TraceSample: 1}, 1).ShardProbe(0)
+	none := New(Config{TraceSample: 0}, 1).ShardProbe(0)
+	for pid := uint64(0); pid < 100; pid++ {
+		if !all.Sampled(pid) {
+			t.Fatalf("TraceSample=1 skipped packet %d", pid)
+		}
+		if none.Sampled(pid) {
+			t.Fatalf("TraceSample=0 sampled packet %d", pid)
+		}
+	}
+}
+
+func TestEmitOverflowCountsDrops(t *testing.T) {
+	c := New(Config{TraceSample: 1, MaxEvents: 4}, 1)
+	c.Start()
+	p := c.ShardProbe(0)
+	for i := 0; i < 10; i++ {
+		p.Emit(Event{Cycle: int64(i), Packet: uint64(i), Kind: EvInject})
+	}
+	rep := c.Harvest(10)
+	if len(rep.Events) != 4 {
+		t.Errorf("kept %d events, want 4", len(rep.Events))
+	}
+	if rep.DroppedEvents != 6 {
+		t.Errorf("DroppedEvents = %d, want 6", rep.DroppedEvents)
+	}
+}
+
+// collectorWithSource builds a one-shard collector with a single
+// two-field source (one delta counter, one gauge) backed by the returned
+// slice: [0] is the cumulative counter, [1] the gauge.
+func collectorWithSource(cfg Config) (*Collector, []int64) {
+	c := New(cfg, 1)
+	state := make([]int64, 2)
+	c.AddSource(0, SourceMeta{Kind: "router", ID: 3, Name: "r3", Row: 0, Col: 3},
+		[]Field{{Name: "writes"}, {Name: "occupancy", Gauge: true}},
+		func(dst []int64) { copy(dst, state) })
+	c.Start()
+	return c, state
+}
+
+// TestSnapshotDeltaVsGauge drives epoch boundaries by hand and checks the
+// delta field reports per-epoch differences while the gauge field reports
+// the instantaneous value.
+func TestSnapshotDeltaVsGauge(t *testing.T) {
+	c, state := collectorWithSource(Config{Epoch: 4})
+	ec := c.EpochCommitter(0)
+	for cycle := int64(0); cycle < 12; cycle++ {
+		state[0] += 2 // counter advances 2/cycle => 8/epoch
+		state[1] = cycle
+		ec.Commit(cycle)
+	}
+	rep := c.Harvest(12)
+	if len(rep.EpochIndex) != 3 {
+		t.Fatalf("retained %d epochs, want 3", len(rep.EpochIndex))
+	}
+	ss := rep.Sources[0]
+	for e := 0; e < 3; e++ {
+		if rep.EpochIndex[e] != int64(e) || rep.EpochEnd[e] != int64(e*4+3) {
+			t.Errorf("epoch %d axis = (%d, %d), want (%d, %d)",
+				e, rep.EpochIndex[e], rep.EpochEnd[e], e, e*4+3)
+		}
+		if ss.Values[e][0] != 8 {
+			t.Errorf("epoch %d delta = %d, want 8", e, ss.Values[e][0])
+		}
+		if ss.Values[e][1] != int64(e*4+3) {
+			t.Errorf("epoch %d gauge = %d, want %d", e, ss.Values[e][1], e*4+3)
+		}
+	}
+}
+
+// TestEpochRingWrap bounds the series: with MaxEpochs=2 only the newest
+// two epochs survive, indices intact.
+func TestEpochRingWrap(t *testing.T) {
+	c, state := collectorWithSource(Config{Epoch: 2, MaxEpochs: 2})
+	ec := c.EpochCommitter(0)
+	for cycle := int64(0); cycle < 10; cycle++ {
+		state[0]++
+		ec.Commit(cycle)
+	}
+	rep := c.Harvest(10)
+	if len(rep.EpochIndex) != 2 {
+		t.Fatalf("retained %d epochs, want 2", len(rep.EpochIndex))
+	}
+	if rep.EpochIndex[0] != 3 || rep.EpochIndex[1] != 4 {
+		t.Errorf("retained epochs %v, want [3 4]", rep.EpochIndex)
+	}
+	if rep.EpochEnd[0] != 7 || rep.EpochEnd[1] != 9 {
+		t.Errorf("epoch ends %v, want [7 9]", rep.EpochEnd)
+	}
+}
+
+// TestHarvestFlushesPartialEpoch: a run that stops between boundaries
+// still reports the tail cycles as a final short epoch.
+func TestHarvestFlushesPartialEpoch(t *testing.T) {
+	c, state := collectorWithSource(Config{Epoch: 4})
+	ec := c.EpochCommitter(0)
+	for cycle := int64(0); cycle < 6; cycle++ {
+		state[0]++
+		ec.Commit(cycle)
+	}
+	rep := c.Harvest(6)
+	if len(rep.EpochIndex) != 2 {
+		t.Fatalf("retained %d epochs, want full + partial", len(rep.EpochIndex))
+	}
+	if rep.EpochIndex[1] != 1 || rep.EpochEnd[1] != 5 {
+		t.Errorf("partial epoch = (%d, %d), want (1, 5)", rep.EpochIndex[1], rep.EpochEnd[1])
+	}
+	ss := rep.Sources[0]
+	if ss.Values[0][0] != 4 || ss.Values[1][0] != 2 {
+		t.Errorf("deltas = [%d %d], want [4 2]", ss.Values[0][0], ss.Values[1][0])
+	}
+	// Harvesting exactly at a boundary must not add an empty epoch.
+	c2, state2 := collectorWithSource(Config{Epoch: 4})
+	ec2 := c2.EpochCommitter(0)
+	for cycle := int64(0); cycle < 4; cycle++ {
+		state2[0]++
+		ec2.Commit(cycle)
+	}
+	if rep2 := c2.Harvest(4); len(rep2.EpochIndex) != 1 {
+		t.Errorf("boundary harvest retained %d epochs, want 1", len(rep2.EpochIndex))
+	}
+}
+
+// TestHarvestCanonicalOrder scrambles sources across two shard probes and
+// events across probes and cycles, then checks Harvest's canonical sorts:
+// sources by (kind, id, first field), events by (cycle, packet, kind, loc,
+// aux). These orders are what makes exports shard-count-invariant.
+func TestHarvestCanonicalOrder(t *testing.T) {
+	c := New(Config{Epoch: 8, TraceSample: 1}, 2)
+	zero := func(dst []int64) { dst[0] = 0 }
+	c.AddSource(1, SourceMeta{Kind: "router", ID: 9}, []Field{{Name: "writes"}}, zero)
+	c.AddSource(0, SourceMeta{Kind: "nic", ID: 2}, []Field{{Name: "injected"}}, zero)
+	c.AddSource(0, SourceMeta{Kind: "link", ID: 5}, []Field{{Name: "flits"}}, zero)
+	c.AddSource(1, SourceMeta{Kind: "link", ID: 5}, []Field{{Name: "credits"}}, zero)
+	c.AddSource(0, SourceMeta{Kind: "router", ID: 1}, []Field{{Name: "writes"}}, zero)
+	c.Start()
+
+	c.ShardProbe(1).Emit(Event{Cycle: 7, Packet: 1, Kind: EvRC, Loc: 4})
+	c.ShardProbe(0).Emit(Event{Cycle: 3, Packet: 2, Kind: EvSA, Loc: 1})
+	c.ShardProbe(0).Emit(Event{Cycle: 3, Packet: 1, Kind: EvLink, Loc: 6})
+	c.ShardProbe(1).Emit(Event{Cycle: 3, Packet: 1, Kind: EvRC, Loc: 6})
+	c.SerialProbe().Emit(Event{Cycle: 3, Packet: 1, Kind: EvRC, Loc: 2})
+
+	rep := c.Harvest(8)
+	var order []string
+	for _, ss := range rep.Sources {
+		order = append(order, ss.Meta.Kind+"/"+ss.Fields[0].Name)
+	}
+	want := []string{"link/credits", "link/flits", "nic/injected", "router/writes", "router/writes"}
+	if !reflect.DeepEqual(order, want) {
+		t.Errorf("source order %v, want %v", order, want)
+	}
+	if rep.Sources[3].Meta.ID != 1 || rep.Sources[4].Meta.ID != 9 {
+		t.Errorf("router ids out of order: %d then %d", rep.Sources[3].Meta.ID, rep.Sources[4].Meta.ID)
+	}
+	wantEv := []Event{
+		{Cycle: 3, Packet: 1, Kind: EvRC, Loc: 2},
+		{Cycle: 3, Packet: 1, Kind: EvRC, Loc: 6},
+		{Cycle: 3, Packet: 1, Kind: EvLink, Loc: 6},
+		{Cycle: 3, Packet: 2, Kind: EvSA, Loc: 1},
+		{Cycle: 7, Packet: 1, Kind: EvRC, Loc: 4},
+	}
+	if !reflect.DeepEqual(rep.Events, wantEv) {
+		t.Errorf("event order:\n got %+v\nwant %+v", rep.Events, wantEv)
+	}
+}
+
+func TestMetricsCSVRoundTrip(t *testing.T) {
+	c, state := collectorWithSource(Config{Epoch: 4})
+	ec := c.EpochCommitter(0)
+	for cycle := int64(0); cycle < 8; cycle++ {
+		state[0] += 3
+		state[1] = cycle
+		ec.Commit(cycle)
+	}
+	rep := c.Harvest(8)
+
+	var buf bytes.Buffer
+	if err := rep.WriteMetricsCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if want := 1 + 2*2; len(lines) != want { // header + epochs x fields
+		t.Fatalf("CSV has %d lines, want %d:\n%s", len(lines), want, buf.String())
+	}
+	// Delta rows carry a per_cycle rate; gauge rows leave it empty.
+	if !strings.Contains(buf.String(), "router,3,r3,0,3,writes,12,3.0000") {
+		t.Errorf("delta row missing per-cycle rate:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "occupancy,3,\n") && !strings.Contains(buf.String(), "occupancy,7,\n") {
+		t.Errorf("gauge rows should leave per_cycle empty:\n%s", buf.String())
+	}
+
+	pts, err := ReadMetricsCSV(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 {
+		t.Fatalf("parsed %d points, want 4", len(pts))
+	}
+	p := pts[0]
+	if p.Epoch != 0 || p.Cycle != 3 || p.Kind != "router" || p.ID != 3 ||
+		p.Name != "r3" || p.Row != 0 || p.Col != 3 || p.Field != "writes" || p.Value != 12 {
+		t.Errorf("first point = %+v", p)
+	}
+	if _, err := ReadMetricsCSV(strings.NewReader("not,a,metrics\nfile,0,0\n")); err == nil {
+		t.Error("non-metrics CSV accepted")
+	}
+}
+
+// chromeTrace mirrors the JSON layout Perfetto's Chrome-trace importer
+// reads; the exporter's output must unmarshal into it.
+type chromeTrace struct {
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+	TraceEvents     []struct {
+		Name string         `json:"name"`
+		Ph   string         `json:"ph"`
+		Ts   int64          `json:"ts"`
+		Pid  int64          `json:"pid"`
+		Tid  int64          `json:"tid"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+}
+
+func TestChromeTraceExport(t *testing.T) {
+	c := New(Config{TraceSample: 1}, 1)
+	c.Start()
+	p := c.ShardProbe(0)
+	tag := flit.NewTag(1, 2)
+	p.Emit(Event{Cycle: 10, Packet: 42, Tag: tag, Kind: EvInject, Loc: 0, Aux: 5})
+	p.Emit(Event{Cycle: 12, Packet: 42, Tag: tag, Kind: EvRC, Loc: 0})
+	p.Emit(Event{Cycle: 14, Packet: 42, Tag: tag, Kind: EvGatherUpload, Loc: 3, Aux: 2})
+	p.Emit(Event{Cycle: 18, Packet: 42, Tag: tag, Kind: EvEject, Loc: 5, Aux: 4})
+	sp := c.SerialProbe()
+	sp.Emit(Event{Cycle: 0, Kind: EvPhaseStart, Tag: tag, Loc: 1, Aux: 2})
+	sp.Emit(Event{Cycle: 30, Kind: EvPhaseDrained, Tag: tag, Loc: 1, Aux: 2})
+	rep := c.Harvest(31)
+
+	var buf bytes.Buffer
+	if err := rep.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var tr chromeTrace
+	if err := json.Unmarshal(buf.Bytes(), &tr); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	counts := map[string]int{}
+	for _, ev := range tr.TraceEvents {
+		counts[ev.Ph]++
+	}
+	// One async span pair, two stage slices (inject, rc), one collective
+	// instant, one phase slice, plus metadata records.
+	if counts["b"] != 1 || counts["e"] != 1 {
+		t.Errorf("span begin/end = %d/%d, want 1/1", counts["b"], counts["e"])
+	}
+	if counts["X"] != 3 {
+		t.Errorf("%d complete slices, want 3 (2 stages + 1 phase)", counts["X"])
+	}
+	if counts["i"] != 1 {
+		t.Errorf("%d instants, want 1 gather-upload", counts["i"])
+	}
+	if counts["M"] == 0 {
+		t.Error("no metadata records")
+	}
+	var sawPhase, sawJobArg bool
+	for _, ev := range tr.TraceEvents {
+		if ev.Name == "job1/phase2" && ev.Ph == "X" && ev.Ts == 0 && ev.Tid == 0 {
+			sawPhase = true
+		}
+		if ev.Name == "packet" && ev.Ph == "b" {
+			// Tag job fields are offset by one (0 = untagged), so tag
+			// job 1 is scheduler job 0.
+			if job, ok := ev.Args["job"].(float64); !ok || int(job) != 0 {
+				t.Errorf("packet span job arg = %v, want 0", ev.Args["job"])
+			}
+			sawJobArg = true
+		}
+	}
+	if !sawPhase {
+		t.Error("phase span job1/phase2 missing from schedule track")
+	}
+	if !sawJobArg {
+		t.Error("packet begin span missing")
+	}
+
+	// Byte determinism: a second export of the same report is identical.
+	var buf2 bytes.Buffer
+	if err := rep.WriteChromeTrace(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Error("two exports of one report differ")
+	}
+}

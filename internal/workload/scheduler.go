@@ -7,6 +7,7 @@ import (
 	"gathernoc/internal/nic"
 	"gathernoc/internal/noc"
 	"gathernoc/internal/stats"
+	"gathernoc/internal/telemetry"
 	"gathernoc/internal/topology"
 )
 
@@ -80,6 +81,11 @@ type Scheduler struct {
 	started   bool
 	remaining int // phases not yet drained, across all jobs
 
+	// probe records phase-boundary telemetry events (nil without tracing).
+	// Scheduler ticks run on the engine's serial sub-phase, so the serial
+	// probe is the right single-writer endpoint for any shard count.
+	probe *telemetry.Probe
+
 	// orphanPackets counts delivered packets whose tag names no scheduled
 	// phase (untagged background traffic injected outside the scheduler);
 	// orphanPayloads counts foreign-routed payloads whose owner either
@@ -107,6 +113,9 @@ func New(nw *noc.Network, jobs []Job) (*Scheduler, error) {
 		return nil, fmt.Errorf("workload: %d jobs exceeds the tag limit of %d", len(jobs), MaxJobs)
 	}
 	s := &Scheduler{nw: nw, jobs: make([]jobRun, len(jobs))}
+	if tc := nw.Telemetry(); tc != nil && tc.Tracing() {
+		s.probe = tc.SerialProbe()
+	}
 	for j, job := range jobs {
 		if len(job.Phases) == 0 {
 			return nil, fmt.Errorf("workload: job %d (%s) has no phases", j, job.Name)
@@ -246,6 +255,7 @@ func (s *Scheduler) Tick(cycle int64) {
 				jr.started = true
 				jr.startAt = cycle
 			}
+			s.phaseEvent(telemetry.EvPhaseStart, j, i, cycle)
 			pr.driver.Start(cycle)
 		}
 		// Drive and harvest.
@@ -259,14 +269,17 @@ func (s *Scheduler) Tick(cycle int64) {
 			if !pr.injected && pr.driver.Injected() {
 				pr.injected = true
 				pr.injectedAt = cycle
+				s.phaseEvent(telemetry.EvPhaseInjected, j, i, cycle)
 			}
 			if pr.driver.Drained() {
 				pr.drained = true
 				if !pr.injected {
 					pr.injected = true
 					pr.injectedAt = cycle
+					s.phaseEvent(telemetry.EvPhaseInjected, j, i, cycle)
 				}
 				pr.drainedAt = cycle
+				s.phaseEvent(telemetry.EvPhaseDrained, j, i, cycle)
 				jr.remaining--
 				s.remaining--
 				if jr.remaining == 0 {
@@ -282,6 +295,16 @@ func (s *Scheduler) Tick(cycle int64) {
 	if ticked {
 		s.nw.ClearNICTags()
 	}
+}
+
+// phaseEvent records one phase-boundary trace event (no-op without a
+// probe). Loc carries the job index, Aux the phase index.
+func (s *Scheduler) phaseEvent(kind telemetry.EventKind, j, i int, cycle int64) {
+	if s.probe == nil {
+		return
+	}
+	s.probe.Emit(telemetry.Event{Cycle: cycle, Kind: kind, Tag: tagFor(j, i),
+		Loc: int32(j), Aux: int64(i)})
 }
 
 // Done reports whether every phase of every job has drained.

@@ -1,0 +1,152 @@
+package gathernoc
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"gathernoc/internal/noc"
+	"gathernoc/internal/telemetry"
+	"gathernoc/internal/traffic"
+	"gathernoc/internal/workload"
+)
+
+// telemetryRun drives the scheduler workload of the sharded-equivalence
+// suite — three concurrent tagged jobs on an 8x8 mesh — with telemetry
+// on, and returns the harvested report plus both rendered exports.
+func telemetryRun(t *testing.T, shards int) (*telemetry.Report, []byte, []byte) {
+	t.Helper()
+	cfg := noc.DefaultConfig(8, 8)
+	cfg.EastSinks = false
+	cfg.Shards = shards
+	cfg.Telemetry = &telemetry.Config{Epoch: 64, TraceSample: 4}
+	nw, err := noc.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	jobs := make([]workload.Job, 3)
+	for i := range jobs {
+		gen, err := traffic.NewGeneratorDriver(nw, traffic.GeneratorConfig{
+			Pattern:       traffic.UniformRandom{Nodes: 64},
+			InjectionRate: 0.02,
+			PacketFlits:   2,
+			Warmup:        100,
+			Measure:       400,
+			Seed:          int64(i + 1),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs[i] = workload.Job{
+			Name:   fmt.Sprintf("soak%d", i),
+			Phases: []workload.Phase{{Name: "uniform", Driver: gen}},
+		}
+	}
+	s, err := workload.New(nw, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	rep := nw.HarvestTelemetry()
+	if rep == nil {
+		t.Fatal("telemetry enabled but HarvestTelemetry returned nil")
+	}
+	var csv, trace bytes.Buffer
+	if err := rep.WriteMetricsCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.WriteChromeTrace(&trace); err != nil {
+		t.Fatal(err)
+	}
+	return rep, csv.Bytes(), trace.Bytes()
+}
+
+// TestTelemetryShardInvariance is the observability twin of the sharded
+// bit-identity matrix (DESIGN.md §11): the same workload with telemetry
+// on must harvest the identical epoch series and — after the canonical
+// event sort — the identical trace stream at every shard count, down to
+// the exported bytes. Hash-based packet sampling and the per-shard
+// single-writer probes are what this pins; it runs under -race in CI so
+// a cross-shard probe write fails even when the bytes happen to match.
+func TestTelemetryShardInvariance(t *testing.T) {
+	seqRep, seqCSV, seqTrace := telemetryRun(t, 0)
+	if seqRep.DroppedEvents != 0 {
+		t.Fatalf("sequential run dropped %d events; grow MaxEvents, the comparison needs the full stream", seqRep.DroppedEvents)
+	}
+	if len(seqRep.EpochIndex) == 0 || len(seqRep.Events) == 0 {
+		t.Fatalf("sequential run harvested %d epochs, %d events — workload did not exercise telemetry",
+			len(seqRep.EpochIndex), len(seqRep.Events))
+	}
+	for _, shards := range shardMatrix() {
+		shards := shards
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			rep, csv, trace := telemetryRun(t, shards)
+			if rep.DroppedEvents != 0 {
+				t.Fatalf("dropped %d events", rep.DroppedEvents)
+			}
+			if len(rep.Events) != len(seqRep.Events) {
+				t.Errorf("event count diverged: sequential %d, sharded %d", len(seqRep.Events), len(rep.Events))
+			}
+			for i := range rep.Events {
+				if i < len(seqRep.Events) && rep.Events[i] != seqRep.Events[i] {
+					t.Errorf("event %d diverged:\nsequential %+v\nsharded    %+v", i, seqRep.Events[i], rep.Events[i])
+					break
+				}
+			}
+			if !bytes.Equal(csv, seqCSV) {
+				t.Error("metrics CSV diverged from the sequential engine")
+			}
+			if !bytes.Equal(trace, seqTrace) {
+				t.Error("Chrome trace JSON diverged from the sequential engine")
+			}
+		})
+	}
+}
+
+// TestTelemetryOffIsIdentical pins the zero-cost-off contract: a network
+// with no Telemetry config and one with a nil-equivalent disabled config
+// produce the same schedule as each other (the golden and equivalence
+// suites already pin the off-schedule itself; here the point is that the
+// disabled config wires no probes at all).
+func TestTelemetryOffIsIdentical(t *testing.T) {
+	run := func(tcfg *telemetry.Config) noc.Activity {
+		cfg := noc.DefaultConfig(8, 8)
+		cfg.EastSinks = false
+		cfg.Telemetry = tcfg
+		nw, err := noc.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer nw.Close()
+		gen, err := traffic.NewGenerator(nw, traffic.GeneratorConfig{
+			Pattern:       traffic.UniformRandom{Nodes: 64},
+			InjectionRate: 0.05,
+			PacketFlits:   2,
+			Warmup:        100,
+			Measure:       400,
+			Seed:          3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := gen.Run(1_000_000); err != nil {
+			t.Fatal(err)
+		}
+		if rep := nw.HarvestTelemetry(); rep != nil && tcfg == nil {
+			t.Fatal("nil telemetry config produced a report")
+		}
+		return nw.Activity()
+	}
+	off := run(nil)
+	disabled := run(&telemetry.Config{}) // zero value: Enabled() == false
+	if off != disabled {
+		t.Errorf("disabled-config schedule diverged:\nnil      %+v\ndisabled %+v", off, disabled)
+	}
+	on := run(&telemetry.Config{Epoch: 64, TraceSample: 8})
+	if off != on {
+		t.Errorf("telemetry-on schedule diverged (must be purely observational):\noff %+v\non  %+v", off, on)
+	}
+}
