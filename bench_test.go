@@ -16,6 +16,7 @@ import (
 	"gathernoc/internal/cnn"
 	"gathernoc/internal/core"
 	"gathernoc/internal/experiments"
+	"gathernoc/internal/fault"
 	"gathernoc/internal/noc"
 	"gathernoc/internal/systolic"
 	"gathernoc/internal/telemetry"
@@ -338,6 +339,60 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 		b.Run(tc.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if err := runTelemetryOverheadPoint(tc.tcfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// runFaultOverheadPoint is the workload BenchmarkFaultOverhead and
+// benchreport's FaultOverhead family share: the same 8x8 uniform-traffic
+// run as the telemetry pair, fault-free (fcfg nil, the configuration
+// every published number uses) or with a 1% transient drop schedule and
+// the full recovery stack armed (DESIGN.md §12).
+func runFaultOverheadPoint(fcfg *fault.Config) error {
+	cfg := noc.DefaultConfig(8, 8)
+	cfg.EastSinks = false
+	cfg.Faults = fcfg
+	nw, err := noc.New(cfg)
+	if err != nil {
+		return err
+	}
+	defer nw.Close()
+	gen, err := traffic.NewGenerator(nw, traffic.GeneratorConfig{
+		Pattern:       traffic.UniformRandom{Nodes: 64},
+		InjectionRate: 0.05,
+		PacketFlits:   2,
+		Warmup:        100,
+		Measure:       9900,
+		Seed:          1,
+	})
+	if err != nil {
+		return err
+	}
+	_, err = gen.Run(1_000_000)
+	return err
+}
+
+// BenchmarkFaultOverhead prices the reliability layer: the identical
+// workload on a fault-free fabric versus one with a 1% transient drop
+// schedule, per-link decision state, credit flushers and fault-aware
+// ejectors all armed. The "off" leg is the hot path every prior
+// benchmark exercises — its only new cost is the nil checks the fault
+// hooks hide behind, bounded at < 2% against the PR7 baseline.
+func BenchmarkFaultOverhead(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		fcfg *fault.Config
+	}{
+		{"off", nil},
+		{"on", &fault.Config{Seed: 1, DropRate: 0.01, CorruptRate: 0.0025}},
+	} {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := runFaultOverheadPoint(tc.fcfg); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -44,6 +44,7 @@ import (
 
 	"gathernoc/internal/cnn"
 	"gathernoc/internal/experiments"
+	"gathernoc/internal/fault"
 	"gathernoc/internal/noc"
 	"gathernoc/internal/telemetry"
 	"gathernoc/internal/traffic"
@@ -382,6 +383,60 @@ func run(args []string, w io.Writer) error {
 			})
 			var metrics map[string]float64
 			if tc.tcfg == nil {
+				offNs = r.NsPerOp()
+			} else if offNs > 0 {
+				metrics = map[string]float64{
+					"overhead_pct": (float64(r.NsPerOp()) - float64(offNs)) / float64(offNs) * 100,
+				}
+			}
+			report.Benchmarks = append(report.Benchmarks, toResult(tc.name, r, metrics))
+		}
+	}
+	// Fault-injection overhead: the identical run fault-free and with a 1%
+	// transient drop schedule plus the full recovery stack (DESIGN.md §12).
+	// The "off" leg is the configuration every published number uses — its
+	// nil-check cost against the previous snapshot is the < 2% acceptance
+	// bar — and the "on" entry records overhead_pct against it, pricing
+	// per-link fault decisions, credit flushers, fault-aware ejectors and
+	// the reliability hub together.
+	{
+		var offNs int64
+		for _, tc := range []struct {
+			name string
+			fcfg *fault.Config
+		}{
+			{"FaultOverhead/off", nil},
+			{"FaultOverhead/on", &fault.Config{Seed: 1, DropRate: 0.01, CorruptRate: 0.0025}},
+		} {
+			r := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					cfg := noc.DefaultConfig(8, 8)
+					cfg.EastSinks = false
+					cfg.Faults = tc.fcfg
+					nw, err := noc.New(cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					gen, err := traffic.NewGenerator(nw, traffic.GeneratorConfig{
+						Pattern:       traffic.UniformRandom{Nodes: 64},
+						InjectionRate: 0.05,
+						PacketFlits:   2,
+						Warmup:        100,
+						Measure:       9900,
+						Seed:          1,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if _, err := gen.Run(1_000_000); err != nil {
+						b.Fatal(err)
+					}
+					nw.Close()
+				}
+			})
+			var metrics map[string]float64
+			if tc.fcfg == nil {
 				offNs = r.NsPerOp()
 			} else if offNs > 0 {
 				metrics = map[string]float64{

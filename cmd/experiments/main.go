@@ -11,6 +11,7 @@
 // Artifacts:  table1 table2 table3 fig1 fig7 fig8 fig9 fig10
 // Ablations:  delta eta gathervc vcs depth sinkcost skew routing
 // Extensions: ina topology dataflow mixed streaming fullmodel fullvgg
+// Reliability: faults (collection-scheme degradation under transient loss)
 // Workloads:  pipeline (whole-model barrier/overlap vs analytic; -model)
 // and multijob (batched inferences + background traffic; -jobs/-overlap)
 package main
@@ -45,7 +46,7 @@ type artifact struct {
 
 func run(ctx context.Context, args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "artifact to regenerate (all, table1, table2, table3, fig1, fig7, fig8, fig9, fig10, delta, eta, gathervc, vcs, depth, sinkcost, skew, routing, ina, topology, dataflow, mixed, streaming, fullmodel, fullvgg, pipeline, multijob)")
+	exp := fs.String("exp", "all", "artifact to regenerate (all, table1, table2, table3, fig1, fig7, fig8, fig9, fig10, delta, eta, gathervc, vcs, depth, sinkcost, skew, routing, ina, topology, dataflow, mixed, streaming, fullmodel, fullvgg, faults, pipeline, multijob)")
 	rounds := fs.Int("rounds", 2, "systolic rounds to simulate per run")
 	format := fs.String("format", "text", "output format (text, json)")
 	workers := fs.Int("workers", 0, "parallel simulation workers per sweep (0 = GOMAXPROCS, 1 = serial)")
@@ -122,6 +123,13 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 				return nil, "", err
 			}
 			return rows, experiments.RenderMixedTraffic(rows), nil
+		}},
+		{"faults", func() (any, string, error) {
+			rows, err := experiments.FaultSweep(opts)
+			if err != nil {
+				return nil, "", err
+			}
+			return rows, experiments.RenderFaultSweep(rows), nil
 		}},
 		{"streaming", func() (any, string, error) {
 			r, err := experiments.StreamingOverNoC(64)

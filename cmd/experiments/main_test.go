@@ -119,3 +119,14 @@ func TestRunPipelineArtifacts(t *testing.T) {
 		}
 	}
 }
+
+func TestRunFaultsArtifact(t *testing.T) {
+	var b strings.Builder
+	if err := run(context.Background(), []string{"-exp", "faults", "-rounds", "1"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "oracle-exact") || !strings.Contains(out, "retransmits") {
+		t.Errorf("faults output incomplete:\n%s", out)
+	}
+}

@@ -18,6 +18,14 @@
 //	nocsim -trace trace.json -metrics metrics.csv -epoch 256
 //	                                              # telemetry: Perfetto
 //	                                              # trace + epoch metrics
+//	nocsim -rate 0.02 -faultrate 0.001            # lossy links + recovery
+//	nocsim -ina -deadrouter 27@2000               # router dies at cycle 2000
+//	nocsim -rate 0.02 -deadlink "0>1,8>9@500:900" # scheduled link outages
+//
+// Fault injection (DESIGN.md §12) arms the end-to-end retransmission
+// machinery and, by default, the stall watchdog: a run wedged by a
+// partition exits non-zero with a structured diagnostic dump instead of
+// hanging, and the deferred profile/telemetry writers still flush.
 //
 // A long run answers SIGINT (ctrl-C) by stopping at the next cycle
 // boundary and flushing whatever artifacts were requested — profiles,
@@ -32,10 +40,14 @@ import (
 	"os"
 	"os/signal"
 	"runtime/pprof"
+	"strconv"
+	"strings"
 
+	"gathernoc/internal/fault"
 	"gathernoc/internal/noc"
 	"gathernoc/internal/sim"
 	"gathernoc/internal/telemetry"
+	"gathernoc/internal/topology"
 	"gathernoc/internal/traffic"
 	"gathernoc/internal/workload"
 )
@@ -80,6 +92,12 @@ func run(args []string, w io.Writer) (err error) {
 		metricsOut = fs.String("metrics", "", "write per-epoch congestion/utilization metrics CSV to this file")
 		epoch      = fs.Int64("epoch", 256, "telemetry metrics snapshot period in cycles (with -metrics)")
 		traceEvery = fs.Uint64("tracesample", 64, "trace one packet in N (with -trace; 1 traces everything)")
+		faultRate  = fs.Float64("faultrate", 0, "transient flit drop probability per inter-router link traversal")
+		faultCorr  = fs.Float64("faultcorrupt", 0, "transient packet corruption probability per inter-router link traversal")
+		faultSeed  = fs.Uint64("faultseed", 1, "fault schedule seed")
+		deadRouter = fs.String("deadrouter", "", "router outages: node[@from[:until]], comma-separated (no until = permanent)")
+		deadLink   = fs.String("deadlink", "", "directed link outages: src>dst[@from[:until]], comma-separated")
+		watchdog   = fs.Int64("watchdog", 0, "stall watchdog window in cycles (0 = auto when faults are on, negative disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -124,6 +142,11 @@ func run(args []string, w io.Writer) (err error) {
 	cfg.AlwaysTick = *alwaysTick
 	cfg.Shards = *shards
 	cfg.EnableINA = *ina
+	fcfg, err := parseFaultFlags(*faultRate, *faultCorr, *faultSeed, *deadRouter, *deadLink)
+	if err != nil {
+		return err
+	}
+	cfg.Faults = fcfg
 	if *traceOut != "" || *metricsOut != "" {
 		tcfg := telemetry.Config{}
 		if *metricsOut != "" {
@@ -164,6 +187,16 @@ func run(args []string, w io.Writer) (err error) {
 		}
 	}()
 
+	// The watchdog arms automatically whenever fault injection is on (the
+	// window then defaults to four maximally backed-off retransmission
+	// intervals); an explicit positive -watchdog arms it unconditionally and
+	// a negative one disables it. A stall propagates as a *sim.StallError —
+	// non-zero exit, diagnostic dump — while the deferred writers above
+	// still flush the run's artifacts.
+	if *watchdog >= 0 && (*watchdog > 0 || nw.FaultInjector() != nil) {
+		nw.Engine().SetWatchdog(nw.Watchdog(*watchdog))
+	}
+
 	// interruptedOK maps a SIGINT-triggered stop to a clean exit (partial
 	// results were already reported; artifacts flush in the defers above).
 	interruptedOK := func(err error) error {
@@ -178,6 +211,7 @@ func run(args []string, w io.Writer) (err error) {
 		if err := interruptedOK(runPipeline(nw, *model, *jobs, *rounds, *overlap, *maxCycles, w)); err != nil {
 			return err
 		}
+		faultSummary(nw, w)
 		if *heatmap {
 			fmt.Fprint(w, nw.UtilizationHeatmap())
 		}
@@ -188,6 +222,7 @@ func run(args []string, w io.Writer) (err error) {
 		if err := interruptedOK(runINA(nw, *inaMode, *inaRounds, *maxCycles, w)); err != nil {
 			return err
 		}
+		faultSummary(nw, w)
 		if *heatmap {
 			fmt.Fprint(w, nw.UtilizationHeatmap())
 		}
@@ -198,6 +233,7 @@ func run(args []string, w io.Writer) (err error) {
 		if err := interruptedOK(replay(nw, *replayPath, *maxCycles, w)); err != nil {
 			return err
 		}
+		faultSummary(nw, w)
 		if *heatmap {
 			fmt.Fprint(w, nw.UtilizationHeatmap())
 		}
@@ -242,10 +278,95 @@ func run(args []string, w io.Writer) (err error) {
 		fmt.Fprintf(w, "evaluations    %d of %d (%.1f%% slept)\n",
 			eng.Evaluated(), total, float64(eng.Skipped())/float64(total)*100)
 	}
+	faultSummary(nw, w)
 	if *heatmap {
 		fmt.Fprint(w, nw.UtilizationHeatmap())
 	}
 	return nil
+}
+
+// parseFaultFlags compiles the fault CLI flags into a fault.Config, nil
+// when no fault source was requested (keeping the network bit-identical
+// to a fault-free build).
+func parseFaultFlags(rate, corrupt float64, seed uint64, deadRouters, deadLinks string) (*fault.Config, error) {
+	fc := &fault.Config{Seed: seed, DropRate: rate, CorruptRate: corrupt}
+	if deadRouters != "" {
+		for _, spec := range strings.Split(deadRouters, ",") {
+			name, win, err := parseOutageWindow(strings.TrimSpace(spec))
+			if err != nil {
+				return nil, fmt.Errorf("deadrouter: %w", err)
+			}
+			node, err := strconv.Atoi(name)
+			if err != nil {
+				return nil, fmt.Errorf("deadrouter %q: bad node id: %w", spec, err)
+			}
+			fc.Routers = append(fc.Routers, fault.RouterOutage{Node: node, Window: win})
+		}
+	}
+	if deadLinks != "" {
+		for _, spec := range strings.Split(deadLinks, ",") {
+			name, win, err := parseOutageWindow(strings.TrimSpace(spec))
+			if err != nil {
+				return nil, fmt.Errorf("deadlink: %w", err)
+			}
+			srcs, dsts, ok := strings.Cut(name, ">")
+			if !ok {
+				return nil, fmt.Errorf("deadlink %q: want src>dst[@from[:until]]", spec)
+			}
+			src, err := strconv.Atoi(srcs)
+			if err != nil {
+				return nil, fmt.Errorf("deadlink %q: bad source node: %w", spec, err)
+			}
+			dst, err := strconv.Atoi(dsts)
+			if err != nil {
+				return nil, fmt.Errorf("deadlink %q: bad destination node: %w", spec, err)
+			}
+			fc.Links = append(fc.Links, fault.LinkOutage{SrcNode: src, DstNode: dst, Window: win})
+		}
+	}
+	if !fc.Enabled() {
+		return nil, nil
+	}
+	return fc, nil
+}
+
+// parseOutageWindow splits an outage spec's optional "@from[:until]"
+// suffix; no suffix means permanent from cycle 0.
+func parseOutageWindow(spec string) (string, fault.Window, error) {
+	name, win, found := strings.Cut(spec, "@")
+	if !found {
+		return name, fault.Window{}, nil
+	}
+	var w fault.Window
+	from, until, hasUntil := strings.Cut(win, ":")
+	var err error
+	if w.From, err = strconv.ParseInt(from, 10, 64); err != nil {
+		return "", w, fmt.Errorf("outage %q: bad from cycle: %w", spec, err)
+	}
+	if hasUntil {
+		if w.Until, err = strconv.ParseInt(until, 10, 64); err != nil {
+			return "", w, fmt.Errorf("outage %q: bad until cycle: %w", spec, err)
+		}
+	}
+	return name, w, nil
+}
+
+// faultSummary prints the recovery accounting when fault injection was on:
+// what the injector destroyed and what the retransmission layer paid to
+// survive it.
+func faultSummary(nw *noc.Network, w io.Writer) {
+	inj := nw.FaultInjector()
+	if inj == nil {
+		return
+	}
+	var retr, abandoned uint64
+	for id := 0; id < nw.Topology().NumNodes(); id++ {
+		n := nw.NIC(topology.NodeID(id))
+		retr += n.Retransmits.Value()
+		abandoned += n.AbandonedPayloads.Value()
+	}
+	fmt.Fprintf(w, "faults         %d flits dropped, %d packets corrupted, %d retransmits, %d payloads abandoned\n",
+		inj.Drops(), inj.Corrupts(), retr, abandoned)
 }
 
 // runPipeline drives a whole-model CNN inference pipeline — one job per

@@ -2,11 +2,13 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"gathernoc/internal/sim"
 	"gathernoc/internal/telemetry"
 	"gathernoc/internal/traffic"
 )
@@ -264,5 +266,83 @@ func TestRunPipelineModel(t *testing.T) {
 	}
 	if err := run([]string{"-model", "lenet"}, &strings.Builder{}); err == nil {
 		t.Error("unknown model accepted")
+	}
+}
+
+// TestRunFaultSmoke drives the synthetic workload over lossy links: the
+// run must complete (payload-less synthetic packets simply die; nothing
+// retransmits them, so the network drains) and report the fault
+// accounting line.
+func TestRunFaultSmoke(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{
+		"-rows", "4", "-cols", "4", "-pattern", "uniform",
+		"-rate", "0.02", "-warmup", "100", "-measure", "500",
+		"-faultrate", "0.01", "-faultcorrupt", "0.005",
+	}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "faults") {
+		t.Errorf("output missing fault summary:\n%s", b.String())
+	}
+}
+
+// TestRunINAFaultRecovery checks the reliability path end to end from the
+// CLI: an INA accumulation run over lossy links must finish oracle-exact,
+// with the retransmissions that paid for it visible in the summary.
+func TestRunINAFaultRecovery(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{
+		"-rows", "4", "-cols", "4", "-ina", "-inamode", "ina", "-inarounds", "3",
+		"-faultrate", "0.05", "-faultseed", "9",
+	}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "oracle         exact row sums") {
+		t.Errorf("lossy INA run not oracle-exact:\n%s", out)
+	}
+	if !strings.Contains(out, "faults") {
+		t.Errorf("output missing fault summary:\n%s", out)
+	}
+}
+
+// TestRunWatchdogPartition seeds a permanent router outage that wedges the
+// accumulation workload and expects the auto-armed watchdog to convert
+// the hang into a stall error carrying the diagnostic dump.
+func TestRunWatchdogPartition(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{
+		"-rows", "4", "-cols", "4", "-ina", "-inamode", "unicast", "-inarounds", "1",
+		"-deadrouter", "5", "-watchdog", "2000",
+	}, &b)
+	if err == nil {
+		t.Fatalf("partitioned run completed:\n%s", b.String())
+	}
+	if !errors.Is(err, sim.ErrStalled) {
+		t.Fatalf("want sim.ErrStalled, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "fault totals") {
+		t.Errorf("stall error missing diagnostic dump: %v", err)
+	}
+}
+
+// TestRunRejectsBadFaultSpecs pins the outage spec parser's error paths.
+func TestRunRejectsBadFaultSpecs(t *testing.T) {
+	for _, args := range [][]string{
+		{"-deadrouter", "x"},
+		{"-deadrouter", "5@y"},
+		{"-deadrouter", "99"},
+		{"-deadlink", "5"},
+		{"-deadlink", "0>x"},
+		{"-deadlink", "0>1@3:z"},
+		{"-faultrate", "1.5"},
+	} {
+		var b strings.Builder
+		if err := run(append([]string{"-rows", "4", "-cols", "4"}, args...), &b); err == nil {
+			t.Errorf("%v: accepted", args)
+		}
 	}
 }

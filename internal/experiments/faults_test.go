@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFaultSweepDegradesGracefully(t *testing.T) {
+	rows, err := FaultSweep(Options{Rounds: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 15 {
+		t.Fatalf("rows = %d, want 15 (3 schemes x 5 rates)", len(rows))
+	}
+	for _, r := range rows {
+		if r.OracleErrors != 0 {
+			t.Errorf("%s @ %.3f: %d oracle errors", r.Scheme, r.DropRate, r.OracleErrors)
+		}
+		if r.DropRate == 0 {
+			if r.Drops != 0 || r.Retransmits != 0 {
+				t.Errorf("%s fault-free point shows recovery traffic: %+v", r.Scheme, r)
+			}
+			if r.Slowdown != 1 {
+				t.Errorf("%s fault-free slowdown = %.3f, want 1", r.Scheme, r.Slowdown)
+			}
+		}
+		if r.DropRate >= 0.02 {
+			if r.Drops == 0 {
+				t.Errorf("%s @ %.3f destroyed nothing", r.Scheme, r.DropRate)
+			}
+			if r.Retransmits == 0 {
+				t.Errorf("%s @ %.3f recovered nothing", r.Scheme, r.DropRate)
+			}
+			if r.Slowdown < 1 {
+				t.Errorf("%s @ %.3f slowdown %.3f below fault-free", r.Scheme, r.DropRate, r.Slowdown)
+			}
+		}
+	}
+	out := RenderFaultSweep(rows)
+	for _, frag := range []string{"unicast", "gather", "ina", "retransmits"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("render missing %q:\n%s", frag, out)
+		}
+	}
+}

@@ -205,6 +205,20 @@ type Flit struct {
 	// (len(Payloads) <= SlotCap).
 	Payloads []Payload
 
+	// Corrupted marks a flit damaged in flight by fault injection. The
+	// flit routes and consumes bandwidth normally; the ejector discards
+	// the whole reassembled packet (the receiver CRC model), leaving
+	// recovery to end-to-end retransmission.
+	Corrupted bool
+	// TrackOperands, on accumulate packets, keeps merged operands as
+	// separate payload entries instead of folding them into the
+	// accumulator (wire-length accounting is unchanged — the packet stays
+	// AccumulateFlits long). The end-to-end reliability layer needs
+	// per-operand identity at the ejector so retransmitted duplicates can
+	// be suppressed exactly; summing the entries reproduces the folded
+	// value bit for bit (wrap-around uint64 addition is associative).
+	TrackOperands bool
+
 	// InjectCycle is when the head entered the source injection queue.
 	InjectCycle int64
 	// NetworkCycle is when the flit first left the NIC into the router.
@@ -240,14 +254,24 @@ func (f *Flit) AddPayload(p Payload) bool {
 // the software reduction oracle) and its operand count absorbed. It
 // returns false without modifying the flit when the flit carries no
 // accumulator or the reduction IDs differ.
+//
+// With TrackOperands set (reliability-enabled fabrics) the operand is
+// appended as its own payload entry instead — same sum, same wire length,
+// but each operand keeps its Seq so the ejector can deduplicate
+// retransmissions.
 func (f *Flit) MergePayload(p Payload) bool {
 	if len(f.Payloads) == 0 {
 		return false
 	}
-	acc := &f.Payloads[0]
-	if acc.ReduceID != p.ReduceID {
+	if f.Payloads[0].ReduceID != p.ReduceID {
 		return false
 	}
+	if f.TrackOperands {
+		p.Ops = p.OpsCount()
+		f.Payloads = append(f.Payloads, p)
+		return true
+	}
+	acc := &f.Payloads[0]
 	acc.Value += p.Value
 	acc.Ops = acc.OpsCount() + p.OpsCount()
 	return true

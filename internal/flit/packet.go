@@ -31,6 +31,10 @@ type Packet struct {
 	// empty gather packet; required for accumulate packets, whose body
 	// flit carries the running sum).
 	Carried *Payload
+	// TrackOperands keeps merged operands of an accumulate packet as
+	// separate payload entries for end-to-end reliability (see
+	// Flit.TrackOperands). Set by reliability-enabled NICs only.
+	TrackOperands bool
 	// InjectCycle is when the packet entered the injection queue.
 	InjectCycle int64
 }
@@ -95,6 +99,7 @@ func PacketizeInto(dst []*Flit, p Packet, format *Format, pool *Pool) ([]*Flit, 
 		f.Src = p.Src
 		f.Dst = p.Dst
 		f.MDst = p.MDst
+		f.TrackOperands = p.TrackOperands
 		f.InjectCycle = p.InjectCycle
 		switch {
 		case p.Flits == 1:

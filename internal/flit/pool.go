@@ -45,6 +45,7 @@ type Pool struct {
 	acquired uint64
 	released uint64
 	misses   uint64 // Acquires that had to heap-allocate
+	drops    uint64 // Releases via ReleaseDropped (fault injection)
 }
 
 // NewPool returns an empty pool.
@@ -120,6 +121,33 @@ func (p *Pool) Release(f *Flit) {
 	payloads := f.Payloads[:0]
 	*f = Flit{Payloads: payloads}
 	p.free.Put(f)
+}
+
+// ReleaseDropped releases a flit that fault injection removed from the
+// fabric (dropped at a link, vanished in an outage window) and accounts
+// it separately: the flit returns to the freelist like any other release
+// — the leak checker must stay clean with faults enabled — while the
+// Drops counter lets conservation tests reconcile "flits injected" against
+// "flits delivered plus flits faulted away".
+func (p *Pool) ReleaseDropped(f *Flit) {
+	if p == nil {
+		return
+	}
+	p.drops++
+	p.Release(f)
+}
+
+// Drops returns how many flits were released through ReleaseDropped. On a
+// root it aggregates the shard views.
+func (p *Pool) Drops() uint64 {
+	if p == nil {
+		return 0
+	}
+	n := p.drops
+	for _, v := range p.views {
+		n += v.drops
+	}
+	return n
 }
 
 // Live returns the number of outstanding flits (acquired, not yet

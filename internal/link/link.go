@@ -10,6 +10,7 @@
 package link
 
 import (
+	"gathernoc/internal/fault"
 	"gathernoc/internal/flit"
 	"gathernoc/internal/ring"
 	"gathernoc/internal/sim"
@@ -59,6 +60,21 @@ type Link struct {
 	probe *telemetry.Probe
 	loc   int32 // downstream node id reported in trace events
 
+	// Fault injection (SetFaults; nil on fault-free fabrics). faults
+	// decides drops/corruption per flit during CommitFlits; pool reclaims
+	// dropped flits (the downstream shard's view — CommitFlits runs
+	// there); owedCredits accumulates, per VC, the credits the upstream
+	// spent on flits that vanished at this link. The credits cannot be
+	// pushed from the commit phase (the upstream shard pops the credit
+	// ring concurrently), so the flusher ticker returns them in the next
+	// tick phase — the same cycle offset as a downstream component that
+	// consumed the flit instantly.
+	faults      *fault.LinkState
+	pool        *flit.Pool
+	owedCredits []int
+	owedAny     bool
+	flushWake   *sim.Handle
+
 	// FlitsCarried counts flits that completed traversal, by the power
 	// model and utilization reports.
 	FlitsCarried stats.Counter
@@ -97,6 +113,63 @@ func (l *Link) SetWake(h *sim.Handle) { l.wake = h }
 func (l *Link) SetTelemetry(p *telemetry.Probe, loc int) {
 	l.probe = p
 	l.loc = int32(loc)
+}
+
+// SetFaults attaches fault-injection decision state and the flit-pool
+// view that reclaims dropped flits (the view owned by the shard that
+// commits this link's flits). Call before the first cycle; a link without
+// faults skips every fault check.
+func (l *Link) SetFaults(ls *fault.LinkState, pool *flit.Pool) {
+	l.faults = ls
+	l.pool = pool
+}
+
+// Faults returns the link's fault state (nil on fault-free fabrics).
+func (l *Link) Faults() *fault.LinkState { return l.faults }
+
+// CreditFlusher is the tick-phase companion of a faulted link: it returns
+// the credits owed for flits dropped during the previous commit phase.
+// Register it as a ticker on the shard that owns the link's downstream
+// endpoint (the same shard that runs CommitFlits), so the owed counters
+// have a single writer per phase.
+type CreditFlusher struct{ l *Link }
+
+// NewCreditFlusher returns the link's credit flusher.
+func (l *Link) NewCreditFlusher() *CreditFlusher { return &CreditFlusher{l: l} }
+
+// SetWake attaches the flusher's engine wake handle; CommitFlits arms it
+// when a drop leaves credits owed.
+func (cf *CreditFlusher) SetWake(h *sim.Handle) { cf.l.flushWake = h }
+
+// Idle implements sim.Idler: nothing owed means the tick is a no-op.
+func (cf *CreditFlusher) Idle() bool { return !cf.l.owedAny }
+
+// Tick returns every owed credit upstream via the normal staged credit
+// path (due next cycle), exactly as a downstream component that consumed
+// the dropped flit immediately would have.
+func (cf *CreditFlusher) Tick(cycle int64) {
+	l := cf.l
+	if !l.owedAny {
+		return
+	}
+	for vc, n := range l.owedCredits {
+		for ; n > 0; n-- {
+			l.ReturnCredit(vc, cycle)
+		}
+		l.owedCredits[vc] = 0
+	}
+	l.owedAny = false
+}
+
+// oweCredit records, during CommitFlits, one credit to return for a
+// dropped flit.
+func (l *Link) oweCredit(vc int) {
+	for len(l.owedCredits) <= vc {
+		l.owedCredits = append(l.owedCredits, 0)
+	}
+	l.owedCredits[vc]++
+	l.owedAny = true
+	l.flushWake.Wake()
 }
 
 // Idle implements sim.Idler: with nothing in flight the commit is a pure
@@ -141,6 +214,9 @@ func (l *Link) Commit(now int64) {
 func (l *Link) CommitFlits(now int64) {
 	for !l.flits.Empty() && l.flits.Front().due <= now {
 		in := l.flits.PopFront()
+		if l.faults != nil && l.faultFlit(in, now) {
+			continue
+		}
 		if l.probe != nil && in.f.IsHead() && l.probe.Sampled(in.f.PacketID) {
 			l.probe.Emit(telemetry.Event{Cycle: now, Kind: telemetry.EvLink,
 				Packet: in.f.PacketID, Tag: in.f.Tag, Loc: l.loc, Aux: int64(in.vc)})
@@ -148,6 +224,32 @@ func (l *Link) CommitFlits(now int64) {
 		l.down.AcceptFlit(in.f, in.vc)
 		l.FlitsCarried.Inc()
 	}
+}
+
+// faultFlit applies the link's fault schedule to a ripe flit. It reports
+// true when the flit was dropped (released to the pool, credit owed,
+// nothing delivered); corrupted flits are marked and travel on.
+func (l *Link) faultFlit(in inflightFlit, now int64) bool {
+	pid := in.f.PacketID
+	head, tail := in.f.IsHead(), in.f.IsTail()
+	if l.faults.DropFlit(pid, head, tail, now) {
+		if l.probe != nil && head && l.probe.Sampled(pid) {
+			l.probe.Emit(telemetry.Event{Cycle: now, Kind: telemetry.EvFaultDrop,
+				Packet: pid, Tag: in.f.Tag, Loc: l.loc, Aux: int64(in.vc)})
+		}
+		l.oweCredit(in.vc)
+		l.FlitsCarried.Inc() // the wire was traversed; the far end ate it
+		l.pool.ReleaseDropped(in.f)
+		return true
+	}
+	if l.faults.CorruptFlit(pid, head) {
+		in.f.Corrupted = true
+		if l.probe != nil && head && l.probe.Sampled(pid) {
+			l.probe.Emit(telemetry.Event{Cycle: now, Kind: telemetry.EvFaultCorrupt,
+				Packet: pid, Tag: in.f.Tag, Loc: l.loc, Aux: int64(in.vc)})
+		}
+	}
+	return false
 }
 
 // CommitCredits delivers the ripe credits to the upstream endpoint; see

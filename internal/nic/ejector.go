@@ -85,7 +85,18 @@ type partialPacket struct {
 	networkCycle int64
 	hops         int
 	headArrival  int64
+	corrupted    bool           // any flit arrived fault-corrupted
 	payloads     []flit.Payload // backing array reused across packets
+}
+
+// DeliveredPayload records one exactly-once payload delivery at an
+// ejection point: the payload's run-unique Seq and its source NIC. The
+// network's reliability hub drains these each cycle (serial sub-phase)
+// and confirms the matching retransmission-table entries — the simulator's
+// zero-cycle model of an end-to-end acknowledgment channel.
+type DeliveredPayload struct {
+	Seq uint64
+	Src topology.NodeID
 }
 
 // Ejector is the receive side of an ejection point: per-VC buffers fed by
@@ -132,11 +143,25 @@ type Ejector struct {
 	stagedPkt []stagedPacket
 	stagedPay []flit.Payload
 
+	// Fault awareness (SetFaultAware; nil/false on fault-free fabrics).
+	// seen records every payload Seq ever delivered here, so a slow
+	// original arriving after its retransmission (or vice versa) is
+	// suppressed — the exactly-once guarantee the reduction oracles
+	// depend on. delivered stages the cycle's confirmations for the
+	// reliability hub (DrainDelivered).
+	seen      map[uint64]struct{}
+	delivered []DeliveredPayload
+
 	// FlitsEjected counts drained flits; PacketsEjected completed packets.
 	FlitsEjected   stats.Counter
 	PacketsEjected stats.Counter
 	// PacketLatency samples end-to-end packet latencies in cycles.
 	PacketLatency stats.Sample
+	// PacketsDiscarded counts reassembled packets dropped by the receiver
+	// CRC model (a fault corrupted at least one flit); DuplicatesSuppressed
+	// counts payloads filtered by exactly-once dedup.
+	PacketsDiscarded     stats.Counter
+	DuplicatesSuppressed stats.Counter
 }
 
 // stagedPacket is one completed packet awaiting serial-phase dispatch.
@@ -198,6 +223,27 @@ func (e *Ejector) SetPacketOverhead(cycles int64) {
 // OnReceive registers the completed-packet callback. The *ReceivedPacket
 // argument is only valid during the callback; see ReceivedPacket.
 func (e *Ejector) OnReceive(fn func(*ReceivedPacket)) { e.recv = fn }
+
+// SetFaultAware switches on the receive-side recovery machinery:
+// corrupted packets are discarded on reassembly (the CRC model) and
+// payload deliveries are deduplicated by Seq and staged as confirmations
+// for the reliability hub. Off (the default) none of its state exists and
+// the assemble path is unchanged.
+func (e *Ejector) SetFaultAware() {
+	if e.seen == nil {
+		e.seen = make(map[uint64]struct{})
+	}
+}
+
+// DrainDelivered hands every payload delivery confirmed since the last
+// drain to fn, in delivery order, and clears the staging list. Called by
+// the network's reliability hub on the serial sub-phase.
+func (e *Ejector) DrainDelivered(fn func(DeliveredPayload)) {
+	for _, d := range e.delivered {
+		fn(d)
+	}
+	e.delivered = e.delivered[:0]
+}
 
 // AcceptFlit implements link.FlitSink.
 func (e *Ejector) AcceptFlit(f *flit.Flit, vc int) {
@@ -306,10 +352,22 @@ func (e *Ejector) assemble(f *flit.Flit, cycle int64) {
 		pp.hops = f.Hops
 	}
 	pp.payloads = append(pp.payloads, f.Payloads...)
+	pp.corrupted = pp.corrupted || f.Corrupted
 	isTail := f.IsTail()
 	e.pool.Release(f)
 	if !isTail {
 		return
+	}
+	if e.seen != nil && pp.corrupted {
+		// Receiver CRC check: the packet arrived damaged, so nothing is
+		// delivered and no payload is confirmed — the source's
+		// retransmission timer recovers the loss.
+		e.PacketsDiscarded.Inc()
+		e.releasePartial(pp)
+		return
+	}
+	if e.seen != nil && len(pp.payloads) > 0 {
+		pp.payloads = e.dedupPayloads(pp.payloads)
 	}
 	rp := &e.scratch
 	*rp = ReceivedPacket{
@@ -355,6 +413,24 @@ func (e *Ejector) assemble(f *flit.Flit, cycle int64) {
 	// staging arena); pp, whose payload array rp borrowed, may now be
 	// recycled.
 	e.releasePartial(pp)
+}
+
+// dedupPayloads enforces exactly-once delivery: payloads whose Seq was
+// already delivered here (a retransmission raced its slow original) are
+// filtered out in place, and fresh ones are marked seen and staged as
+// confirmations for the reliability hub.
+func (e *Ejector) dedupPayloads(payloads []flit.Payload) []flit.Payload {
+	kept := payloads[:0]
+	for _, p := range payloads {
+		if _, dup := e.seen[p.Seq]; dup {
+			e.DuplicatesSuppressed.Inc()
+			continue
+		}
+		e.seen[p.Seq] = struct{}{}
+		e.delivered = append(e.delivered, DeliveredPayload{Seq: p.Seq, Src: p.Src})
+		kept = append(kept, p)
+	}
+	return kept
 }
 
 // SetStaged switches the ejector to staged delivery: completed packets are

@@ -24,6 +24,7 @@ import (
 	"gathernoc/internal/router"
 	"gathernoc/internal/sim"
 	"gathernoc/internal/stats"
+	"gathernoc/internal/telemetry"
 	"gathernoc/internal/topology"
 )
 
@@ -166,6 +167,12 @@ type NIC struct {
 	clock sim.Clock
 	wake  *sim.Handle
 
+	// reliable, when enabled, tracks every payload this NIC sends until an
+	// ejector confirms delivery, retransmitting on timeout (reliable.go).
+	// probe records retransmission events in the lifecycle trace.
+	reliable *reliableTable
+	probe    *telemetry.Probe
+
 	// PacketsInjected / FlitsInjected count injection activity;
 	// SelfInitiatedGathers counts δ-timeout fallbacks; PiggybackAcks
 	// counts payloads picked up by passing gather packets. The INA twins:
@@ -177,6 +184,11 @@ type NIC struct {
 	PiggybackAcks        stats.Counter
 	SelfInitiatedReduces stats.Counter
 	MergeAcks            stats.Counter
+	// Retransmits counts timeout-driven resends of unconfirmed payloads;
+	// AbandonedPayloads counts payloads given up on after MaxRetries (only
+	// unreachable destinations abandon — see sweepReliable).
+	Retransmits       stats.Counter
+	AbandonedPayloads stats.Counter
 }
 
 // New constructs a NIC for node id attached to rtr. nextID must return
@@ -249,7 +261,8 @@ func (n *NIC) currentCycle() int64 {
 // deliveries).
 func (n *NIC) Idle() bool {
 	return n.streaming == 0 && n.queue.Len() == 0 &&
-		len(n.waiting) == 0 && len(n.rwaiting) == 0 && n.eject.Buffered() == 0
+		len(n.waiting) == 0 && len(n.rwaiting) == 0 && n.eject.Buffered() == 0 &&
+		(n.reliable == nil || len(n.reliable.entries) == 0)
 }
 
 // AcceptCredit implements link.CreditSink for the injection channel.
@@ -331,6 +344,9 @@ func (n *NIC) SendGather(dst topology.NodeID, own *flit.Payload) uint64 {
 // packet picks it up within δ cycles the NIC retracts it and initiates its
 // own gather packet to the payload's destination.
 func (n *NIC) SubmitGatherPayload(p flit.Payload) {
+	if n.reliable != nil {
+		n.track(p)
+	}
 	ok := n.rtr.OfferGatherPayload(p, n.gatherAckFn)
 	if !ok {
 		// Station full: fall back immediately.
@@ -402,6 +418,10 @@ func (n *NIC) SendAccumulate(dst topology.NodeID, reduceID uint64, own flit.Payl
 		GatherCapacity: n.cfg.ReduceCapacity,
 		ReduceID:       reduceID,
 		Carried:        &own,
+		// With end-to-end reliability on, merged operands stay separate
+		// payload entries so the ejector can suppress duplicates per
+		// operand (flit.MergePayload).
+		TrackOperands: n.reliable != nil,
 	})
 }
 
@@ -412,6 +432,9 @@ func (n *NIC) SendAccumulate(dst topology.NodeID, reduceID uint64, own flit.Payl
 func (n *NIC) SubmitReduceOperand(p flit.Payload) {
 	n.requireINA("SubmitReduceOperand")
 	p.Ops = p.OpsCount()
+	if n.reliable != nil {
+		n.track(p)
+	}
 	ok := n.rtr.OfferReduceOperand(p, n.reduceAckFn)
 	if !ok {
 		n.selfInitiateReduce(p)
@@ -426,7 +449,8 @@ func (n *NIC) SubmitReduceOperand(p flit.Payload) {
 func (n *NIC) Pending() bool {
 	return n.streaming > 0 || n.queue.Len() > 0 ||
 		len(n.waiting) > 0 || len(n.rwaiting) > 0 ||
-		n.eject.Buffered() > 0 || n.eject.PendingPackets() > 0
+		n.eject.Buffered() > 0 || n.eject.PendingPackets() > 0 ||
+		(n.reliable != nil && len(n.reliable.entries) > 0)
 }
 
 // Tick advances the NIC: δ timeouts, packet-to-VC binding, and one flit of
@@ -435,6 +459,7 @@ func (n *NIC) Tick(cycle int64) {
 	n.now = cycle
 	n.eject.Tick(cycle)
 	n.checkTimeouts()
+	n.sweepReliable()
 	n.bindPackets()
 	n.injectOne(cycle)
 }
@@ -486,6 +511,9 @@ func (n *NIC) enqueue(p flit.Packet) uint64 {
 	p.ID = n.nextID()
 	p.Tag = n.tag
 	p.InjectCycle = n.currentCycle()
+	if n.reliable != nil && p.Carried != nil {
+		n.track(*p.Carried)
+	}
 	n.queue.PushBack(p)
 	n.PacketsInjected.Inc()
 	n.wake.Wake()

@@ -5,6 +5,7 @@ import (
 	"slices"
 	"strings"
 
+	"gathernoc/internal/fault"
 	"gathernoc/internal/flit"
 	"gathernoc/internal/router"
 	"gathernoc/internal/telemetry"
@@ -103,6 +104,14 @@ type Config struct {
 	// schedules bit-identical to a telemetry-free build. The collector is
 	// purely observational, so schedules are identical with it on, too.
 	Telemetry *telemetry.Config
+	// Faults enables deterministic fault injection and the recovery
+	// machinery (DESIGN.md §12): seeded transient flit drops/corruption on
+	// the inter-router links, scheduled link and router outages, NIC-level
+	// end-to-end retransmission with duplicate suppression at the ejectors,
+	// and fault-aware adaptive routing. Nil (the default), or a config with
+	// no fault source, wires nothing — schedules stay bit-identical to a
+	// fault-free build at every shard count.
+	Faults *fault.Config
 	// SinkPacketOverhead is the per-packet write-transaction cost at the
 	// global buffer, in cycles: after a packet's tail is consumed, the
 	// buffer port stalls this long before accepting further flits. This
@@ -210,6 +219,9 @@ func (c Config) Validate() error {
 		if err := c.Telemetry.Validate(); err != nil {
 			return err
 		}
+	}
+	if err := c.Faults.Validate(); err != nil {
+		return err
 	}
 	return c.Router.Validate()
 }

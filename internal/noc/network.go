@@ -10,6 +10,7 @@ package noc
 import (
 	"fmt"
 
+	"gathernoc/internal/fault"
 	"gathernoc/internal/flit"
 	"gathernoc/internal/link"
 	"gathernoc/internal/nic"
@@ -80,16 +81,28 @@ type Network struct {
 	// tele is the telemetry collector, nil unless Config.Telemetry enables
 	// the observability layer (DESIGN.md §11).
 	tele *telemetry.Collector
+
+	// Fault-injection state (DESIGN.md §12), nil/zero unless Config.Faults
+	// is active: injector compiles the schedule, fabricLinks counts the
+	// inter-router prefix of linkRecs (the links transient rates apply to),
+	// and portFault indexes each fabric link's fault state by its upstream
+	// node and output port so route computation can mask dead ports.
+	injector    *fault.Injector
+	fabricLinks int
+	portFault   [][]*fault.LinkState
 }
 
 // linkRec records which shard owns each end of a link: downShard mutates
 // on flit delivery (the downstream input buffer), upShard on credit return
 // (the upstream output credit counters). downID is the downstream
-// endpoint's node (or sink) id, reported on link trace events.
+// endpoint's node (or sink) id, reported on link trace events; upID the
+// upstream one. outPort is the upstream router's output port, meaningful
+// only for the inter-router records (the first fabricLinks entries).
 type linkRec struct {
 	l                  *link.Link
 	downShard, upShard int
-	downID             topology.NodeID
+	downID, upID       topology.NodeID
+	outPort            topology.Port
 }
 
 // New builds and wires a network according to cfg.
@@ -189,6 +202,9 @@ func New(cfg Config) (*Network, error) {
 			nw.wireRouterPair(dst, src, p.Opposite())
 		}
 	}
+	// Everything wired so far is an inter-router link; fault injection's
+	// transient rates apply to this prefix of linkRecs only.
+	nw.fabricLinks = len(nw.linkRecs)
 
 	// NICs with injection/ejection channels.
 	nicCfg := nic.Config{
@@ -233,12 +249,12 @@ func New(cfg Config) (*Network, error) {
 		inj := link.New(fmt.Sprintf("inj%d", id), cfg.LinkLatency, rtr.InputSink(topology.LocalPort), n)
 		n.ConnectInjection(inj)
 		rtr.ConnectInput(topology.LocalPort, inj)
-		nw.addLink(inj, sh, sh, topology.NodeID(id))
+		nw.addLink(inj, sh, sh, topology.NodeID(id), topology.NodeID(id))
 
 		ej := link.New(fmt.Sprintf("ej%d", id), cfg.LinkLatency, n.Ejector(), rtr.CreditSink(topology.LocalPort))
 		rtr.ConnectOutput(topology.LocalPort, ej, cfg.Router.VCs, cfg.Router.BufferDepth)
 		n.Ejector().ConnectReverse(ej)
-		nw.addLink(ej, sh, sh, topology.NodeID(id))
+		nw.addLink(ej, sh, sh, topology.NodeID(id), topology.NodeID(id))
 	}
 
 	// Global-buffer sinks past the east edge (mesh only: Validate rejects
@@ -258,7 +274,7 @@ func New(cfg Config) (*Network, error) {
 			s.ej.ConnectReverse(l)
 			nw.sinks[row] = s
 			sh := nw.shardOfRow(row)
-			nw.addLink(l, sh, sh, s.id)
+			nw.addLink(l, sh, sh, s.id, edge.ID())
 		}
 	}
 
@@ -295,6 +311,11 @@ func New(cfg Config) (*Network, error) {
 		// nothing (the schedules are bit-identical either way; see
 		// sim.Engine.SetAdaptive).
 		nw.engine.SetAdaptive(true)
+	}
+	if cfg.Faults.Enabled() {
+		if err := nw.wireFaults(); err != nil {
+			return nil, err
+		}
 	}
 	if cfg.Telemetry != nil && cfg.Telemetry.Enabled() {
 		nw.wireTelemetry()
@@ -344,7 +365,14 @@ func (nw *Network) wireTelemetry() {
 	// shard: the forward flit count lives with the downstream committer,
 	// the credit count with the upstream one, so both reads stay on the
 	// goroutine that writes them.
+	// With fault injection active every component's field list grows the
+	// fault/recovery counters; a fault-free network keeps the original
+	// schema byte for byte.
+	faulty := nw.injector != nil
 	flitFields := []telemetry.Field{{Name: "flits"}}
+	if faulty {
+		flitFields = append(flitFields, telemetry.Field{Name: "fault_drops"}, telemetry.Field{Name: "fault_corrupts"})
+	}
 	creditFields := []telemetry.Field{{Name: "credits"}}
 	for i, rec := range nw.linkRecs {
 		if tracing {
@@ -354,6 +382,15 @@ func (nw *Network) wireTelemetry() {
 		l := rec.l
 		tc.AddSource(rec.downShard, meta, flitFields, func(dst []int64) {
 			dst[0] = int64(l.FlitsCarried.Value())
+			if len(dst) > 1 {
+				// The fault counters are written by the same shard that
+				// commits the link's flits, so the snapshot read is safe.
+				if ls := l.Faults(); ls != nil {
+					dst[1], dst[2] = int64(ls.Drops), int64(ls.Corrupts)
+				} else {
+					dst[1], dst[2] = 0, 0
+				}
+			}
 		})
 		tc.AddSource(rec.upShard, meta, creditFields, func(dst []int64) {
 			dst[0] = int64(l.CreditsCarried.Value())
@@ -365,10 +402,17 @@ func (nw *Network) wireTelemetry() {
 		{Name: "packets_ejected"}, {Name: "flits_ejected"},
 		{Name: "queue_depth", Gauge: true},
 	}
+	if faulty {
+		nicFields = append(nicFields,
+			telemetry.Field{Name: "retransmits"}, telemetry.Field{Name: "abandoned"},
+			telemetry.Field{Name: "dup_suppressed"}, telemetry.Field{Name: "crc_discards"},
+			telemetry.Field{Name: "unconfirmed", Gauge: true})
+	}
 	for _, n := range nw.nics {
 		sh := nw.shardOfNode(n.ID())
 		if tracing {
 			n.Ejector().SetTelemetry(tc.ShardProbe(sh), int(n.ID()))
+			n.SetTelemetry(tc.ShardProbe(sh))
 		}
 		co := nw.topo.Coord(n.ID())
 		tc.AddSource(sh, telemetry.SourceMeta{
@@ -379,12 +423,23 @@ func (nw *Network) wireTelemetry() {
 			dst[2] = int64(n.Ejector().PacketsEjected.Value())
 			dst[3] = int64(n.Ejector().FlitsEjected.Value())
 			dst[4] = int64(n.QueueDepth())
+			if len(dst) > 5 {
+				dst[5] = int64(n.Retransmits.Value())
+				dst[6] = int64(n.AbandonedPayloads.Value())
+				dst[7] = int64(n.Ejector().DuplicatesSuppressed.Value())
+				dst[8] = int64(n.Ejector().PacketsDiscarded.Value())
+				dst[9] = int64(n.ReliablePending())
+			}
 		})
 	}
 
 	sinkFields := []telemetry.Field{
 		{Name: "packets_ejected"}, {Name: "flits_ejected"},
 		{Name: "buffered", Gauge: true},
+	}
+	if faulty {
+		sinkFields = append(sinkFields,
+			telemetry.Field{Name: "dup_suppressed"}, telemetry.Field{Name: "crc_discards"})
 	}
 	for _, s := range nw.sinks {
 		sh := nw.shardOfRow(s.row)
@@ -397,6 +452,10 @@ func (nw *Network) wireTelemetry() {
 			dst[0] = int64(s.ej.PacketsEjected.Value())
 			dst[1] = int64(s.ej.FlitsEjected.Value())
 			dst[2] = int64(s.ej.Buffered())
+			if len(dst) > 3 {
+				dst[3] = int64(s.ej.DuplicatesSuppressed.Value())
+				dst[4] = int64(s.ej.PacketsDiscarded.Value())
+			}
 		})
 	}
 
@@ -511,15 +570,16 @@ func (nw *Network) wireRouterPair(src, dst *router.Router, out topology.Port) {
 	)
 	src.ConnectOutput(out, l, nw.cfg.Router.VCs, nw.cfg.Router.BufferDepth)
 	dst.ConnectInput(in, l)
-	nw.addLink(l, nw.shardOfNode(dst.ID()), nw.shardOfNode(src.ID()), dst.ID())
+	nw.addLink(l, nw.shardOfNode(dst.ID()), nw.shardOfNode(src.ID()), dst.ID(), src.ID())
+	nw.linkRecs[len(nw.linkRecs)-1].outPort = out
 }
 
 // addLink records a wired link with the shards owning its two endpoints:
 // flit delivery mutates the downstream endpoint, credit return the
 // upstream one. Sequential networks record shard 0 throughout.
-func (nw *Network) addLink(l *link.Link, downShard, upShard int, downID topology.NodeID) {
+func (nw *Network) addLink(l *link.Link, downShard, upShard int, downID, upID topology.NodeID) {
 	nw.links = append(nw.links, l)
-	nw.linkRecs = append(nw.linkRecs, linkRec{l: l, downShard: downShard, upShard: upShard, downID: downID})
+	nw.linkRecs = append(nw.linkRecs, linkRec{l: l, downShard: downShard, upShard: upShard, downID: downID, upID: upID})
 }
 
 // shardOfNode returns the shard owning node id's row (0 when sequential).
@@ -645,6 +705,9 @@ func (nw *Network) unicastRoute(scratch *[4]topology.Port, src, cur, dst topolog
 			VCClass:  nw.routing.VCClass(cur, dst, ports[0]),
 		}
 	default:
+		if nw.portFault != nil {
+			ports = nw.filterPorts(ports, cur)
+		}
 		return router.Route{Adaptive: ports}
 	}
 }

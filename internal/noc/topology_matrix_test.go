@@ -94,6 +94,11 @@ func TestTopologyRoutingMatrixDeadlockFree(t *testing.T) {
 						dest: dest, cycles: window, rate: 0.5,
 					}
 					nw.Engine().AddTicker(sat)
+					// The stall watchdog bounds the deadlock detection: a
+					// wedged cell fails within one no-progress window with
+					// a component-level diagnostic, instead of spinning to
+					// the coarse cycle budget (kept as a backstop).
+					nw.Engine().SetWatchdog(nw.Watchdog(20_000))
 					if _, err := nw.RunUntilQuiescent(5_000_000); err != nil {
 						t.Fatalf("%s did not drain (deadlock?): %v", name, err)
 					}

@@ -147,6 +147,12 @@ type Engine struct {
 	// interrupted is set asynchronously (signal handlers) and polled by
 	// RunUntil at cycle boundaries; see Interrupt.
 	interrupted atomic.Bool
+
+	// Stall watchdog (SetWatchdog; see watchdog.go). Polled by RunUntil a
+	// few times per window, between steps only.
+	watchdog       *Watchdog
+	wdLastProgress uint64
+	wdLastCycle    int64
 }
 
 // NewEngine returns an empty engine at cycle 0.
@@ -340,14 +346,33 @@ func (e *Engine) Interrupted() bool { return e.interrupted.Load() }
 // each step) or the budget of maxCycles additional cycles is exhausted.
 // It returns the cycle count at exit and ErrMaxCyclesExceeded on budget
 // exhaustion, or ErrInterrupted if Interrupt was called.
+// When a watchdog is installed (SetWatchdog), a no-progress window turns
+// into a *StallError wrapping ErrStalled instead of a spin to the budget.
 func (e *Engine) RunUntil(done func() bool, maxCycles int64) (int64, error) {
 	deadline := e.cycle + maxCycles
+	var wdStride, wdNext int64
+	if w := e.watchdog; w != nil && w.Progress != nil && w.Window > 0 {
+		// Poll a few times per window: often enough that a stall is
+		// reported within ~1.1 windows, rarely enough that the progress
+		// sum is off the per-cycle path.
+		wdStride = w.Window / 8
+		if wdStride < 1 {
+			wdStride = 1
+		}
+		wdNext = e.cycle + wdStride
+	}
 	for !done() {
 		if e.interrupted.Load() {
 			return e.cycle, ErrInterrupted
 		}
 		if e.cycle >= deadline {
 			return e.cycle, fmt.Errorf("%w (budget %d)", ErrMaxCyclesExceeded, maxCycles)
+		}
+		if wdStride > 0 && e.cycle >= wdNext {
+			wdNext = e.cycle + wdStride
+			if stall := e.checkStall(); stall != nil {
+				return e.cycle, stall
+			}
 		}
 		e.Step()
 	}

@@ -125,6 +125,19 @@ const (
 	EvPhaseStart
 	EvPhaseInjected
 	EvPhaseDrained
+	// EvFaultDrop: fault injection dropped a packet at a link (Loc =
+	// downstream node, Aux = VC). Emitted on the sampled head only.
+	EvFaultDrop
+	// EvFaultCorrupt: fault injection corrupted a packet at a link
+	// (Loc = downstream node, Aux = VC); the receiver will discard it.
+	EvFaultCorrupt
+	// EvRetransmit: a NIC's end-to-end reliability layer re-sent a
+	// timed-out payload (Loc = source node, Aux = payload Seq; Packet =
+	// the new packet's id).
+	EvRetransmit
+	// EvStall: the stall watchdog fired (serial probe; Loc = 0, Aux =
+	// the no-progress window in cycles; Packet = 0).
+	EvStall
 )
 
 // String returns the kind's Chrome-trace stage label.
@@ -156,6 +169,14 @@ func (k EventKind) String() string {
 		return "phase-injected"
 	case EvPhaseDrained:
 		return "phase-drained"
+	case EvFaultDrop:
+		return "fault-drop"
+	case EvFaultCorrupt:
+		return "fault-corrupt"
+	case EvRetransmit:
+		return "retransmit"
+	case EvStall:
+		return "stall"
 	}
 	return "unknown"
 }
