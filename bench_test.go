@@ -14,6 +14,7 @@ import (
 	"testing"
 
 	"gathernoc/internal/cnn"
+	"gathernoc/internal/collective"
 	"gathernoc/internal/core"
 	"gathernoc/internal/experiments"
 	"gathernoc/internal/fault"
@@ -546,6 +547,51 @@ func BenchmarkINARowReduction(b *testing.B) {
 		nw.NIC(left).SendAccumulate(dst, 0, own)
 		if _, err := nw.RunUntilQuiescent(100000); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCollectives runs a mesh-wide all-reduce per iteration under
+// each transport on the 8x8 and 16x16 meshes, reporting the simulated
+// round latency and root-port flit traffic — the serialization the tree
+// exists to amortize.
+func BenchmarkCollectives(b *testing.B) {
+	for _, mesh := range []int{8, 16} {
+		for _, alg := range []collective.Algorithm{collective.AlgTree, collective.AlgFlat, collective.AlgFused} {
+			b.Run(fmt.Sprintf("mesh=%d/alg=%s", mesh, alg), func(b *testing.B) {
+				skipLargeMeshInShort(b, mesh)
+				var round float64
+				var rootFlits uint64
+				for i := 0; i < b.N; i++ {
+					cfg := noc.DefaultConfig(mesh, mesh)
+					if alg == collective.AlgFused {
+						cfg.EnableINA = true
+					}
+					nw, err := noc.New(cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					ctl, err := collective.NewController(nw, collective.Config{
+						Op: collective.AllReduce, Algorithm: alg, Rounds: 2, ComputeLatency: 10,
+					})
+					if err != nil {
+						nw.Close()
+						b.Fatal(err)
+					}
+					res, err := ctl.Run(50_000_000)
+					nw.Close()
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res.OracleErrors != 0 || res.BroadcastErrors != 0 {
+						b.Fatalf("%d oracle / %d broadcast errors", res.OracleErrors, res.BroadcastErrors)
+					}
+					round = res.RoundCycles.Mean()
+					rootFlits = res.RootFlits
+				}
+				b.ReportMetric(round, "round-cycles")
+				b.ReportMetric(float64(rootFlits), "root-flits")
+			})
 		}
 	}
 }

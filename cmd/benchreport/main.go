@@ -43,6 +43,7 @@ import (
 	"testing"
 
 	"gathernoc/internal/cnn"
+	"gathernoc/internal/collective"
 	"gathernoc/internal/experiments"
 	"gathernoc/internal/fault"
 	"gathernoc/internal/noc"
@@ -445,6 +446,53 @@ func run(args []string, w io.Writer) error {
 			}
 			report.Benchmarks = append(report.Benchmarks, toResult(tc.name, r, metrics))
 		}
+	}
+	runtime.GOMAXPROCS(prevProcs)
+
+	// Mesh-wide collectives: one 8x8 all-reduce per iteration under each
+	// transport (BenchmarkCollectives), pinned serial like the other
+	// single-simulation families. round_cycles and root_flits are the
+	// headline metrics: the tree exists to amortize the root's ejection
+	// serialization, and the fused variant to shrink it further.
+	prevProcs = runtime.GOMAXPROCS(1)
+	for _, alg := range []collective.Algorithm{collective.AlgTree, collective.AlgFlat, collective.AlgFused} {
+		alg := alg
+		var round float64
+		var rootFlits uint64
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				cfg := noc.DefaultConfig(8, 8)
+				if alg == collective.AlgFused {
+					cfg.EnableINA = true
+				}
+				nw, err := noc.New(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ctl, err := collective.NewController(nw, collective.Config{
+					Op: collective.AllReduce, Algorithm: alg, Rounds: 2, ComputeLatency: 10,
+				})
+				if err != nil {
+					nw.Close()
+					b.Fatal(err)
+				}
+				res, err := ctl.Run(50_000_000)
+				nw.Close()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.OracleErrors != 0 || res.BroadcastErrors != 0 {
+					b.Fatalf("%d oracle / %d broadcast errors", res.OracleErrors, res.BroadcastErrors)
+				}
+				round = res.RoundCycles.Mean()
+				rootFlits = res.RootFlits
+			}
+		})
+		report.Benchmarks = append(report.Benchmarks, toResult("Collectives/"+alg.String(), r, map[string]float64{
+			"round_cycles": round,
+			"root_flits":   float64(rootFlits),
+		}))
 	}
 	runtime.GOMAXPROCS(prevProcs)
 

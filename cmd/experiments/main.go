@@ -10,7 +10,8 @@
 //
 // Artifacts:  table1 table2 table3 fig1 fig7 fig8 fig9 fig10
 // Ablations:  delta eta gathervc vcs depth sinkcost skew routing
-// Extensions: ina topology dataflow mixed streaming fullmodel fullvgg
+// Extensions: ina collectives topology dataflow mixed streaming fullmodel
+// fullvgg
 // Reliability: faults (collection-scheme degradation under transient loss)
 // Workloads:  pipeline (whole-model barrier/overlap vs analytic; -model)
 // and multijob (batched inferences + background traffic; -jobs/-overlap)
@@ -46,7 +47,7 @@ type artifact struct {
 
 func run(ctx context.Context, args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "artifact to regenerate (all, table1, table2, table3, fig1, fig7, fig8, fig9, fig10, delta, eta, gathervc, vcs, depth, sinkcost, skew, routing, ina, topology, dataflow, mixed, streaming, fullmodel, fullvgg, faults, pipeline, multijob)")
+	exp := fs.String("exp", "all", "artifact to regenerate (all, table1, table2, table3, fig1, fig7, fig8, fig9, fig10, delta, eta, gathervc, vcs, depth, sinkcost, skew, routing, ina, collectives, topology, dataflow, mixed, streaming, fullmodel, fullvgg, faults, pipeline, multijob)")
 	rounds := fs.Int("rounds", 2, "systolic rounds to simulate per run")
 	format := fs.String("format", "text", "output format (text, json)")
 	workers := fs.Int("workers", 0, "parallel simulation workers per sweep (0 = GOMAXPROCS, 1 = serial)")
@@ -102,6 +103,13 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 				return nil, "", err
 			}
 			return rows, experiments.RenderINA(rows), nil
+		}},
+		{"collectives", func() (any, string, error) {
+			rows, err := experiments.CollectiveComparison(opts)
+			if err != nil {
+				return nil, "", err
+			}
+			return rows, experiments.RenderCollectives(rows), nil
 		}},
 		{"topology", func() (any, string, error) {
 			rows, err := experiments.TopologyComparison(opts)

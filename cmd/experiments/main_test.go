@@ -120,6 +120,19 @@ func TestRunPipelineArtifacts(t *testing.T) {
 	}
 }
 
+func TestRunCollectivesArtifact(t *testing.T) {
+	var b strings.Builder
+	if err := run(context.Background(), []string{"-exp", "collectives", "-rounds", "1"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, frag := range []string{"== collectives ==", "tree", "flat", "fused", "rowgather"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("collectives output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
 func TestRunFaultsArtifact(t *testing.T) {
 	var b strings.Builder
 	if err := run(context.Background(), []string{"-exp", "faults", "-rounds", "1"}, &b); err != nil {

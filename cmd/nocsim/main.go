@@ -13,6 +13,8 @@
 //	nocsim -rows 64 -cols 64 -shards 4            # sharded tick loop
 //	nocsim -rate 0.005 -alwaystick                # naive engine reference
 //	nocsim -ina -inamode ina -inarounds 4         # in-network accumulation
+//	nocsim -collective allreduce -algorithm tree  # mesh-wide collective
+//	nocsim -collective bcast -topology torus      # multicast broadcast
 //	nocsim -model alexnet -overlap                # whole-model pipeline
 //	nocsim -model alexnet -jobs 4                 # batched inferences
 //	nocsim -trace trace.json -metrics metrics.csv -epoch 256
@@ -43,6 +45,7 @@ import (
 	"strconv"
 	"strings"
 
+	"gathernoc/internal/collective"
 	"gathernoc/internal/fault"
 	"gathernoc/internal/noc"
 	"gathernoc/internal/sim"
@@ -84,6 +87,8 @@ func run(args []string, w io.Writer) (err error) {
 		ina        = fs.Bool("ina", false, "run the in-network accumulation workload instead of synthetic traffic")
 		inaMode    = fs.String("inamode", "ina", "accumulation collection scheme (unicast, gather, ina)")
 		inaRounds  = fs.Int("inarounds", 4, "accumulation rounds to simulate")
+		coll       = fs.String("collective", "", "run a mesh-wide collective instead of synthetic traffic (reduce, bcast, allreduce)")
+		collAlg    = fs.String("algorithm", "tree", "collective transport (tree, flat, fused)")
 		model      = fs.String("model", "", "run a whole-model CNN pipeline workload (alexnet, vgg16) instead of synthetic traffic")
 		jobs       = fs.Int("jobs", 1, "concurrent inference jobs of the pipeline workload")
 		overlap    = fs.Bool("overlap", false, "double-buffered inter-layer overlap (default: strict barrier)")
@@ -142,6 +147,10 @@ func run(args []string, w io.Writer) (err error) {
 	cfg.AlwaysTick = *alwaysTick
 	cfg.Shards = *shards
 	cfg.EnableINA = *ina
+	if *coll != "" && *collAlg == "fused" {
+		// The fused transport reduces in the router stations.
+		cfg.EnableINA = true
+	}
 	fcfg, err := parseFaultFlags(*faultRate, *faultCorr, *faultSeed, *deadRouter, *deadLink)
 	if err != nil {
 		return err
@@ -209,6 +218,17 @@ func run(args []string, w io.Writer) (err error) {
 
 	if *model != "" {
 		if err := interruptedOK(runPipeline(nw, *model, *jobs, *rounds, *overlap, *maxCycles, w)); err != nil {
+			return err
+		}
+		faultSummary(nw, w)
+		if *heatmap {
+			fmt.Fprint(w, nw.UtilizationHeatmap())
+		}
+		return nil
+	}
+
+	if *coll != "" {
+		if err := interruptedOK(runCollectiveCLI(nw, *coll, *collAlg, *rounds, *maxCycles, w)); err != nil {
 			return err
 		}
 		faultSummary(nw, w)
@@ -427,6 +447,47 @@ func runPipeline(nw *noc.Network, model string, jobCount, rounds int, overlap bo
 	fmt.Fprintf(w, "cycles         %d\n", res.Cycles)
 	if oracleErrs != 0 {
 		return fmt.Errorf("reduction oracle mismatch: %d errors", oracleErrs)
+	}
+	return nil
+}
+
+// runCollectiveCLI drives a mesh-wide collective — reduce, broadcast or
+// all-reduce over every PE — under the chosen transport and prints the
+// round latency, root-port traffic and oracle verdict.
+func runCollectiveCLI(nw *noc.Network, opName, algName string, rounds int, maxCycles int64, w io.Writer) error {
+	op, err := collective.OpByName(opName)
+	if err != nil {
+		return err
+	}
+	alg, err := collective.AlgorithmByName(algName)
+	if err != nil {
+		return err
+	}
+	ctl, err := collective.NewController(nw, collective.Config{
+		Op: op, Algorithm: alg, Rounds: rounds, ComputeLatency: 10,
+	})
+	if err != nil {
+		return err
+	}
+	res, err := ctl.Run(maxCycles)
+	if err != nil {
+		return err
+	}
+	oracle := "exact"
+	if res.OracleErrors != 0 || res.BroadcastErrors != 0 {
+		oracle = fmt.Sprintf("%d reduce / %d broadcast ERRORS", res.OracleErrors, res.BroadcastErrors)
+	}
+	cfg := nw.Config()
+	fmt.Fprintf(w, "fabric         %dx%d %s, collective %s/%s, %d rounds\n",
+		cfg.Rows, cfg.Cols, cfg.EffectiveTopology(), op, alg, res.Rounds)
+	fmt.Fprintf(w, "round latency  %s\n", res.RoundCycles.String())
+	fmt.Fprintf(w, "packet latency %s\n", res.PacketLatency.String())
+	fmt.Fprintf(w, "root flits     %d in %d packets\n", res.RootFlits, res.RootPackets)
+	fmt.Fprintf(w, "merges         %d in-network, %d self-initiated fallbacks\n", res.Merges, res.SelfInitiated)
+	fmt.Fprintf(w, "oracle         %s\n", oracle)
+	fmt.Fprintf(w, "cycles         %d\n", res.Cycles)
+	if res.OracleErrors != 0 || res.BroadcastErrors != 0 {
+		return fmt.Errorf("collective verification mismatch")
 	}
 	return nil
 }

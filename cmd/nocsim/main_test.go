@@ -135,6 +135,42 @@ func TestRunINA(t *testing.T) {
 	}
 }
 
+// TestRunCollective smokes the -collective CLI path over every op and
+// transport on both topologies, asserting the oracle verdict in the
+// output.
+func TestRunCollective(t *testing.T) {
+	for _, topo := range []string{"mesh", "torus"} {
+		for _, op := range []string{"reduce", "bcast", "allreduce"} {
+			for _, alg := range []string{"tree", "flat", "fused"} {
+				var b strings.Builder
+				err := run([]string{
+					"-rows", "4", "-cols", "4", "-topology", topo, "-routing", "xy",
+					"-collective", op, "-algorithm", alg, "-rounds", "1",
+				}, &b)
+				if err != nil {
+					t.Fatalf("%s/%s/%s: %v", topo, op, alg, err)
+				}
+				out := b.String()
+				for _, frag := range []string{"collective " + op + "/" + alg, "oracle         exact", "root flits"} {
+					if !strings.Contains(out, frag) {
+						t.Errorf("%s/%s/%s output missing %q:\n%s", topo, op, alg, frag, out)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRunCollectiveRejectsBadNames(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-collective", "bogus"}, &b); err == nil {
+		t.Error("bogus -collective accepted")
+	}
+	if err := run([]string{"-collective", "reduce", "-algorithm", "bogus"}, &b); err == nil {
+		t.Error("bogus -algorithm accepted")
+	}
+}
+
 func TestRunINARejectsBadMode(t *testing.T) {
 	var b strings.Builder
 	if err := run([]string{"-ina", "-inamode", "bogus"}, &b); err == nil {

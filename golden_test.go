@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"gathernoc/internal/cnn"
+	"gathernoc/internal/collective"
 	"gathernoc/internal/core"
 	"gathernoc/internal/noc"
 	"gathernoc/internal/systolic"
@@ -74,6 +75,73 @@ func TestGoldenDeterminism(t *testing.T) {
 		}
 		if g.Events != gs.Events {
 			t.Errorf("shards=%d activity diverged:\n%+v\n%+v", shards, g.Events, gs.Events)
+		}
+	}
+}
+
+// TestGoldenCollectives pins the tree collectives' exact timing and root
+// traffic on the reference 8x8 fabrics — the same contract as
+// TestGoldenDeterminism extended to the mesh-wide collective layer, at
+// every shard count. On the mesh the reduce roots at the last row's sink
+// (2-round gather: 8 flits); on the torus it roots at the east-column PE,
+// whose ejector also sees its own row's level-1 packets. The broadcast is
+// topology-independent: one 2-flit multicast per round from the corner.
+func TestGoldenCollectives(t *testing.T) {
+	type golden struct {
+		round     int64
+		rootFlits uint64
+		merges    uint64
+	}
+	goldens := map[string]golden{
+		"mesh/reduce":     {round: 86, rootFlits: 8, merges: 126},
+		"mesh/bcast":      {round: 74, rootFlits: 4, merges: 0},
+		"mesh/allreduce":  {round: 150, rootFlits: 20, merges: 126},
+		"torus/reduce":    {round: 62, rootFlits: 32, merges: 108},
+		"torus/bcast":     {round: 74, rootFlits: 4, merges: 0},
+		"torus/allreduce": {round: 126, rootFlits: 36, merges: 108},
+	}
+	for _, topo := range []string{"mesh", "torus"} {
+		for _, op := range []collective.Op{collective.Reduce, collective.Broadcast, collective.AllReduce} {
+			key := topo + "/" + op.String()
+			t.Run(key, func(t *testing.T) {
+				want := goldens[key]
+				for _, shards := range []int{1, 2, 4} {
+					cfg := noc.DefaultConfig(8, 8)
+					if topo == "torus" {
+						cfg = noc.DefaultTorusConfig(8, 8)
+					}
+					cfg.Shards = shards
+					nw, err := noc.New(cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					ctl, err := collective.NewController(nw, collective.Config{
+						Op: op, Algorithm: collective.AlgTree, Rounds: 2, ComputeLatency: 10,
+					})
+					if err != nil {
+						nw.Close()
+						t.Fatal(err)
+					}
+					res, err := ctl.Run(1_000_000)
+					nw.Close()
+					if err != nil {
+						t.Fatal(err)
+					}
+					if res.OracleErrors != 0 || res.BroadcastErrors != 0 {
+						t.Fatalf("shards=%d: %d oracle / %d broadcast errors",
+							shards, res.OracleErrors, res.BroadcastErrors)
+					}
+					if got := int64(res.RoundCycles.Mean()); got != want.round {
+						t.Errorf("shards=%d round = %d cycles, golden %d", shards, got, want.round)
+					}
+					if res.RootFlits != want.rootFlits {
+						t.Errorf("shards=%d root flits = %d, golden %d", shards, res.RootFlits, want.rootFlits)
+					}
+					if res.Merges != want.merges {
+						t.Errorf("shards=%d merges = %d, golden %d", shards, res.Merges, want.merges)
+					}
+				}
+			})
 		}
 	}
 }

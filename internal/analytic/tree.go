@@ -1,0 +1,84 @@
+package analytic
+
+// Tree-collective bounds. The two-level tree reduces each row to its east
+// column in parallel (the level-1 stage is the per-row collection bound,
+// unchanged), then reduces the N row sums down the east column (the same
+// formula with the column length N in place of M). Broadcast returns on
+// the multicast XY tree, whose latency is the farthest leaf's hop count
+// plus packet serialization. All bounds inherit the tδ/Δ congestion knobs
+// of the row model and collapse to ideal estimates when those are zero.
+
+// column returns p with the roles of the dimensions swapped so the row
+// collection formulas describe the level-2 column stage: a line of N
+// stations feeding the root.
+func (p Params) column() Params {
+	q := p
+	q.M = p.N
+	q.ReduceCapacity = p.ReduceCapacity
+	if q.ReduceCapacity == 0 {
+		// The default merge budget tracks the line length, not the row
+		// width, once the line is a column.
+		q.ReduceCapacity = p.N
+	}
+	return q
+}
+
+// TreeReduceCollection returns the two-level tree reduction bound with
+// gather transport: the per-row gather collection (rows run concurrently,
+// so the row stage costs one row's latency) plus the column-stage gather
+// collection over the N row sums.
+func (p Params) TreeReduceCollection() int {
+	return p.GatherCollection() + p.column().GatherCollection()
+}
+
+// TreeINACollection is the INA-fused variant: both stages merge in the
+// routers, so each stage costs its line's INA collection bound.
+func (p Params) TreeINACollection() int {
+	return p.INACollection() + p.column().INACollection()
+}
+
+// FlatCollection returns the flat-unicast all-to-root bound: every one of
+// the N·M PEs unicasts its operand to the root, and the root's single
+// ejection port serializes all of them — RUCollection with the row width
+// replaced by the node count. This is the serialization wall the tree
+// amortizes.
+func (p Params) FlatCollection() int {
+	q := p
+	q.M = p.N * p.M
+	return q.RUCollection()
+}
+
+// BroadcastLatency returns the multicast XY tree bound: the farthest leaf
+// sits (N−1)+(M−1) hops from the root's corner, and the packet body
+// serializes behind the header.
+func (p Params) BroadcastLatency() int {
+	return ((p.N-1)+(p.M-1))*p.Kappa + p.UnicastFlits - 1
+}
+
+// TreeAllReduce returns the tree all-reduce bound: reduction down the
+// two-level tree, then the multicast broadcast back out.
+func (p Params) TreeAllReduce() int {
+	return p.TreeReduceCollection() + p.BroadcastLatency()
+}
+
+// TreeINAAllReduce is TreeAllReduce with INA-fused reduction stages.
+func (p Params) TreeINAAllReduce() int {
+	return p.TreeINACollection() + p.BroadcastLatency()
+}
+
+// FlatAllReduce returns the flat baseline: all-to-root unicast reduction
+// followed by root-to-all unicast broadcast, which serializes the same
+// N·M packets a second time on the way out.
+func (p Params) FlatAllReduce() int {
+	return 2 * p.FlatCollection()
+}
+
+// TreeImprovement returns the all-reduce saving of the tree over the flat
+// baseline relative to the flat bound, in percent.
+func (p Params) TreeImprovement() float64 {
+	f := p.FlatAllReduce()
+	if f == 0 {
+		return 0
+	}
+	return float64(f-p.TreeAllReduce()) / float64(f) * 100
+}

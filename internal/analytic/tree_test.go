@@ -1,0 +1,81 @@
+package analytic
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestTreeCollectionTerms pins the tree bounds on the calibrated 8x8
+// parameters by hand-computed arithmetic.
+func TestTreeCollectionTerms(t *testing.T) {
+	p := tableIIParams(0)
+	// Row stage: one gather packet, 8·4 + 4 − 1 = 35. Column stage is the
+	// same line length, so the tree reduce is 70.
+	if got := p.TreeReduceCollection(); got != 70 {
+		t.Errorf("TreeReduceCollection = %d, want 70", got)
+	}
+	// INA stage: 8·4 + 2 − 1 = 33 per line.
+	if got := p.TreeINACollection(); got != 66 {
+		t.Errorf("TreeINACollection = %d, want 66", got)
+	}
+	// Flat: 64 nodes through one ejection port, 64·(4+2) − 1 = 383.
+	if got := p.FlatCollection(); got != 383 {
+		t.Errorf("FlatCollection = %d, want 383", got)
+	}
+	// Broadcast: 14 hops · κ + 2 − 1 = 57.
+	if got := p.BroadcastLatency(); got != 57 {
+		t.Errorf("BroadcastLatency = %d, want 57", got)
+	}
+	if got := p.TreeAllReduce(); got != 70+57 {
+		t.Errorf("TreeAllReduce = %d, want %d", got, 70+57)
+	}
+	if got := p.TreeINAAllReduce(); got != 66+57 {
+		t.Errorf("TreeINAAllReduce = %d, want %d", got, 66+57)
+	}
+	if got := p.FlatAllReduce(); got != 766 {
+		t.Errorf("FlatAllReduce = %d, want 766", got)
+	}
+	if imp := p.TreeImprovement(); imp < 80 || imp > 90 {
+		t.Errorf("TreeImprovement = %.1f%%, want ~83%%", imp)
+	}
+}
+
+// TestTreeBeatsFlatEverywhere property-checks the ordering the simulator's
+// acceptance test measures: on any fabric with more than one row the tree
+// all-reduce bound undercuts the flat baseline, and the INA-fused tree
+// never exceeds the gather tree.
+func TestTreeBeatsFlatEverywhere(t *testing.T) {
+	f := func(n, m uint8) bool {
+		p := Params{
+			N: 2 + int(n)%15, M: 2 + int(m)%15,
+			Kappa: 4, UnicastFlits: 2, GatherFlits: 4, Eta: 8, TMAC: 5,
+		}
+		if err := p.Validate(); err != nil {
+			return false
+		}
+		return p.TreeAllReduce() < p.FlatAllReduce() &&
+			p.TreeINAAllReduce() <= p.TreeAllReduce()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTreeColumnStage verifies the level-2 stage tracks N, not M, on
+// non-square fabrics.
+func TestTreeColumnStage(t *testing.T) {
+	wide := Params{N: 2, M: 8, Kappa: 4, UnicastFlits: 2, GatherFlits: 4, Eta: 8}
+	tall := Params{N: 8, M: 2, Kappa: 4, UnicastFlits: 2, GatherFlits: 4, Eta: 8}
+	// Wide: row 35 + column (2·4+3) = 46. Tall: row (2·4+3) + column 35 = 46.
+	if got := wide.TreeReduceCollection(); got != 46 {
+		t.Errorf("wide TreeReduceCollection = %d, want 46", got)
+	}
+	if got := tall.TreeReduceCollection(); got != 46 {
+		t.Errorf("tall TreeReduceCollection = %d, want 46", got)
+	}
+	// Both share the same broadcast depth (8 hops).
+	if wide.BroadcastLatency() != tall.BroadcastLatency() {
+		t.Errorf("broadcast depths differ: %d vs %d",
+			wide.BroadcastLatency(), tall.BroadcastLatency())
+	}
+}

@@ -1,0 +1,298 @@
+package collective
+
+import (
+	"errors"
+	"testing"
+
+	"gathernoc/internal/fault"
+	"gathernoc/internal/noc"
+	"gathernoc/internal/topology"
+)
+
+// leafSum is the software truth for the built-in operand derivation.
+func leafSum(nodes, round int) uint64 {
+	var s uint64
+	for id := 0; id < nodes; id++ {
+		s += (uint64(id)+1)*0x9E3779B97F4A7C15 + (uint64(round)+3)*0xD1B54A32D192ED03
+	}
+	return s
+}
+
+func newNetwork(t *testing.T, cfg noc.Config) *noc.Network {
+	t.Helper()
+	nw, err := noc.New(cfg)
+	if err != nil {
+		t.Fatalf("noc.New: %v", err)
+	}
+	t.Cleanup(nw.Close)
+	return nw
+}
+
+func configs(rows, cols int) map[string]noc.Config {
+	return map[string]noc.Config{
+		"mesh":  noc.DefaultConfig(rows, cols),
+		"torus": noc.DefaultTorusConfig(rows, cols),
+	}
+}
+
+// TestTreePlanShape checks the structural invariants of the two-level
+// tree on both topologies: every PE in exactly one row line, row targets
+// forming the column line, and the root placement per RootAtSink.
+func TestTreePlanShape(t *testing.T) {
+	for name, cfg := range configs(4, 6) {
+		t.Run(name, func(t *testing.T) {
+			nw := newNetwork(t, cfg)
+			plan, err := NewTreePlan(nw, PlanOptions{RootAtSink: cfg.EastSinks})
+			if err != nil {
+				t.Fatalf("NewTreePlan: %v", err)
+			}
+			topo := nw.Topology()
+			seen := make(map[topology.NodeID]int)
+			for r, line := range plan.Rows {
+				if len(line.Nodes) != cfg.Cols {
+					t.Fatalf("row %d has %d nodes, want %d", r, len(line.Nodes), cfg.Cols)
+				}
+				for _, id := range line.Nodes {
+					seen[id]++
+				}
+				if line.TargetIsSink {
+					t.Fatalf("row %d targets a sink; row lines must end at a PE", r)
+				}
+				if got := topo.Coord(line.Target); got.Col != cfg.Cols-1 {
+					t.Fatalf("row %d target at col %d, want east column", r, got.Col)
+				}
+				if plan.Column.Nodes[r] != line.Target {
+					t.Fatalf("column line node %d is %d, want row target %d", r, plan.Column.Nodes[r], line.Target)
+				}
+			}
+			if len(seen) != topo.NumNodes() {
+				t.Fatalf("row lines cover %d nodes, want %d", len(seen), topo.NumNodes())
+			}
+			for id, n := range seen {
+				if n != 1 {
+					t.Fatalf("node %d covered %d times", id, n)
+				}
+			}
+			if cfg.EastSinks {
+				if !plan.RootIsSink || plan.Root != nw.RowSinkID(cfg.Rows-1) {
+					t.Fatalf("mesh RootAtSink plan rooted at %d (sink=%v)", plan.Root, plan.RootIsSink)
+				}
+			} else if plan.RootIsSink {
+				t.Fatal("torus plan claims a sink root")
+			}
+			if plan.LiveCount != topo.NumNodes() {
+				t.Fatalf("LiveCount = %d, want %d", plan.LiveCount, topo.NumNodes())
+			}
+			if plan.Dests(topo).Len() != topo.NumNodes() {
+				t.Fatalf("Dests covers %d nodes, want all", plan.Dests(topo).Len())
+			}
+		})
+	}
+}
+
+// TestTreePlanRootAtSinkNeedsSinks rejects sink-rooted plans on a torus.
+func TestTreePlanRootAtSinkNeedsSinks(t *testing.T) {
+	nw := newNetwork(t, noc.DefaultTorusConfig(4, 4))
+	if _, err := NewTreePlan(nw, PlanOptions{RootAtSink: true}); err == nil {
+		t.Fatal("RootAtSink on a torus should fail")
+	}
+}
+
+// TestTreePlanDeadMasks exercises the fault-masked construction: a dead
+// node off every live sweep path is skipped, while one sitting on a live
+// node's route makes the plan infeasible with fault.ErrUnreachable.
+func TestTreePlanDeadMasks(t *testing.T) {
+	cfg := noc.DefaultConfig(4, 4)
+	nw := newNetwork(t, cfg)
+	topo := nw.Topology()
+	id := func(r, c int) int { return int(topo.ID(topology.Coord{Row: r, Col: c})) }
+
+	t.Run("west-column-dead", func(t *testing.T) {
+		// Column 0 dead: live sweeps run east from column >= 1 and down
+		// the east column, never crossing column 0.
+		dead := make([]bool, topo.NumNodes())
+		for r := 0; r < 4; r++ {
+			dead[id(r, 0)] = true
+		}
+		plan, err := NewTreePlan(nw, PlanOptions{Dead: dead})
+		if err != nil {
+			t.Fatalf("NewTreePlan: %v", err)
+		}
+		if plan.LiveCount != 12 {
+			t.Fatalf("LiveCount = %d, want 12", plan.LiveCount)
+		}
+		if plan.Alive(topo.ID(topology.Coord{Row: 1, Col: 0})) {
+			t.Fatal("dead node reported alive")
+		}
+	})
+
+	t.Run("row-sweep-cut", func(t *testing.T) {
+		// A dead mid-row node cuts every live node west of it off its
+		// row target.
+		dead := make([]bool, topo.NumNodes())
+		dead[id(1, 2)] = true
+		_, err := NewTreePlan(nw, PlanOptions{Dead: dead})
+		if !errors.Is(err, fault.ErrUnreachable) {
+			t.Fatalf("err = %v, want fault.ErrUnreachable", err)
+		}
+	})
+
+	t.Run("column-sweep-cut", func(t *testing.T) {
+		// A dead east-column node cuts every row above it off the root.
+		dead := make([]bool, topo.NumNodes())
+		for c := 0; c < 4; c++ {
+			// Kill row 1 entirely so no live node needs its row sweep...
+			dead[id(1, c)] = true
+		}
+		// ...but rows 0's column relay still crosses the dead (1, 3).
+		_, err := NewTreePlan(nw, PlanOptions{Dead: dead})
+		if !errors.Is(err, fault.ErrUnreachable) {
+			t.Fatalf("err = %v, want fault.ErrUnreachable", err)
+		}
+	})
+
+	t.Run("all-dead", func(t *testing.T) {
+		dead := make([]bool, topo.NumNodes())
+		for i := range dead {
+			dead[i] = true
+		}
+		plan, err := NewTreePlan(nw, PlanOptions{Dead: dead})
+		if err != nil {
+			t.Fatalf("NewTreePlan: %v", err)
+		}
+		if plan.LiveCount != 0 {
+			t.Fatalf("LiveCount = %d, want 0", plan.LiveCount)
+		}
+	})
+}
+
+// runCollective executes one standalone collective run and applies the
+// invariant checks every cell of the matrix must satisfy.
+func runCollective(t *testing.T, cfg noc.Config, ccfg Config) *Result {
+	t.Helper()
+	nw := newNetwork(t, cfg)
+	d, err := NewController(nw, ccfg)
+	if err != nil {
+		t.Fatalf("NewController: %v", err)
+	}
+	res, err := d.Run(200_000)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.OracleErrors != 0 || res.BroadcastErrors != 0 {
+		t.Fatalf("oracle errors %d, broadcast errors %d", res.OracleErrors, res.BroadcastErrors)
+	}
+	nodes := cfg.Rows * cfg.Cols
+	for round := 0; round < ccfg.Rounds; round++ {
+		if ccfg.Op != Broadcast && ccfg.Values == nil {
+			if want := leafSum(nodes, round); res.Sums[round] != want {
+				t.Fatalf("round %d sum %#x, want %#x", round, res.Sums[round], want)
+			}
+		}
+		if ccfg.Op != Reduce {
+			for id, v := range res.NodeValues[round] {
+				if v != res.Sums[round] {
+					t.Fatalf("round %d node %d got %#x, want %#x", round, id, v, res.Sums[round])
+				}
+			}
+		}
+	}
+	return res
+}
+
+// TestCollectiveMatrix runs every op × algorithm × topology cell on a
+// 4x4 fabric: oracle-exact reductions and bit-identical broadcast
+// deliveries everywhere.
+func TestCollectiveMatrix(t *testing.T) {
+	for name, base := range configs(4, 4) {
+		for _, alg := range []Algorithm{AlgTree, AlgFlat, AlgFused} {
+			for _, op := range []Op{Reduce, Broadcast, AllReduce} {
+				t.Run(name+"/"+alg.String()+"/"+op.String(), func(t *testing.T) {
+					cfg := base
+					if alg == AlgFused {
+						cfg.EnableINA = true
+					}
+					runCollective(t, cfg, Config{
+						Op: op, Algorithm: alg, Rounds: 2, ComputeLatency: 8,
+					})
+				})
+			}
+		}
+	}
+}
+
+// TestCollectiveNonSquare runs the tree on fabrics whose column stage
+// does not fit one gather packet (rows > capacity): δ fallbacks must keep
+// the reduction exact.
+func TestCollectiveNonSquare(t *testing.T) {
+	for _, dims := range [][2]int{{6, 3}, {2, 5}, {1, 4}, {4, 1}} {
+		cfg := noc.DefaultConfig(dims[0], dims[1])
+		cfg.EnableINA = true
+		for _, alg := range []Algorithm{AlgTree, AlgFused} {
+			t.Run(alg.String(), func(t *testing.T) {
+				runCollective(t, cfg, Config{
+					Op: AllReduce, Algorithm: alg, Rounds: 1, ComputeLatency: 3,
+				})
+			})
+		}
+	}
+}
+
+// TestBroadcastValuesOverride pins the Broadcast op to caller-supplied
+// values, the hook the metamorphic Reduce∘Broadcast composition uses.
+func TestBroadcastValuesOverride(t *testing.T) {
+	vals := []uint64{0xDEAD_BEEF_F00D_CAFE, 3}
+	res := runCollective(t, noc.DefaultConfig(4, 4), Config{
+		Op: Broadcast, Algorithm: AlgTree, Rounds: 2, BroadcastValues: vals,
+	})
+	for round, want := range vals {
+		if res.Sums[round] != want {
+			t.Fatalf("round %d broadcast %#x, want %#x", round, res.Sums[round], want)
+		}
+	}
+}
+
+// TestConfigValidate covers the named rejection paths.
+func TestConfigValidate(t *testing.T) {
+	good := Config{Op: AllReduce, Algorithm: AlgTree, Rounds: 1}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := []Config{
+		{Algorithm: AlgTree, Rounds: 1},
+		{Op: Reduce, Rounds: 1},
+		{Op: Reduce, Algorithm: AlgTree},
+		{Op: Broadcast, Algorithm: AlgTree, Rounds: 3, BroadcastValues: []uint64{1}},
+		{Op: Reduce, Algorithm: AlgTree, Rounds: 1, ComputeLatency: -1},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Fatalf("bad config %d accepted", i)
+		}
+	}
+	if _, err := OpByName("nope"); err == nil {
+		t.Fatal("unknown op accepted")
+	}
+	if _, err := AlgorithmByName("nope"); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+	for _, name := range []string{"reduce", "bcast", "allreduce"} {
+		if _, err := OpByName(name); err != nil {
+			t.Fatalf("OpByName(%q): %v", name, err)
+		}
+	}
+	for _, name := range []string{"tree", "flat", "fused"} {
+		if _, err := AlgorithmByName(name); err != nil {
+			t.Fatalf("AlgorithmByName(%q): %v", name, err)
+		}
+	}
+}
+
+// TestFusedNeedsINA rejects the fused algorithm without EnableINA.
+func TestFusedNeedsINA(t *testing.T) {
+	nw := newNetwork(t, noc.DefaultConfig(4, 4))
+	_, err := NewDriver(nw, Config{Op: Reduce, Algorithm: AlgFused, Rounds: 1})
+	if err == nil {
+		t.Fatal("fused without EnableINA accepted")
+	}
+}

@@ -1,0 +1,602 @@
+package collective
+
+import (
+	"fmt"
+
+	"gathernoc/internal/flit"
+	"gathernoc/internal/nic"
+	"gathernoc/internal/noc"
+	"gathernoc/internal/reduce"
+	"gathernoc/internal/topology"
+)
+
+// ReduceID row-field conventions: values below Rows name a row's level-1
+// reduction; rowIDColumn tags the column-stage (root) reduction and
+// rowIDBroadcast the broadcast payload. flit.TaggedReduceID carries 16
+// bits of row, so fabrics up to 2^16-2 rows keep the channels distinct.
+const (
+	rowIDColumnOffset    = 0
+	rowIDBroadcastOffset = 1
+)
+
+// acct accumulates one reduction account (a row's level-1 sum or the
+// root's column-stage sum).
+type acct struct {
+	sum  uint64
+	ops  int
+	done bool
+}
+
+// Driver runs a collective workload phase on a network: per round every
+// PE contributes one operand (or, for a pure broadcast, the root produces
+// one value), the operands flow through the two-level tree — or straight
+// to the root under AlgFlat — and ops with a broadcast leg fan the result
+// back out to every PE. Each level of each round is verified bit for bit
+// against a software reduce.Oracle, and every broadcast receipt against
+// the expected value.
+//
+// The driver carries no topology assumptions: initiators, targets, sweep
+// membership and δ scaling all come from the TreePlan's LineCollect
+// plans, so the same workload runs on the paper's sink mesh and on a
+// torus. It implements workload.Driver (plus the PacketSink, PayloadSink,
+// Taggable and ForeignPayloadRouter wiring interfaces), so a scheduler
+// can admit a collective phase alongside any other traffic.
+type Driver struct {
+	nw   *noc.Network
+	cfg  Config
+	plan *TreePlan
+
+	rows, cols, nodes int
+	delta             int64 // base gather δ (AlgTree)
+	rdelta            int64 // base reduce δ (AlgFused)
+	bcastDests        *topology.DestSet
+
+	// tag is the workload job/phase identity (zero standalone): it stamps
+	// injected packets, namespaces payload sequence numbers and is encoded
+	// into every ReduceID, so concurrent drivers on one fabric never
+	// collide.
+	tag flit.Tag
+	// foreign, when set, receives payloads whose ReduceID carries another
+	// driver's tag (workload.ForeignPayloadRouter).
+	foreign func(flit.Payload)
+
+	phase      phase
+	round      int
+	roundStart int64
+
+	// Leaf stage (reduce ops): per-node operand release.
+	doneAt    []int64
+	submitted []bool
+	pending   int
+
+	// Level 1 (tree/fused): per-row accounts and row-sum relays.
+	rowAccs []acct
+	rowSum  []uint64
+	l2Ready []bool
+	l2Sent  []bool
+	l2Left  int
+
+	// Level 2: the root account.
+	rootAcct   acct
+	reduceDone bool
+
+	// Broadcast leg.
+	rootReadyAt int64
+	bcastSent   bool
+	bcastVal    uint64
+	got         []bool
+	gotCount    int
+
+	oracle *reduce.Oracle
+	seq    uint64
+	res    Result
+}
+
+type phase uint8
+
+const (
+	phaseRun phase = iota
+	phaseDone
+)
+
+// NewController prepares a standalone collective run on nw: the driver
+// wires itself as the receive callback of every NIC and sink and starts
+// round 0 at cycle 0. Use NewDriver for scheduler-admitted phases.
+func NewController(nw *noc.Network, cfg Config) (*Driver, error) {
+	d, err := NewDriver(nw, cfg)
+	if err != nil {
+		return nil, err
+	}
+	topo := nw.Topology()
+	for id := 0; id < topo.NumNodes(); id++ {
+		nw.NIC(topology.NodeID(id)).OnReceive(d.OnPacket)
+	}
+	if nw.Config().EastSinks {
+		for row := 0; row < d.rows; row++ {
+			nw.Sink(row).OnReceive(d.OnPacket)
+		}
+	}
+	d.startRound(0)
+	return d, nil
+}
+
+// NewDriver prepares a collective phase for a workload scheduler:
+// identical plans and round bookkeeping, but no receive callbacks are
+// wired (the scheduler dispatches this phase's packets to OnPacket by
+// tag) and the first round starts at Start, not construction.
+func NewDriver(nw *noc.Network, cfg Config) (*Driver, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	nc := nw.Config()
+	if cfg.Algorithm == AlgFused && !nc.EnableINA {
+		return nil, fmt.Errorf("collective: fused algorithm needs noc.Config.EnableINA")
+	}
+	// A pure Reduce lands at the global buffer when the fabric has one;
+	// ops with a broadcast leg keep the root on a PE, which can re-inject.
+	plan, err := NewTreePlan(nw, PlanOptions{RootAtSink: cfg.Op == Reduce && nc.EastSinks})
+	if err != nil {
+		return nil, err
+	}
+	d := &Driver{
+		nw:     nw,
+		cfg:    cfg,
+		plan:   plan,
+		rows:   nc.Rows,
+		cols:   nc.Cols,
+		nodes:  nc.Rows * nc.Cols,
+		delta:  nc.Delta,
+		rdelta: nc.EffectiveReduceDelta(),
+	}
+	d.doneAt = make([]int64, d.nodes)
+	d.submitted = make([]bool, d.nodes)
+	d.rowAccs = make([]acct, d.rows)
+	d.rowSum = make([]uint64, d.rows)
+	d.l2Ready = make([]bool, d.rows)
+	d.l2Sent = make([]bool, d.rows)
+	d.got = make([]bool, d.nodes)
+	d.oracle = reduce.NewOracle()
+	d.bcastDests = plan.Dests(nw.Topology())
+	d.res = Result{
+		Op: cfg.Op, Algorithm: cfg.Algorithm,
+		Rows: d.rows, Cols: d.cols, Rounds: cfg.Rounds,
+		Sums: make([]uint64, cfg.Rounds),
+	}
+	if d.hasBroadcast() {
+		d.res.NodeValues = make([][]uint64, cfg.Rounds)
+	}
+	return d, nil
+}
+
+// Plan returns the driver's reduction tree.
+func (d *Driver) Plan() *TreePlan { return d.plan }
+
+func (d *Driver) hasReduce() bool    { return d.cfg.Op != Broadcast }
+func (d *Driver) hasBroadcast() bool { return d.cfg.Op != Reduce }
+func (d *Driver) treeLevels() bool   { return d.cfg.Algorithm != AlgFlat }
+
+// SetTag assigns the workload tag encoded into this driver's packets,
+// payload sequence numbers and ReduceIDs (workload.Taggable; the
+// scheduler calls it before Start). The zero tag reproduces the historic
+// untagged encodings bit for bit.
+func (d *Driver) SetTag(t flit.Tag) { d.tag = t }
+
+// SetForeignPayloadHandler installs the hook receiving payloads that
+// arrived in this phase's packets but belong to another phase
+// (workload.ForeignPayloadRouter). Without one, foreign payloads are
+// counted as oracle errors.
+func (d *Driver) SetForeignPayloadHandler(fn func(flit.Payload)) { d.foreign = fn }
+
+// Start begins the first round at the given cycle (workload.Driver).
+func (d *Driver) Start(cycle int64) { d.startRound(cycle) }
+
+// Injected reports whether the final round has nothing left to inject
+// (workload.Driver: overlap successors may start while the tail drains).
+func (d *Driver) Injected() bool {
+	return d.phase == phaseDone || (d.round == d.cfg.Rounds-1 && d.injectedRound())
+}
+
+func (d *Driver) injectedRound() bool {
+	if d.hasReduce() && (d.pending > 0 || d.l2Left > 0) {
+		return false
+	}
+	return !d.hasBroadcast() || d.bcastSent
+}
+
+// Drained reports whether all rounds completed and verified
+// (workload.Driver: barrier successors may start).
+func (d *Driver) Drained() bool { return d.Done() }
+
+// Done reports whether all simulated rounds completed.
+func (d *Driver) Done() bool { return d.phase == phaseDone }
+
+// rowID, columnID and broadcastID name the round's reduction channels.
+func (d *Driver) rowID(row int) uint64 {
+	return flit.TaggedReduceID(d.tag, row, uint32(d.round))
+}
+
+func (d *Driver) columnID() uint64 {
+	return flit.TaggedReduceID(d.tag, d.rows+rowIDColumnOffset, uint32(d.round))
+}
+
+func (d *Driver) broadcastID() uint64 {
+	return flit.TaggedReduceID(d.tag, d.rows+rowIDBroadcastOffset, uint32(d.round))
+}
+
+// nextSeq allocates a payload sequence number namespaced by the workload
+// tag, so concurrent drivers sharing a NIC's wait lists and stations
+// never collide.
+func (d *Driver) nextSeq() uint64 {
+	d.seq++
+	return uint64(d.tag)<<32 | d.seq
+}
+
+// leafValue derives the deterministic synthetic operand PE id contributes
+// in the given round (Config.Values overrides). The multiplier spreads
+// values across the full uint64 range so sums exercise wrap-around
+// arithmetic, which the oracle reproduces exactly.
+func (d *Driver) leafValue(id, round int) uint64 {
+	if d.cfg.Values != nil {
+		return d.cfg.Values(id, round)
+	}
+	return (uint64(id)+1)*0x9E3779B97F4A7C15 + (uint64(round)+3)*0xD1B54A32D192ED03
+}
+
+// rootValue derives the value a pure broadcast fans out in the given
+// round (Config.BroadcastValues overrides).
+func (d *Driver) rootValue(round int) uint64 {
+	if d.cfg.BroadcastValues != nil {
+		return d.cfg.BroadcastValues[round]
+	}
+	return (uint64(round)+11)*0xBF58476D1CE4E5B9 + 0x94D049BB133111EB
+}
+
+func (d *Driver) startRound(now int64) {
+	d.roundStart = now
+	d.oracle = reduce.NewOracle()
+	d.rootAcct = acct{}
+	d.reduceDone = false
+	d.bcastSent = false
+	d.gotCount = 0
+	for i := range d.got {
+		d.got[i] = false
+	}
+	if d.hasBroadcast() {
+		d.res.NodeValues[d.round] = make([]uint64, d.nodes)
+	}
+
+	if !d.hasReduce() {
+		d.rootReadyAt = now + int64(d.cfg.ComputeLatency)
+		d.bcastVal = d.rootValue(d.round)
+		d.res.Sums[d.round] = d.bcastVal
+		return
+	}
+
+	for i := range d.rowAccs {
+		d.rowAccs[i] = acct{}
+		d.l2Ready[i] = false
+		d.l2Sent[i] = false
+	}
+	for i := range d.submitted {
+		d.submitted[i] = false
+	}
+	d.pending = d.nodes
+	d.l2Left = 0
+	if d.treeLevels() {
+		d.l2Left = d.rows
+	}
+	topo := d.nw.Topology()
+	cid := d.columnID()
+	for row := 0; row < d.rows; row++ {
+		rid := d.rowID(row)
+		for col := 0; col < d.cols; col++ {
+			id := int(topo.ID(topology.Coord{Row: row, Col: col}))
+			d.doneAt[id] = now + int64(d.cfg.ComputeLatency)
+			v := d.leafValue(id, d.round)
+			if d.treeLevels() {
+				d.oracle.Add(rid, v)
+			}
+			d.oracle.Add(cid, v)
+		}
+	}
+	d.bcastVal = d.oracle.Sum(cid)
+	d.res.Sums[d.round] = d.bcastVal
+}
+
+// Tick advances the driver: operand release, row-sum relays, the
+// broadcast leg and round bookkeeping (workload.Driver).
+func (d *Driver) Tick(cycle int64) {
+	if d.phase == phaseDone {
+		return
+	}
+	if d.hasReduce() {
+		d.releaseLeaves(cycle)
+		if d.treeLevels() {
+			d.releaseRowSums(cycle)
+		}
+	}
+	d.maybeBroadcast(cycle)
+	if d.roundComplete() {
+		d.finishRound(cycle)
+	}
+}
+
+// releaseLeaves submits every PE's operand whose compute finished: into
+// its row's level-1 collection (tree/fused), or straight to the root
+// (flat).
+func (d *Driver) releaseLeaves(cycle int64) {
+	if d.pending == 0 {
+		return
+	}
+	topo := d.nw.Topology()
+	for id := 0; id < d.nodes; id++ {
+		if d.submitted[id] || d.doneAt[id] > cycle {
+			continue
+		}
+		d.submitted[id] = true
+		d.pending--
+		node := topology.NodeID(id)
+		if d.cfg.Algorithm == AlgFlat {
+			p := d.payload(node, d.plan.Root, d.columnID(), d.leafValue(id, d.round), 1, cycle)
+			n := d.nw.NIC(node)
+			n.SetTag(d.tag)
+			n.SendUnicastPayload(d.plan.Root, p)
+			continue
+		}
+		row := topo.Coord(node).Row
+		line := &d.plan.Rows[row]
+		p := d.payload(node, line.Target, d.rowID(row), d.leafValue(id, d.round), 1, cycle)
+		d.submitToLine(node, line, topo.Coord(node).Col, p)
+	}
+}
+
+// releaseRowSums relays completed row sums into the column stage: the
+// east-column PE that folded (or received) its row's sum submits it as a
+// cols-operand payload toward the root.
+func (d *Driver) releaseRowSums(cycle int64) {
+	if d.l2Left == 0 {
+		return
+	}
+	for row := 0; row < d.rows; row++ {
+		if !d.l2Ready[row] || d.l2Sent[row] {
+			continue
+		}
+		d.l2Sent[row] = true
+		d.l2Left--
+		east := d.plan.Rows[row].Target
+		p := d.payload(east, d.plan.Root, d.columnID(), d.rowSum[row], d.cols, cycle)
+		d.submitToLine(east, &d.plan.Column, row, p)
+	}
+}
+
+// submitToLine moves one payload into a LineCollect stage under the
+// configured algorithm: initiators launch the collective packet seeded
+// with their payload, every other member offers it to the local station
+// under the line's δ scale (a passing packet picks it up, or the timeout
+// self-initiates).
+func (d *Driver) submitToLine(node topology.NodeID, line *noc.LineCollect, idx int, p flit.Payload) {
+	n := d.nw.NIC(node)
+	n.SetTag(d.tag)
+	scale := int64(line.DeltaScale[idx])
+	if d.cfg.Algorithm == AlgFused {
+		n.SetReduceDelta(d.rdelta * scale)
+		if line.IsInitiator(node) {
+			n.SendAccumulate(line.Target, p.ReduceID, p)
+		} else {
+			n.SubmitReduceOperand(p)
+		}
+		return
+	}
+	n.SetDelta(d.delta * scale)
+	if line.IsInitiator(node) {
+		n.SendGather(line.Target, &p)
+	} else {
+		n.SubmitGatherPayload(p)
+	}
+}
+
+// payload assembles one operand payload.
+func (d *Driver) payload(src, dst topology.NodeID, rid, value uint64, ops int, cycle int64) flit.Payload {
+	return flit.Payload{
+		Seq: d.nextSeq(), Src: src, Dst: dst,
+		Bits:       d.nw.Config().PayloadBits,
+		Value:      value,
+		ReadyCycle: cycle,
+		ReduceID:   rid,
+		Ops:        ops,
+	}
+}
+
+// maybeBroadcast launches the broadcast leg once the round's value is
+// ready: the reduction completed (AllReduce) or the root's compute
+// finished (Broadcast). Tree and fused send one multicast packet over the
+// XY tree; flat unicasts to every node. The root addresses itself too, so
+// every node's receipt flows through the same ejection accounting.
+func (d *Driver) maybeBroadcast(cycle int64) {
+	if !d.hasBroadcast() || d.bcastSent {
+		return
+	}
+	if d.cfg.Op == AllReduce {
+		if !d.reduceDone {
+			return
+		}
+	} else if cycle < d.rootReadyAt {
+		return
+	}
+	d.bcastSent = true
+	root := d.plan.Root
+	n := d.nw.NIC(root)
+	n.SetTag(d.tag)
+	bid := d.broadcastID()
+	flits := d.nw.Config().UnicastFlits
+	if d.cfg.Algorithm == AlgFlat {
+		for id := 0; id < d.nodes; id++ {
+			p := d.payload(root, topology.NodeID(id), bid, d.bcastVal, 1, cycle)
+			n.SendUnicastPayload(topology.NodeID(id), p)
+		}
+		return
+	}
+	p := d.payload(root, root, bid, d.bcastVal, 1, cycle)
+	n.SendMulticastPayload(d.bcastDests, flits, p)
+}
+
+// OnPacket records one arriving packet and dispatches its payloads
+// (standalone: the wired receive callback; scheduler: the dispatch target
+// for this phase's tag). Broadcast receipts are attributed to the
+// ejecting node (ReceivedPacket.At); payloads tagged for another driver —
+// picked up en route by this phase's collective packet — are routed
+// through the foreign handler instead.
+func (d *Driver) OnPacket(p *nic.ReceivedPacket) {
+	d.res.PacketLatency.Observe(float64(p.Latency()))
+	for _, pl := range p.Payloads {
+		if flit.ReduceIDTag(pl.ReduceID) != d.tag && d.foreign != nil {
+			d.foreign(pl)
+			continue
+		}
+		if flit.ReduceIDRow(pl.ReduceID) == d.rows+rowIDBroadcastOffset {
+			d.onBroadcast(pl, p.At)
+			continue
+		}
+		d.OnPayload(pl)
+	}
+}
+
+// onBroadcast accounts one broadcast delivery at node `at`: exactly one
+// receipt per live node per round, carrying exactly the round's value.
+func (d *Driver) onBroadcast(pl flit.Payload, at topology.NodeID) {
+	if flit.ReduceIDTag(pl.ReduceID) != d.tag ||
+		flit.ReduceIDRound(pl.ReduceID) != uint32(d.round) ||
+		int(at) >= d.nodes || !d.plan.Alive(at) || d.got[at] {
+		d.res.BroadcastErrors++
+		return
+	}
+	d.got[at] = true
+	d.gotCount++
+	d.res.NodeValues[d.round][at] = pl.Value
+	if pl.Value != d.bcastVal {
+		d.res.BroadcastErrors++
+	}
+}
+
+// OnPayload folds one delivered reduction payload into its account — a
+// row's level-1 sum at the row target, or the column stage at the root —
+// and checks completed reductions against the oracle. Payloads whose
+// ReduceID does not name this driver's tag, a valid channel and the
+// current round count as oracle errors (workload.PayloadSink).
+func (d *Driver) OnPayload(pl flit.Payload) {
+	row := flit.ReduceIDRow(pl.ReduceID)
+	if flit.ReduceIDTag(pl.ReduceID) != d.tag || !d.hasReduce() ||
+		flit.ReduceIDRound(pl.ReduceID) != uint32(d.round) {
+		d.res.OracleErrors++
+		return
+	}
+	switch {
+	case row == d.rows+rowIDColumnOffset:
+		d.onColumnOperand(pl)
+	case row < d.rows && d.treeLevels():
+		d.onRowOperand(pl, row)
+	default:
+		d.res.OracleErrors++
+	}
+}
+
+// onRowOperand folds one level-1 payload into its row account; a
+// completed row is verified against the oracle and its sum staged for the
+// column relay.
+func (d *Driver) onRowOperand(pl flit.Payload, row int) {
+	a := &d.rowAccs[row]
+	if a.done {
+		// Operands beyond a verified reduction are duplicates.
+		d.res.OracleErrors++
+		return
+	}
+	a.sum += pl.Value
+	a.ops += pl.OpsCount()
+	if a.ops >= d.cols {
+		if err := d.oracle.Verify(d.rowID(row), a.sum, a.ops); err != nil {
+			d.res.OracleErrors++
+		}
+		a.done = true
+		d.rowSum[row] = a.sum
+		d.l2Ready[row] = true
+	}
+}
+
+// onColumnOperand folds one column-stage payload into the root account; a
+// completed reduction is verified against the oracle and finishes the
+// round's reduce leg.
+func (d *Driver) onColumnOperand(pl flit.Payload) {
+	a := &d.rootAcct
+	if a.done {
+		d.res.OracleErrors++
+		return
+	}
+	a.sum += pl.Value
+	a.ops += pl.OpsCount()
+	if a.ops >= d.nodes {
+		if err := d.oracle.Verify(d.columnID(), a.sum, a.ops); err != nil {
+			d.res.OracleErrors++
+		}
+		a.done = true
+		d.reduceDone = true
+	}
+}
+
+func (d *Driver) roundComplete() bool {
+	if d.hasBroadcast() {
+		return d.gotCount >= d.plan.LiveCount
+	}
+	return d.reduceDone
+}
+
+func (d *Driver) finishRound(cycle int64) {
+	d.res.RoundCycles.Observe(float64(cycle - d.roundStart))
+	d.round++
+	if d.round >= d.cfg.Rounds {
+		d.phase = phaseDone
+		return
+	}
+	d.startRound(cycle)
+}
+
+// Run registers the driver with the network's engine and executes the
+// configured rounds, returning the finalized result. Call at most once,
+// on a standalone controller (NewController).
+func (d *Driver) Run(maxCycles int64) (*Result, error) {
+	eng := d.nw.Engine()
+	eng.AddTicker(d)
+	cycles, err := eng.RunUntil(d.Done, maxCycles)
+	if err != nil {
+		return nil, fmt.Errorf("collective: %s/%s on %dx%d: %w",
+			d.cfg.Op, d.cfg.Algorithm, d.rows, d.cols, err)
+	}
+	return d.result(cycles), nil
+}
+
+// result finalizes the run-wide result: network counters plus the flits
+// that crossed the tree root's ejection point.
+func (d *Driver) result(cycles int64) *Result {
+	r := &d.res
+	r.Cycles = cycles
+	r.Activity = d.nw.Activity()
+	for id := 0; id < d.nodes; id++ {
+		n := d.nw.NIC(topology.NodeID(id))
+		r.SelfInitiated += n.SelfInitiatedGathers.Value() + n.SelfInitiatedReduces.Value()
+		r.Merges += n.PiggybackAcks.Value() + n.MergeAcks.Value()
+	}
+	var ej *nic.Ejector
+	if d.plan.RootIsSink {
+		ej = d.nw.Sink(d.rows - 1).Ejector()
+	} else {
+		ej = d.nw.NIC(d.plan.Root).Ejector()
+	}
+	r.RootFlits = ej.FlitsEjected.Value()
+	r.RootPackets = ej.PacketsEjected.Value()
+	return r
+}
+
+// Snapshot returns the driver-local result fields (latencies, sums,
+// per-node values, error counts) without aggregating network-wide
+// counters — the accessor scheduler-driven phases use, where concurrent
+// phases share those counters.
+func (d *Driver) Snapshot() *Result { return &d.res }

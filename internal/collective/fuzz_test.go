@@ -1,0 +1,95 @@
+package collective
+
+import (
+	"errors"
+	"testing"
+
+	"gathernoc/internal/fault"
+	"gathernoc/internal/noc"
+	"gathernoc/internal/topology"
+)
+
+// FuzzTreePlan throws random fabrics, routings and dead-node masks at the
+// tree-plan builder. The invariant: construction either fails with an
+// error wrapping fault.ErrUnreachable (a live node's deterministic sweep
+// crosses a dead router — nothing to reroute around), or yields a plan
+// whose row lines cover every live node exactly once, whose column line
+// threads the row targets in order, and whose δ scales are all positive.
+// Plan construction must never panic.
+func FuzzTreePlan(f *testing.F) {
+	f.Add(uint8(8), uint8(8), false, uint8(0), uint64(0))
+	f.Add(uint8(8), uint8(8), true, uint8(0), uint64(0))
+	f.Add(uint8(4), uint8(4), false, uint8(1), uint64(0x0F0F))
+	f.Add(uint8(6), uint8(3), true, uint8(2), uint64(1)<<17)
+	f.Add(uint8(1), uint8(1), false, uint8(0), uint64(1))
+	f.Fuzz(func(t *testing.T, rows, cols uint8, torus bool, routing uint8, mask uint64) {
+		// Clamp to fabrics of at most 64 nodes so the mask covers them.
+		r := 1 + int(rows)%8
+		c := 1 + int(cols)%8
+		var cfg noc.Config
+		if torus {
+			cfg = noc.DefaultTorusConfig(r, c)
+		} else {
+			cfg = noc.DefaultConfig(r, c)
+		}
+		names := topology.RoutingNames()
+		cfg.Routing = names[int(routing)%len(names)]
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("fuzz harness built an invalid config: %v", err)
+		}
+		nw, err := noc.New(cfg)
+		if err != nil {
+			t.Fatalf("noc.New: %v", err)
+		}
+		defer nw.Close()
+
+		nodes := r * c
+		dead := make([]bool, nodes)
+		live := 0
+		for id := 0; id < nodes; id++ {
+			dead[id] = mask&(1<<uint(id)) != 0
+			if !dead[id] {
+				live++
+			}
+		}
+		plan, err := NewTreePlan(nw, PlanOptions{Dead: dead, RootAtSink: cfg.EastSinks})
+		if err != nil {
+			if !errors.Is(err, fault.ErrUnreachable) {
+				t.Fatalf("plan error is not fault.ErrUnreachable: %v", err)
+			}
+			return
+		}
+		if plan.LiveCount != live {
+			t.Fatalf("LiveCount = %d, want %d", plan.LiveCount, live)
+		}
+		covered := make(map[topology.NodeID]int)
+		for row, line := range plan.Rows {
+			if len(line.Nodes) != c || len(line.DeltaScale) != c {
+				t.Fatalf("row %d line sized %d/%d, want %d", row, len(line.Nodes), len(line.DeltaScale), c)
+			}
+			for i, id := range line.Nodes {
+				if dead[id] {
+					continue
+				}
+				covered[id]++
+				if line.DeltaScale[i] < 1 {
+					t.Fatalf("row %d node %d δ scale %d", row, id, line.DeltaScale[i])
+				}
+			}
+			if plan.Column.Nodes[row] != line.Target {
+				t.Fatalf("column node %d is %d, want row target %d", row, plan.Column.Nodes[row], line.Target)
+			}
+		}
+		if len(covered) != live {
+			t.Fatalf("row lines cover %d live nodes, want %d", len(covered), live)
+		}
+		for id, n := range covered {
+			if n != 1 {
+				t.Fatalf("node %d covered %d times", id, n)
+			}
+		}
+		if plan.Dests(nw.Topology()).Len() != live {
+			t.Fatalf("broadcast dest set covers %d nodes, want %d", plan.Dests(nw.Topology()).Len(), live)
+		}
+	})
+}

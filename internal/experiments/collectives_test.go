@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func collectiveRow(t *testing.T, rows []CollectiveRow, mesh int, alg string) *CollectiveRow {
+	t.Helper()
+	for i := range rows {
+		if rows[i].Mesh == mesh && rows[i].Algorithm == alg {
+			return &rows[i]
+		}
+	}
+	t.Fatalf("missing row %dx%d/%s", mesh, mesh, alg)
+	return nil
+}
+
+// TestCollectiveComparisonAcceptance pins this PR's acceptance criterion:
+// on the 8x8 mesh the tree all-reduce lands strictly fewer flits at its
+// root than repeated row-gather collection lands at the sinks, and the
+// INA-fused tree in turn undercuts the plain tree while the flat-unicast
+// baseline is the worst serialization of all.
+func TestCollectiveComparisonAcceptance(t *testing.T) {
+	rows, err := CollectiveComparison(Options{Rounds: 2, Meshes: []int{8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := collectiveRow(t, rows, 8, "tree")
+	flat := collectiveRow(t, rows, 8, "flat")
+	fused := collectiveRow(t, rows, 8, "fused")
+	base := collectiveRow(t, rows, 8, CollectiveBaseline)
+	if tree.RootFlits >= base.RootFlits {
+		t.Errorf("tree root flits %d not below repeated row-gather %d",
+			tree.RootFlits, base.RootFlits)
+	}
+	if fused.RootFlits > tree.RootFlits {
+		t.Errorf("fused root flits %d above tree %d", fused.RootFlits, tree.RootFlits)
+	}
+	if flat.RootFlits <= tree.RootFlits {
+		t.Errorf("flat root flits %d not above tree %d — the tree buys nothing",
+			flat.RootFlits, tree.RootFlits)
+	}
+	if fused.Merges == 0 {
+		t.Error("fused tree reported no in-network merges")
+	}
+	if tree.Merges == 0 {
+		t.Error("gather tree reported no piggyback merges")
+	}
+	for _, r := range rows {
+		if r.RoundCycles <= 0 || r.LinkFlits == 0 || r.NoCPJ <= 0 {
+			t.Errorf("row %+v has empty activity", r)
+		}
+	}
+}
+
+// TestCollectiveComparisonDeterministic verifies identical rows across
+// worker schedules.
+func TestCollectiveComparisonDeterministic(t *testing.T) {
+	opts := Options{Rounds: 1, Meshes: []int{4}}
+	a, err := CollectiveComparison(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Workers = 1
+	b, err := CollectiveComparison(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("row counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("row %d diverged:\n%+v\n%+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestCollectiveComparisonCancellation verifies ctx cancellation surfaces.
+func TestCollectiveComparisonCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := CollectiveComparison(Options{Rounds: 1, Meshes: []int{4}, Ctx: ctx}); err == nil {
+		t.Fatal("cancelled comparison must error")
+	}
+}
+
+func TestRenderCollectives(t *testing.T) {
+	rows := []CollectiveRow{{
+		Mesh: 8, Algorithm: "tree", RoundCycles: 120, PacketLatency: 30,
+		RootFlits: 10, Merges: 12, LinkFlits: 500, NoCPJ: 4000,
+	}}
+	out := RenderCollectives(rows)
+	if !strings.Contains(out, "tree") || !strings.Contains(out, "all-reduce") {
+		t.Errorf("render missing content:\n%s", out)
+	}
+}

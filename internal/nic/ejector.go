@@ -31,6 +31,12 @@ type ReceivedPacket struct {
 	// Src is the injecting node; Dst the addressed destination.
 	Src topology.NodeID
 	Dst topology.NodeID
+	// At is the node where the packet ejected: the receiving NIC's node id
+	// or the sink's virtual id. For unicast traffic it equals Dst, but a
+	// multicast packet is reassembled once per destination and Dst says
+	// nothing about which copy this is — collective drivers dispatch
+	// per-node broadcast receipts on At.
+	At topology.NodeID
 	// Flits is the packet length.
 	Flits int
 	// Payloads are the gather payloads collected by the packet (gather
@@ -104,6 +110,7 @@ type DeliveredPayload struct {
 // packet reassembly. Both NICs and global-buffer edge sinks embed one.
 type Ejector struct {
 	name      string
+	owner     topology.NodeID
 	vcs       int
 	depth     int
 	drainRate int
@@ -190,6 +197,10 @@ func NewEjector(name string, vcs, depth, drainRate int) *Ejector {
 		bufs:      make([]ring.Ring[*flit.Flit], vcs),
 	}
 }
+
+// SetOwner records the node id of the ejection point (the NIC's node or
+// the sink's virtual id), stamped onto every ReceivedPacket's At field.
+func (e *Ejector) SetOwner(id topology.NodeID) { e.owner = id }
 
 // ConnectReverse sets the link used to return credits to the router.
 func (e *Ejector) ConnectReverse(l *link.Link) { e.reverse = l }
@@ -376,6 +387,7 @@ func (e *Ejector) assemble(f *flit.Flit, cycle int64) {
 		PT:           pp.pt,
 		Src:          pp.src,
 		Dst:          pp.dst,
+		At:           e.owner,
 		Flits:        pp.flits,
 		Payloads:     pp.payloads,
 		InjectCycle:  pp.injectCycle,

@@ -209,6 +209,7 @@ func New(id topology.NodeID, cfg Config, rtr *router.Router, nextID func() uint6
 		vcPkt:   make([]vcStream, cfg.VCs),
 		eject:   NewEjector(fmt.Sprintf("nic%d", id), cfg.VCs, cfg.EjectDepth, cfg.EjectRate),
 	}
+	n.eject.SetOwner(id)
 	for v := range n.credits {
 		n.credits[v] = cfg.RouterBufferDepth
 	}
@@ -322,6 +323,17 @@ func (n *NIC) SendUnicastPayload(dst topology.NodeID, p flit.Payload) uint64 {
 func (n *NIC) SendMulticast(dsts *topology.DestSet, nFlits int) uint64 {
 	return n.enqueue(flit.Packet{
 		PT: flit.Multicast, Src: n.id, MDst: dsts.Clone(), Flits: nFlits,
+	})
+}
+
+// SendMulticastPayload queues a multicast packet of nFlits flits carrying
+// one payload to every destination — the broadcast leg of a collective
+// tree. The XY multicast tree copies the payload on every fork
+// (router.flitForBranch clones flit payload slices), so each destination's
+// ejector reassembles a packet delivering the same value.
+func (n *NIC) SendMulticastPayload(dsts *topology.DestSet, nFlits int, p flit.Payload) uint64 {
+	return n.enqueue(flit.Packet{
+		PT: flit.Multicast, Src: n.id, MDst: dsts.Clone(), Flits: nFlits, Carried: &p,
 	})
 }
 

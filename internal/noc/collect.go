@@ -56,54 +56,197 @@ func (rc *RowCollect) IsInitiator(id topology.NodeID) bool {
 func (nw *Network) RowCollect(row int) RowCollect {
 	cols := nw.cfg.Cols
 	topo := nw.topo
-	edge := topo.ID(topology.Coord{Row: row, Col: cols - 1})
 	rc := RowCollect{
 		Row:        row,
-		Target:     edge,
+		Target:     topo.ID(topology.Coord{Row: row, Col: cols - 1}),
 		DeltaScale: make([]int, cols),
 	}
 	if len(nw.sinks) > 0 {
 		rc.Target = nw.RowSinkID(row)
 		rc.TargetIsSink = true
 	}
+	inits, scale := nw.linePlan(cols, cols > 1 || rc.TargetIsSink)
+	for _, idx := range inits {
+		rc.Initiators = append(rc.Initiators, topo.ID(topology.Coord{Row: row, Col: idx}))
+	}
+	copy(rc.DeltaScale, scale)
+	return rc
+}
 
+// LineCollect generalizes the RowCollect plan to any straight line of
+// fabric nodes whose collection target sits at the line's last index —
+// rows sweeping east and columns sweeping south use the same shape. The
+// collective tree layer (internal/collective) composes one LineCollect per
+// row with one over the sink column to form mesh-wide reductions.
+type LineCollect struct {
+	// Nodes lists the line's members in sweep-index order (west to east
+	// for a row, north to south for a column).
+	Nodes []topology.NodeID
+	// Target receives the line's payloads: Nodes[len-1] itself, or the
+	// bottom row's sink when the plan collects the sink column to the
+	// global buffer.
+	Target topology.NodeID
+	// TargetIsSink distinguishes the two target kinds.
+	TargetIsSink bool
+	// Initiators lists the nodes that launch the line's collective
+	// packet(s); one on mesh paths, up to two covering a torus ring.
+	Initiators []topology.NodeID
+	// DeltaScale[i] is the δ multiplier for Nodes[i]: 1 + its hop distance
+	// from the initiator whose packet sweeps it.
+	DeltaScale []int
+	// Wrap records whether the plan covers a ring with two directional
+	// arcs (wrap-aware routing) rather than one straight mesh sweep; it
+	// decides which segment SweepPath walks.
+	Wrap bool
+}
+
+// IsInitiator reports whether id launches one of the line's collective
+// packets.
+func (lc *LineCollect) IsInitiator(id topology.NodeID) bool {
+	for _, init := range lc.Initiators {
+		if init == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Index returns id's sweep index in the line, or -1.
+func (lc *LineCollect) Index(id topology.NodeID) int {
+	for i, n := range lc.Nodes {
+		if n == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// SweepPath appends to buf the line indices a payload from Nodes[i]
+// traverses to reach the target (both endpoints included): the straight
+// east/south segment on mesh paths, or the node's directional arc on a
+// ring. Fault-masked plan builders walk it to decide whether a dead router
+// cuts the node off.
+func (lc *LineCollect) SweepPath(i int, buf []int) []int {
+	n := len(lc.Nodes)
+	t := n - 1
+	buf = append(buf, i)
+	if !lc.Wrap {
+		for j := i + 1; j < n; j++ {
+			buf = append(buf, j)
+		}
+		return buf
+	}
+	if d := pmod(t-i, n); d <= n-d {
+		// Swept by the forward (east/south) packet.
+		for j := i; j != t; {
+			j = pmod(j+1, n)
+			buf = append(buf, j)
+		}
+	} else {
+		for j := i; j != t; {
+			j = pmod(j-1, n)
+			buf = append(buf, j)
+		}
+	}
+	return buf
+}
+
+// RowLine plans the collection of one row at its east-column PE — always
+// the PE, never the row sink, so the target can re-inject the row's sum
+// into a second-level reduction (the collective tree's row stage).
+func (nw *Network) RowLine(row int) LineCollect {
+	cols := nw.cfg.Cols
+	nodes := make([]topology.NodeID, cols)
+	for col := 0; col < cols; col++ {
+		nodes[col] = nw.topo.ID(topology.Coord{Row: row, Col: col})
+	}
+	return nw.lineCollect(nodes, nodes[cols-1], false)
+}
+
+// ColumnLine plans the collection of one column at its bottom-row PE, or —
+// when toSink is set on a fabric with east sinks — at the bottom row's
+// global-buffer sink, whose deterministic route extends the southward
+// sweep with the final east hop off the edge (the collective tree's column
+// stage). toSink without east sinks panics: Validate already rejects the
+// torus/EastSinks combination, so the caller gates on the config.
+func (nw *Network) ColumnLine(col int, toSink bool) LineCollect {
+	rows := nw.cfg.Rows
+	nodes := make([]topology.NodeID, rows)
+	for row := 0; row < rows; row++ {
+		nodes[row] = nw.topo.ID(topology.Coord{Row: row, Col: col})
+	}
+	target := nodes[rows-1]
+	if toSink {
+		if len(nw.sinks) == 0 {
+			panic("noc: ColumnLine toSink without east sinks")
+		}
+		target = nw.RowSinkID(rows - 1)
+	}
+	return nw.lineCollect(nodes, target, toSink)
+}
+
+// lineCollect assembles a LineCollect from the index-space plan.
+func (nw *Network) lineCollect(nodes []topology.NodeID, target topology.NodeID, sink bool) LineCollect {
+	n := len(nodes)
+	lc := LineCollect{
+		Nodes:        nodes,
+		Target:       target,
+		TargetIsSink: sink,
+		Wrap:         nw.routing.VCClasses() > 1,
+	}
+	inits, scale := nw.linePlan(n, n > 1 || sink)
+	for _, idx := range inits {
+		lc.Initiators = append(lc.Initiators, nodes[idx])
+	}
+	lc.DeltaScale = scale
+	return lc
+}
+
+// linePlan computes the initiator indices and δ scales for a line of n
+// nodes whose target sits at index n-1 — the index-space core shared by
+// RowCollect, RowLine and ColumnLine. meshInitiator controls whether the
+// mesh path names index 0 as initiator (false only for a single-node line
+// collecting at itself, where there is nothing to sweep).
+func (nw *Network) linePlan(n int, meshInitiator bool) (inits []int, scale []int) {
+	scale = make([]int, n)
 	if nw.routing.VCClasses() > 1 {
 		// Wrap-aware routing (torus dimension-order with dateline VC
-		// classes): cover the row ring with two initiators, the farthest
-		// node of each direction. ringStep ties break east, so the
-		// eastbound arc may span ⌊cols/2⌋ hops and the westbound arc the
-		// remaining ⌈cols/2⌉-1.
-		t := cols - 1
-		east := pmod(t-cols/2, cols)
-		west := pmod(t+(cols+1)/2-1, cols)
-		if east != t {
-			rc.Initiators = append(rc.Initiators, topo.ID(topology.Coord{Row: row, Col: east}))
+		// classes): cover the ring with two initiators, the farthest node
+		// of each direction. ringStep ties break forward (east/south), so
+		// the forward arc may span ⌊n/2⌋ hops and the backward arc the
+		// remaining ⌈n/2⌉-1.
+		t := n - 1
+		fwd := pmod(t-n/2, n)
+		bwd := pmod(t+(n+1)/2-1, n)
+		if fwd != t {
+			inits = append(inits, fwd)
 		}
-		if west != t && west != east {
-			rc.Initiators = append(rc.Initiators, topo.ID(topology.Coord{Row: row, Col: west}))
+		if bwd != t && bwd != fwd {
+			inits = append(inits, bwd)
 		}
-		for col := 0; col < cols; col++ {
-			if d := pmod(t-col, cols); d <= cols-d {
-				// Swept by the eastbound packet.
-				rc.DeltaScale[col] = 1 + pmod(col-east, cols)
+		for i := 0; i < n; i++ {
+			if d := pmod(t-i, n); d <= n-d {
+				// Swept by the forward packet.
+				scale[i] = 1 + pmod(i-fwd, n)
 			} else {
-				rc.DeltaScale[col] = 1 + pmod(west-col, cols)
+				scale[i] = 1 + pmod(bwd-i, n)
 			}
 		}
-		return rc
+		return inits, scale
 	}
 
 	// Mesh-path routing (mesh fabrics, and turn-model routings confined
-	// to a torus's mesh sub-network): the column-0 initiator's route to
-	// the east-column target is the straight row sweep under every
-	// built-in algorithm — same-row destinations leave no adaptivity.
-	if cols > 1 || rc.TargetIsSink {
-		rc.Initiators = append(rc.Initiators, topo.ID(topology.Coord{Row: row, Col: 0}))
+	// to a torus's mesh sub-network): the index-0 initiator's route to
+	// the line-end target is the straight sweep under every built-in
+	// algorithm — same-row and same-column destinations leave no
+	// adaptivity.
+	if meshInitiator {
+		inits = append(inits, 0)
 	}
-	for col := 0; col < cols; col++ {
-		rc.DeltaScale[col] = 1 + col
+	for i := 0; i < n; i++ {
+		scale[i] = 1 + i
 	}
-	return rc
+	return inits, scale
 }
 
 // pmod is the positive remainder of v modulo size (size > 0).

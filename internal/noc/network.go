@@ -268,6 +268,7 @@ func New(cfg Config) (*Network, error) {
 				row: row,
 				ej:  nic.NewEjector(fmt.Sprintf("sink%d", row), cfg.Router.VCs, cfg.Router.BufferDepth, cfg.SinkDrainRate),
 			}
+			s.ej.SetOwner(s.id)
 			s.ej.SetPacketOverhead(cfg.SinkPacketOverhead)
 			l := link.New(fmt.Sprintf("sinklink%d", row), cfg.LinkLatency, s.ej, edge.CreditSink(topology.EastPort))
 			edge.ConnectOutput(topology.EastPort, l, cfg.Router.VCs, cfg.Router.BufferDepth)

@@ -1,0 +1,38 @@
+package workload
+
+import (
+	"fmt"
+
+	"gathernoc/internal/collective"
+	"gathernoc/internal/noc"
+)
+
+// NewCollectiveJob compiles a sequence of collective phases into a Job —
+// the gradient-synchronization pattern of data-parallel training, where
+// an all-reduce follows each compute stage. Phase i is named after its
+// op/algorithm pair and chained to its predecessor by a barrier edge
+// (overlap selects double-buffered pipelining instead). The returned
+// drivers expose each phase's Snapshot after the run.
+func NewCollectiveJob(nw *noc.Network, name string, phases []collective.Config, overlap bool) (Job, []*collective.Driver, error) {
+	if len(phases) == 0 {
+		return Job{}, nil, fmt.Errorf("workload: collective job %q has no phases", name)
+	}
+	job := Job{Name: name, Phases: make([]Phase, 0, len(phases))}
+	drivers := make([]*collective.Driver, 0, len(phases))
+	for i, cfg := range phases {
+		drv, err := collective.NewDriver(nw, cfg)
+		if err != nil {
+			return Job{}, nil, fmt.Errorf("workload: collective job %q phase %d: %w", name, i, err)
+		}
+		ph := Phase{
+			Name:   fmt.Sprintf("%s-%s-%d", cfg.Op, cfg.Algorithm, i),
+			Driver: drv,
+		}
+		if i > 0 {
+			ph.After = []Dep{{Phase: i - 1, Overlap: overlap}}
+		}
+		job.Phases = append(job.Phases, ph)
+		drivers = append(drivers, drv)
+	}
+	return job, drivers, nil
+}

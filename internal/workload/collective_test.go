@@ -1,0 +1,108 @@
+package workload
+
+import (
+	"testing"
+
+	"gathernoc/internal/cnn"
+	"gathernoc/internal/collective"
+	"gathernoc/internal/noc"
+	"gathernoc/internal/traffic"
+)
+
+// TestCollectiveJobPhases runs a two-phase collective job — an all-reduce
+// followed by a broadcast, the gradient-sync/parameter-push pair — under
+// the scheduler and checks both phases' verification accounts.
+func TestCollectiveJobPhases(t *testing.T) {
+	nw, err := noc.New(noc.DefaultConfig(4, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	job, drivers, err := NewCollectiveJob(nw, "sync", []collective.Config{
+		{Op: collective.AllReduce, Algorithm: collective.AlgTree, Rounds: 2, ComputeLatency: 4},
+		{Op: collective.Broadcast, Algorithm: collective.AlgTree, Rounds: 1},
+	}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(job.Phases) != 2 || job.Phases[0].Name != "allreduce-tree-0" || job.Phases[1].Name != "bcast-tree-1" {
+		t.Fatalf("phases = %+v", job.Phases)
+	}
+	s, err := New(nw, []Job{job})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range drivers {
+		snap := d.Snapshot()
+		if snap.OracleErrors != 0 || snap.BroadcastErrors != 0 {
+			t.Errorf("phase %d: %d oracle / %d broadcast errors", i, snap.OracleErrors, snap.BroadcastErrors)
+		}
+	}
+	if res.OrphanPackets != 0 || res.OrphanPayloads != 0 {
+		t.Errorf("orphans: %d packets, %d payloads", res.OrphanPackets, res.OrphanPayloads)
+	}
+}
+
+// TestCollectiveAlongsideAccumulation shares the fabric between a
+// collective all-reduce job and a row-accumulation inference job: the
+// scheduler's tag routing must keep each job's payloads out of the other's
+// stations, and both oracles must stay exact.
+func TestCollectiveAlongsideAccumulation(t *testing.T) {
+	layer, ok := cnn.LayerByName(cnn.AlexNetConvLayers(), "Conv3")
+	if !ok {
+		t.Fatal("Conv3 missing")
+	}
+	nw, err := noc.New(noc.DefaultConfig(4, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	accJobs, accDrivers, err := NewInferenceBatch(nw, 1, 0, PipelineConfig{
+		Layers: []cnn.LayerConfig{layer},
+		Scheme: traffic.CollectGather,
+		Rounds: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	collJob, collDrivers, err := NewCollectiveJob(nw, "sync", []collective.Config{
+		{Op: collective.AllReduce, Algorithm: collective.AlgTree, Rounds: 2, ComputeLatency: 4},
+	}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(nw, append(accJobs, collJob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap := accDrivers[0][0].Snapshot(); snap.OracleErrors != 0 {
+		t.Errorf("accumulation job: %d oracle errors", snap.OracleErrors)
+	}
+	snap := collDrivers[0].Snapshot()
+	if snap.OracleErrors != 0 || snap.BroadcastErrors != 0 {
+		t.Errorf("collective job: %d oracle / %d broadcast errors", snap.OracleErrors, snap.BroadcastErrors)
+	}
+	if res.OrphanPackets != 0 || res.OrphanPayloads != 0 {
+		t.Errorf("orphans: %d packets, %d payloads", res.OrphanPackets, res.OrphanPayloads)
+	}
+}
+
+// TestCollectiveJobValidation covers the constructor's rejection paths.
+func TestCollectiveJobValidation(t *testing.T) {
+	nw := testNetwork(t, 4, 4)
+	defer nw.Close()
+	if _, _, err := NewCollectiveJob(nw, "empty", nil, false); err == nil {
+		t.Error("empty phase list accepted")
+	}
+	if _, _, err := NewCollectiveJob(nw, "bad", []collective.Config{{}}, false); err == nil {
+		t.Error("invalid phase config accepted")
+	}
+}

@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Per-package coverage ratchet: runs the short suite with atomic coverage
+# and fails if any package drops below its floor. Floors sit one point
+# under the coverage measured when the gate was introduced (PR 9); when a
+# PR raises a package's coverage durably, raise its floor to match — the
+# ratchet only turns one way.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# The root package (gathernoc) is doc-only — no statements to cover —
+# so it has no floor; its tests still run as part of the sweep.
+floors="
+gathernoc/cmd/benchreport 7
+gathernoc/cmd/cnntrace 85
+gathernoc/cmd/experiments 54
+gathernoc/cmd/gatherviz 91
+gathernoc/cmd/nocsim 82
+gathernoc/internal/analytic 92
+gathernoc/internal/cnn 97
+gathernoc/internal/collective 88
+gathernoc/internal/core 85
+gathernoc/internal/experiments 86
+gathernoc/internal/fault 94
+gathernoc/internal/flit 75
+gathernoc/internal/link 36
+gathernoc/internal/nic 52
+gathernoc/internal/noc 38
+gathernoc/internal/power 99
+gathernoc/internal/reduce 99
+gathernoc/internal/ring 97
+gathernoc/internal/router 78
+gathernoc/internal/sim 35
+gathernoc/internal/stats 95
+gathernoc/internal/systolic 90
+gathernoc/internal/telemetry 85
+gathernoc/internal/topology 89
+gathernoc/internal/traffic 78
+gathernoc/internal/workload 88
+"
+
+out="$(go test -short -covermode=atomic -cover ./... 2>&1)" || {
+  echo "$out"
+  echo "covergate: test run failed" >&2
+  exit 1
+}
+echo "$out"
+
+fail=0
+while read -r pkg floor; do
+  [ -z "$pkg" ] && continue
+  line="$(echo "$out" | grep -E "^ok[[:space:]]+$pkg[[:space:]]" || true)"
+  if [ -z "$line" ]; then
+    echo "covergate: no coverage line for $pkg" >&2
+    fail=1
+    continue
+  fi
+  pct="$(echo "$line" | grep -oE '[0-9]+\.[0-9]+% of statements' | grep -oE '^[0-9]+')"
+  if [ -z "$pct" ]; then
+    echo "covergate: cannot parse coverage for $pkg: $line" >&2
+    fail=1
+    continue
+  fi
+  if [ "$pct" -lt "$floor" ]; then
+    echo "covergate: $pkg at ${pct}%, floor ${floor}%" >&2
+    fail=1
+  fi
+done <<EOF
+$floors
+EOF
+
+if [ "$fail" -ne 0 ]; then
+  echo "covergate: FAIL — package coverage fell below its ratchet floor" >&2
+  exit 1
+fi
+echo "covergate: all packages at or above their floors"
