@@ -499,6 +499,86 @@ func BenchmarkSweepFig7(b *testing.B) {
 	}
 }
 
+// BenchmarkSweepCached measures the Fig. 7 sweep served from a warm
+// result cache: a cold pass fills it outside the timer, then every
+// measured pass replays from memoized comparisons without constructing a
+// network. The gap to BenchmarkSweepFig7 is the price of resimulation.
+func BenchmarkSweepCached(b *testing.B) {
+	cache, err := experiments.NewCache(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := experiments.Options{Rounds: 1, Cache: cache}
+	if _, err := experiments.Fig7(opts); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig7(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if s := cache.Stats(); s.Misses != 5*2 {
+		b.Fatalf("cache stats %+v: warm passes missed", s)
+	}
+}
+
+// BenchmarkSnapshotRestore prices the checkpoint machinery itself:
+// capture + serialize, then deserialize + restore onto a fresh network,
+// on a mid-flight 8x8 run. snapshot_bytes records the envelope size.
+func BenchmarkSnapshotRestore(b *testing.B) {
+	cfg := noc.DefaultConfig(8, 8)
+	cfg.EastSinks = false
+	nw, err := noc.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer nw.Close()
+	gen, err := traffic.NewGenerator(nw, traffic.GeneratorConfig{
+		Pattern:       traffic.UniformRandom{Nodes: 64},
+		InjectionRate: 0.05,
+		PacketFlits:   2,
+		Warmup:        200,
+		Measure:       1800,
+		Seed:          7,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	nw.Engine().AddTicker(gen)
+	nw.Engine().Run(600)
+
+	var bytes int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snap, err := nw.Snapshot()
+		if err != nil {
+			b.Fatal(err)
+		}
+		data, err := noc.EncodeSnapshot(snap)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bytes = len(data)
+		decoded, err := noc.DecodeSnapshot(data)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fresh, err := noc.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := fresh.Restore(decoded); err != nil {
+			b.Fatal(err)
+		}
+		fresh.Close()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(bytes), "snapshot_bytes")
+}
+
 // BenchmarkINAComparison regenerates the accumulation-phase comparison
 // (unicast vs gather vs in-network accumulation) on the 8x8 mesh through
 // the sweep harness, reporting INA's sink-flit advantage over gather.

@@ -97,6 +97,7 @@ func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("benchreport", flag.ContinueOnError)
 	out := fs.String("out", "", "write the JSON report to this file (default: stdout)")
 	baseline := fs.String("baseline", "", "previous snapshot to diff against (e.g. BENCH_PR2.json); missing file is not an error")
+	cacheDir := fs.String("cachedir", "", "back the SweepFig7/cached benchmark with this on-disk cache directory (default: in-memory)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -249,6 +250,44 @@ func run(args []string, w io.Writer) error {
 		res := toResult(tc.name, r, nil)
 		res.GOMAXPROCS = tc.procs
 		report.Benchmarks = append(report.Benchmarks, res)
+	}
+
+	// Cached sweep: the same Fig. 7 sweep served from a warm result cache
+	// (BenchmarkSweepCached) — the memoization headline. One cold pass
+	// fills the cache, then every measured pass replays from it; hits and
+	// the speedup against the parallel uncached leg are the metrics.
+	{
+		cache, err := experiments.NewCache(*cacheDir)
+		if err != nil {
+			return err
+		}
+		warmOpts := experiments.Options{Rounds: 1, Cache: cache}
+		if _, err := experiments.Fig7(warmOpts); err != nil {
+			return err
+		}
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.Fig7(warmOpts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		s := cache.Stats()
+		var uncachedNs int64
+		for _, br := range report.Benchmarks {
+			if br.Name == "SweepFig7/parallel" {
+				uncachedNs = br.NsPerOp
+			}
+		}
+		metrics := map[string]float64{
+			"cache_hits":   float64(s.Hits),
+			"cache_misses": float64(s.Misses),
+		}
+		if r.NsPerOp() > 0 && uncachedNs > 0 {
+			metrics["speedup_vs_uncached"] = float64(uncachedNs) / float64(r.NsPerOp())
+		}
+		report.Benchmarks = append(report.Benchmarks, toResult("SweepFig7/cached", r, metrics))
 	}
 
 	// The remaining families are single sequential simulations; pin them

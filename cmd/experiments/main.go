@@ -54,6 +54,7 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	model := fs.String("model", "alexnet", "CNN model for the pipeline comparison (alexnet, vgg16)")
 	jobs := fs.Int("jobs", 4, "batched inference jobs in the multi-job run")
 	overlap := fs.Bool("overlap", false, "double-buffered phase overlap for the multi-job inference pipelines")
+	cacheDir := fs.String("cachedir", "", "memoize sweep cells content-addressed under this directory (reruns with identical inputs replay from cache)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -63,6 +64,21 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	opts := experiments.Options{
 		Rounds: *rounds, Workers: *workers, Ctx: ctx,
 		Model: *model, Jobs: *jobs, Overlap: *overlap,
+	}
+	if *cacheDir != "" {
+		cache, err := experiments.NewCache(*cacheDir)
+		if err != nil {
+			return err
+		}
+		opts.Cache = cache
+		// The hit accounting goes to stderr so the report on stdout stays
+		// byte-identical between a cold run and its fully cached rerun —
+		// the property CI pins.
+		defer func() {
+			s := cache.Stats()
+			fmt.Fprintf(os.Stderr, "cache          dir=%s hits=%d misses=%d stale=%d read=%dB written=%dB\n",
+				cache.Dir(), s.Hits, s.Misses, s.Stale, s.BytesRead, s.BytesWritten)
+		}()
 	}
 
 	artifacts := []artifact{

@@ -3,6 +3,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -141,5 +142,47 @@ func TestRunFaultsArtifact(t *testing.T) {
 	out := b.String()
 	if !strings.Contains(out, "oracle-exact") || !strings.Contains(out, "retransmits") {
 		t.Errorf("faults output incomplete:\n%s", out)
+	}
+}
+
+// TestRunCachedRerunByteIdentical drives the -cachedir path end to end:
+// a cold run fills the directory, the warm rerun must write the same
+// bytes to stdout, and -format json must replay from the same entries.
+func TestRunCachedRerunByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"-exp", "table2", "-rounds", "1", "-cachedir", dir}
+	var cold strings.Builder
+	if err := run(context.Background(), args, &cold); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("no cache entries written: %v, %v", entries, err)
+	}
+	var warm strings.Builder
+	if err := run(context.Background(), args, &warm); err != nil {
+		t.Fatal(err)
+	}
+	if cold.String() != warm.String() {
+		t.Errorf("warm rerun diverged:\n%s\nvs\n%s", warm.String(), cold.String())
+	}
+
+	var asJSON strings.Builder
+	if err := run(context.Background(), append(args, "-format", "json"), &asJSON); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal([]byte(asJSON.String()), &doc); err != nil {
+		t.Fatalf("cached json output does not parse: %v", err)
+	}
+
+	// An uncached run must produce the same report — the cache may never
+	// change results, only skip simulation.
+	var uncached strings.Builder
+	if err := run(context.Background(), []string{"-exp", "table2", "-rounds", "1"}, &uncached); err != nil {
+		t.Fatal(err)
+	}
+	if uncached.String() != cold.String() {
+		t.Errorf("cached run diverged from uncached:\n%s\nvs\n%s", cold.String(), uncached.String())
 	}
 }

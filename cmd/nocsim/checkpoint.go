@@ -1,0 +1,62 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"gathernoc/internal/noc"
+	"gathernoc/internal/traffic"
+)
+
+// checkpointFile is the nocsim checkpoint envelope: the full network
+// snapshot plus the synthetic-traffic workload state riding above it.
+// The traffic pattern is stored by name (Pattern in GeneratorConfig is
+// an interface and is cleared before encoding); a resuming process
+// reconstructs it against the restored network's topology.
+type checkpointFile struct {
+	Pattern   string
+	Traffic   traffic.GeneratorConfig
+	Generator traffic.GeneratorState
+	Network   *noc.Snapshot
+}
+
+// writeCheckpoint captures the network and generator at the current
+// cycle boundary and writes the JSON envelope to path.
+func writeCheckpoint(path, patternName string, gcfg traffic.GeneratorConfig, nw *noc.Network, gen *traffic.Generator) error {
+	snap, err := nw.Snapshot()
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	gcfg.Pattern = nil
+	ck := checkpointFile{
+		Pattern:   patternName,
+		Traffic:   gcfg,
+		Generator: gen.CaptureState(),
+		Network:   snap,
+	}
+	data, err := json.Marshal(&ck)
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	return nil
+}
+
+// loadCheckpoint parses a checkpoint envelope written by writeCheckpoint.
+func loadCheckpoint(path string) (*checkpointFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("resume: %w", err)
+	}
+	var ck checkpointFile
+	if err := json.Unmarshal(data, &ck); err != nil {
+		return nil, fmt.Errorf("resume %s: %w", path, err)
+	}
+	if ck.Network == nil || ck.Network.Version != noc.SnapshotVersion {
+		return nil, fmt.Errorf("resume %s: not a nocsim checkpoint (or incompatible version)", path)
+	}
+	return &ck, nil
+}

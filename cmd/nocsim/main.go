@@ -103,9 +103,34 @@ func run(args []string, w io.Writer) (err error) {
 		deadRouter = fs.String("deadrouter", "", "router outages: node[@from[:until]], comma-separated (no until = permanent)")
 		deadLink   = fs.String("deadlink", "", "directed link outages: src>dst[@from[:until]], comma-separated")
 		watchdog   = fs.Int64("watchdog", 0, "stall watchdog window in cycles (0 = auto when faults are on, negative disables)")
+		ckptPath   = fs.String("checkpoint", "", "write a checkpoint of the synthetic run to this file at -checkpointat, then keep running")
+		ckptAt     = fs.Int64("checkpointat", 0, "cycle to take the -checkpoint at")
+		resumePath = fs.String("resume", "", "resume a synthetic run from a -checkpoint file (fabric and traffic config come from the file)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	// Checkpoint/resume covers the synthetic-generator path: workload
+	// controllers (pipelines, collectives, INA, replay) hold driver state
+	// above the network that snapshots do not capture, and telemetry
+	// buffers are observations of one specific run.
+	if *ckptPath != "" || *resumePath != "" {
+		if *replayPath != "" || *ina || *coll != "" || *model != "" {
+			return fmt.Errorf("-checkpoint/-resume apply to the synthetic-traffic path only")
+		}
+		if *traceOut != "" || *metricsOut != "" {
+			return fmt.Errorf("-checkpoint/-resume do not support telemetry")
+		}
+	}
+	if *ckptPath != "" && *ckptAt <= 0 {
+		return fmt.Errorf("-checkpoint needs a positive -checkpointat cycle")
+	}
+	var ck *checkpointFile
+	if *resumePath != "" {
+		if ck, err = loadCheckpoint(*resumePath); err != nil {
+			return err
+		}
 	}
 
 	if *cpuProfile != "" {
@@ -165,6 +190,15 @@ func run(args []string, w io.Writer) (err error) {
 			tcfg.TraceSample = *traceEvery
 		}
 		cfg.Telemetry = &tcfg
+	}
+	if ck != nil {
+		// The checkpoint carries the capturing run's full configuration;
+		// only the result-invariant execution knobs (engine sharding,
+		// sleep/wake) follow this invocation's flags. Everything else is
+		// enforced by the config-hash guard inside Restore.
+		cfg = ck.Network.Config
+		cfg.AlwaysTick = *alwaysTick
+		cfg.Shards = *shards
 	}
 	nw, err := noc.New(cfg)
 	if err != nil {
@@ -260,32 +294,72 @@ func run(args []string, w io.Writer) (err error) {
 		return nil
 	}
 
-	p, err := traffic.PatternByName(*pattern, nw.Mesh())
-	if err != nil {
-		return err
-	}
-	gen, err := traffic.NewGenerator(nw, traffic.GeneratorConfig{
-		Pattern:       p,
+	patternName := *pattern
+	gcfg := traffic.GeneratorConfig{
 		InjectionRate: *rate,
 		PacketFlits:   *flits,
 		Warmup:        *warmup,
 		Measure:       *measure,
 		Seed:          *seed,
-	})
+	}
+	if ck != nil {
+		patternName = ck.Pattern
+		gcfg = ck.Traffic
+	}
+	p, err := traffic.PatternByName(patternName, nw.Mesh())
 	if err != nil {
 		return err
 	}
-	res, err := gen.Run(*maxCycles)
+	gcfg.Pattern = p
+	gen, err := traffic.NewGenerator(nw, gcfg)
+	if err != nil {
+		return err
+	}
+	// Drive the engine directly (the same AddTicker+RunUntil schedule
+	// gen.Run uses) so the run can pause at a checkpoint cycle or start
+	// from a restored one.
+	eng := nw.Engine()
+	eng.AddTicker(gen)
+	if ck != nil {
+		if err := nw.Restore(ck.Network); err != nil {
+			return err
+		}
+		if err := gen.RestoreState(ck.Generator); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "resumed        %s at cycle %d\n", *resumePath, eng.Cycle())
+	}
+	if *ckptPath != "" {
+		if eng.Cycle() >= *ckptAt {
+			return fmt.Errorf("-checkpointat %d is not ahead of cycle %d", *ckptAt, eng.Cycle())
+		}
+		atCkpt := func() bool { return eng.Cycle() >= *ckptAt }
+		if _, err := eng.RunUntil(atCkpt, *maxCycles); err != nil {
+			if errors.Is(err, sim.ErrInterrupted) {
+				fmt.Fprintf(w, "interrupted    at cycle %d; flushing artifacts\n", eng.Cycle())
+				return nil
+			}
+			return err
+		}
+		if err := writeCheckpoint(*ckptPath, patternName, gcfg, nw, gen); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "checkpoint     %s at cycle %d\n", *ckptPath, eng.Cycle())
+	}
+	done := func() bool { return gen.Injected() && nw.Quiescent() }
+	cycles, err := eng.RunUntil(done, *maxCycles)
 	if errors.Is(err, sim.ErrInterrupted) {
-		fmt.Fprintf(w, "interrupted    at cycle %d; flushing artifacts\n", nw.Engine().Cycle())
+		fmt.Fprintf(w, "interrupted    at cycle %d; flushing artifacts\n", eng.Cycle())
 		return nil
 	}
 	if err != nil {
 		return err
 	}
+	res := gen.Result(cycles)
 	fmt.Fprintf(w, "fabric         %dx%d %s (%s routing), %d VCs, depth %d\n",
-		*rows, *cols, nw.Topology().Name(), nw.Routing().Name(), *vcs, *depth)
-	fmt.Fprintf(w, "pattern        %s @ %.3f pkts/node/cycle\n", p.Name(), *rate)
+		cfg.Rows, cfg.Cols, nw.Topology().Name(), nw.Routing().Name(),
+		cfg.Router.VCs, cfg.Router.BufferDepth)
+	fmt.Fprintf(w, "pattern        %s @ %.3f pkts/node/cycle\n", p.Name(), gcfg.InjectionRate)
 	fmt.Fprintf(w, "injected       %d packets\n", res.Injected)
 	fmt.Fprintf(w, "received       %d packets\n", res.Received)
 	fmt.Fprintf(w, "latency        %s\n", res.Latency.String())
@@ -293,7 +367,6 @@ func run(args []string, w io.Writer) (err error) {
 	fmt.Fprintf(w, "cycles         %d (incl. drain)\n", res.Cycles)
 	a := nw.Activity()
 	fmt.Fprintf(w, "link flits     %d\n", a.LinkFlits)
-	eng := nw.Engine()
 	if total := eng.Evaluated() + eng.Skipped(); total > 0 {
 		fmt.Fprintf(w, "evaluations    %d of %d (%.1f%% slept)\n",
 			eng.Evaluated(), total, float64(eng.Skipped())/float64(total)*100)

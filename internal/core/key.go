@@ -1,0 +1,79 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"gathernoc/internal/cnn"
+	"gathernoc/internal/noc"
+	"gathernoc/internal/power"
+	"gathernoc/internal/systolic"
+)
+
+// ComparisonKeyVersion tags comparison cache keys. Bump it whenever the
+// meaning of a comparison changes — a simulator behaviour fix, a new
+// Comparison field, a changed extrapolation rule — so stale cached
+// results are invalidated by construction instead of being served.
+const ComparisonKeyVersion = "gathernoc/core.Comparison/v1"
+
+// comparisonKey is the canonical content of a CompareLayer invocation:
+// everything that determines its result and nothing that does not. The
+// network configuration enters through its canonical hash (noc.Config.Hash
+// normalizes defaults and excludes result-invariant execution knobs), and
+// the systolic configurations enter fully materialized — Options carries
+// mutation closures, which cannot be hashed, so the key captures what they
+// produced rather than what they are.
+type comparisonKey struct {
+	Version      string
+	Rows, Cols   int
+	NetworkHash  string
+	RU, Gather   systolic.Config
+	MaxCycles    int64
+	Coefficients power.Coefficients
+}
+
+// ComparisonKey returns the canonical key of the CompareLayer call with
+// the same arguments: two calls get equal keys exactly when they would
+// run identical simulations. It materializes the network and systolic
+// configurations through the same construction path RunLayer uses
+// (defaults, then mutation), so closures in Options are keyed by effect.
+// Mutators must be deterministic functions of their input config — a
+// mutator that reads ambient state would alias distinct runs; none in
+// this repository does.
+func ComparisonKey(rows, cols int, layer cnn.LayerConfig, opts Options) (string, error) {
+	netCfg := noc.DefaultConfig(rows, cols)
+	if opts.MutateNetwork != nil {
+		opts.MutateNetwork(&netCfg)
+	}
+	k := comparisonKey{
+		Version:      ComparisonKeyVersion,
+		Rows:         rows,
+		Cols:         cols,
+		NetworkHash:  netCfg.Hash(),
+		RU:           materializeSystolic(layer, systolic.RepetitiveUnicast, opts),
+		Gather:       materializeSystolic(layer, systolic.GatherMode, opts),
+		MaxCycles:    opts.maxCycles(),
+		Coefficients: opts.coefficients(),
+	}
+	data, err := json.Marshal(k)
+	if err != nil {
+		return "", fmt.Errorf("core: comparison key: %w", err)
+	}
+	return string(data), nil
+}
+
+// materializeSystolic mirrors RunLayer's systolic.Config construction for
+// one collection mode, mutation included.
+func materializeSystolic(layer cnn.LayerConfig, mode systolic.Mode, opts Options) systolic.Config {
+	cfg := systolic.Config{
+		Layer:             layer,
+		Mode:              mode,
+		TMAC:              opts.tmac(),
+		MaxRounds:         opts.rounds(),
+		SimulateAllRounds: opts.ExactRounds,
+	}
+	if opts.MutateSystolic != nil {
+		opts.MutateSystolic(&cfg)
+	}
+	return cfg
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"testing"
+
+	"gathernoc/internal/cnn"
+	"gathernoc/internal/noc"
+)
+
+func keyFor(t *testing.T, opts Options) string {
+	t.Helper()
+	layer, ok := cnn.LayerByName(cnn.AlexNetConvLayers(), "Conv3")
+	if !ok {
+		t.Fatal("Conv3 missing")
+	}
+	key, err := ComparisonKey(8, 8, layer, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return key
+}
+
+// TestComparisonKeyNormalizesDefaults: spelling out the zero-value
+// defaults must produce the same key as leaving them implicit, and a
+// mutator that writes a field's default value must collide with no
+// mutator at all — semantically identical runs share one cache entry.
+func TestComparisonKeyNormalizesDefaults(t *testing.T) {
+	implicit := keyFor(t, Options{})
+	explicit := keyFor(t, Options{Rounds: 2, TMAC: 5, MaxCycles: 50_000_000})
+	if implicit != explicit {
+		t.Errorf("explicit defaults changed the key:\n%s\nvs\n%s", implicit, explicit)
+	}
+	noopMutated := keyFor(t, Options{MutateNetwork: func(c *noc.Config) {
+		c.GatherCapacity = c.EffectiveGatherCapacity()
+	}})
+	if implicit != noopMutated {
+		t.Errorf("default-writing mutator changed the key:\n%s\nvs\n%s", implicit, noopMutated)
+	}
+}
+
+// TestComparisonKeySeparatesInputs: anything that changes the simulation
+// must change the key.
+func TestComparisonKeySeparatesInputs(t *testing.T) {
+	base := keyFor(t, Options{})
+	seen := map[string]string{"base": base}
+	for name, opts := range map[string]Options{
+		"rounds":  {Rounds: 3},
+		"tmac":    {TMAC: 7},
+		"exact":   {ExactRounds: true},
+		"network": {MutateNetwork: func(c *noc.Config) { c.Router.VCs = 2 }},
+	} {
+		key := keyFor(t, opts)
+		for prev, k := range seen {
+			if key == k {
+				t.Errorf("%s collides with %s", name, prev)
+			}
+		}
+		seen[name] = key
+	}
+
+	layer, _ := cnn.LayerByName(cnn.AlexNetConvLayers(), "Conv1")
+	other, err := ComparisonKey(8, 8, layer, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other == base {
+		t.Error("different layers share a key")
+	}
+	mesh, err := ComparisonKey(4, 4, mustLayer(t, "Conv3"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mesh == base {
+		t.Error("different meshes share a key")
+	}
+}
+
+func mustLayer(t *testing.T, name string) cnn.LayerConfig {
+	t.Helper()
+	l, ok := cnn.LayerByName(cnn.AlexNetConvLayers(), name)
+	if !ok {
+		t.Fatalf("layer %s missing", name)
+	}
+	return l
+}

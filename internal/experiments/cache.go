@@ -1,0 +1,204 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"gathernoc/internal/cnn"
+	"gathernoc/internal/core"
+)
+
+// cacheSchema tags the on-disk entry envelope. It versions the storage
+// format only; result semantics are versioned inside the key itself
+// (core.ComparisonKeyVersion), so a simulator behaviour change produces
+// new keys rather than stale-looking files.
+const cacheSchema = "gathernoc/experiments.Cache/v1"
+
+// CacheStats is the hit accounting a sweep accumulates.
+type CacheStats struct {
+	// Hits and Misses count lookups; Stale counts entries that were found
+	// but rejected (wrong schema, key collision, undecodable payload) and
+	// then recomputed.
+	Hits   uint64
+	Misses uint64
+	Stale  uint64
+	// BytesRead and BytesWritten count entry payloads moved through the
+	// cache (hits read, stores write).
+	BytesRead    uint64
+	BytesWritten uint64
+}
+
+// Cache memoizes simulation results content-addressed by their canonical
+// input key: identical simulation inputs — after config-hash
+// normalization, whatever closures produced them — map to one entry.
+// Lookups always hit the in-memory layer first; with a directory
+// configured, entries are also persisted as one JSON file per key, so a
+// rerun in a fresh process warm-starts from disk. Safe for concurrent use
+// by sweep workers.
+type Cache struct {
+	dir string
+
+	mu    sync.Mutex
+	mem   map[string][]byte
+	stats CacheStats
+}
+
+// NewCache opens a cache over dir, creating the directory if needed. An
+// empty dir selects a purely in-memory cache (one process's sweeps share
+// results; nothing persists).
+func NewCache(dir string) (*Cache, error) {
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("cache: %w", err)
+		}
+	}
+	return &Cache{dir: dir, mem: make(map[string][]byte)}, nil
+}
+
+// Dir returns the persistence directory ("" = memory-only).
+func (c *Cache) Dir() string { return c.dir }
+
+// Stats returns a snapshot of the hit accounting.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// cacheEntry is the one-file-per-key disk format: the schema tag and full
+// key make every entry self-validating, so a hash collision or a file
+// from an incompatible layout is detected and treated as stale instead of
+// silently decoded.
+type cacheEntry struct {
+	Schema string
+	Key    string
+	Result json.RawMessage
+}
+
+// hashKey content-addresses a canonical key string.
+func hashKey(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return hex.EncodeToString(sum[:])
+}
+
+func (c *Cache) path(hash string) string {
+	return filepath.Join(c.dir, hash+".json")
+}
+
+// get returns the payload stored under key, consulting memory then disk.
+func (c *Cache) get(key string) ([]byte, bool) {
+	hash := hashKey(key)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if data, ok := c.mem[hash]; ok {
+		c.stats.Hits++
+		c.stats.BytesRead += uint64(len(data))
+		return data, true
+	}
+	if c.dir == "" {
+		c.stats.Misses++
+		return nil, false
+	}
+	raw, err := os.ReadFile(c.path(hash))
+	if err != nil {
+		c.stats.Misses++
+		return nil, false
+	}
+	var e cacheEntry
+	if err := json.Unmarshal(raw, &e); err != nil || e.Schema != cacheSchema || e.Key != key {
+		c.stats.Stale++
+		c.stats.Misses++
+		return nil, false
+	}
+	c.mem[hash] = e.Result
+	c.stats.Hits++
+	c.stats.BytesRead += uint64(len(e.Result))
+	return e.Result, true
+}
+
+// put stores a payload under key in memory and, when configured, on disk.
+// Disk write failures are surfaced; the in-memory entry stays either way.
+func (c *Cache) put(key string, data []byte) error {
+	hash := hashKey(key)
+	c.mu.Lock()
+	c.mem[hash] = data
+	c.stats.BytesWritten += uint64(len(data))
+	dir := c.dir
+	c.mu.Unlock()
+	if dir == "" {
+		return nil
+	}
+	raw, err := json.Marshal(cacheEntry{Schema: cacheSchema, Key: key, Result: data})
+	if err != nil {
+		return fmt.Errorf("cache: %w", err)
+	}
+	// Write-then-rename so a crashed or concurrent sweep never leaves a
+	// torn entry under the content-addressed name.
+	tmp, err := os.CreateTemp(dir, "entry-*.tmp")
+	if err != nil {
+		return fmt.Errorf("cache: %w", err)
+	}
+	if _, err := tmp.Write(raw); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("cache: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("cache: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), c.path(hash)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("cache: %w", err)
+	}
+	return nil
+}
+
+// markStale records an entry that decoded at the envelope level but whose
+// payload could not be used.
+func (c *Cache) markStale() {
+	c.mu.Lock()
+	c.stats.Stale++
+	c.mu.Unlock()
+}
+
+// cachedCompareLayer is the memoized form of core.CompareLayer every
+// experiment sweep routes through: on a hit the stored comparison is
+// decoded and returned without constructing a network; on a miss the
+// simulation runs and its result is stored. A nil cache degenerates to a
+// plain call, leaving uncached sweeps bit-identical to the pre-cache
+// code path.
+func cachedCompareLayer(cache *Cache, rows, cols int, layer cnn.LayerConfig, opts core.Options) (*core.Comparison, error) {
+	if cache == nil {
+		return core.CompareLayer(rows, cols, layer, opts)
+	}
+	key, err := core.ComparisonKey(rows, cols, layer, opts)
+	if err != nil {
+		// Unkeyable inputs are never wrong results — just uncacheable.
+		return core.CompareLayer(rows, cols, layer, opts)
+	}
+	if data, ok := cache.get(key); ok {
+		var cmp core.Comparison
+		if err := json.Unmarshal(data, &cmp); err == nil {
+			return &cmp, nil
+		}
+		cache.markStale()
+	}
+	cmp, err := core.CompareLayer(rows, cols, layer, opts)
+	if err != nil {
+		return nil, err
+	}
+	data, err := json.Marshal(cmp)
+	if err != nil {
+		return cmp, nil
+	}
+	if err := cache.put(key, data); err != nil {
+		return cmp, err
+	}
+	return cmp, nil
+}

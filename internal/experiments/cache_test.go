@@ -1,0 +1,186 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// cacheOpts is the smallest real sweep: AlexNet's five layers on one 4x4
+// mesh, one simulated round.
+func cacheOpts(c *Cache) Options {
+	return Options{Rounds: 1, Meshes: []int{4}, Cache: c}
+}
+
+func TestCacheMemoryRoundTrip(t *testing.T) {
+	c, err := NewCache("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.get("k"); ok {
+		t.Fatal("empty cache hit")
+	}
+	if err := c.put("k", []byte(`{"x":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	data, ok := c.get("k")
+	if !ok || string(data) != `{"x":1}` {
+		t.Fatalf("get = %q, %v", data, ok)
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.Stale != 0 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss", s)
+	}
+}
+
+func TestCacheDiskPersistsAcrossInstances(t *testing.T) {
+	dir := t.TempDir()
+	c1, err := NewCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.put("key-a", []byte(`"payload"`)); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh instance over the same directory must serve the entry.
+	c2, err := NewCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, ok := c2.get("key-a")
+	if !ok || string(data) != `"payload"` {
+		t.Fatalf("disk get = %q, %v", data, ok)
+	}
+	if s := c2.Stats(); s.Hits != 1 || s.BytesRead == 0 {
+		t.Fatalf("stats = %+v, want a disk hit", s)
+	}
+}
+
+func TestCacheRejectsForeignEntries(t *testing.T) {
+	dir := t.TempDir()
+	c1, err := NewCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.put("key-a", []byte(`1`)); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite the entry with a different schema: a fresh instance must
+	// report it stale and miss, not decode it.
+	files, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil || len(files) != 1 {
+		t.Fatalf("glob: %v, %v", files, err)
+	}
+	if err := os.WriteFile(files[0], []byte(`{"Schema":"other/v9","Key":"key-a","Result":1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := NewCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c2.get("key-a"); ok {
+		t.Fatal("foreign-schema entry served")
+	}
+	if s := c2.Stats(); s.Stale != 1 || s.Misses != 1 {
+		t.Fatalf("stats = %+v, want 1 stale / 1 miss", s)
+	}
+}
+
+// TestCachedSweepByteIdentical is the memoization contract: a cached
+// sweep's rows render byte-for-byte like the uncached sweep's, the first
+// pass misses every cell, and the rerun is served entirely from cache.
+func TestCachedSweepByteIdentical(t *testing.T) {
+	ref, err := Fig7(Options{Rounds: 1, Meshes: []int{4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refText := RenderImprovements("t", "u", ref)
+
+	cache, err := NewCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := Fig7(cacheOpts(cache))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := RenderImprovements("t", "u", cold); got != refText {
+		t.Errorf("cold cached sweep diverged from uncached:\n%s\nvs\n%s", got, refText)
+	}
+	s := cache.Stats()
+	if s.Hits != 0 || s.Misses != uint64(len(ref)) {
+		t.Fatalf("cold stats = %+v, want 0 hits / %d misses", s, len(ref))
+	}
+
+	warm, err := Fig7(cacheOpts(cache))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := RenderImprovements("t", "u", warm); got != refText {
+		t.Errorf("warm cached sweep diverged from uncached:\n%s\nvs\n%s", got, refText)
+	}
+	s2 := cache.Stats()
+	if s2.Misses != s.Misses || s2.Hits != uint64(len(ref)) {
+		t.Fatalf("warm stats = %+v, want %d hits and no new misses", s2, len(ref))
+	}
+}
+
+// TestCachedSweepWarmStartsFromDisk reruns the sweep in a fresh Cache
+// instance over the same directory — the cross-process rerun CI pins.
+func TestCachedSweepWarmStartsFromDisk(t *testing.T) {
+	dir := t.TempDir()
+	c1, err := NewCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := Fig7(cacheOpts(c1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c2, err := NewCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := Fig7(cacheOpts(c2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := c2.Stats(); s.Misses != 0 || s.Hits != uint64(len(cold)) {
+		t.Fatalf("fresh-instance stats = %+v, want %d pure hits", s, len(cold))
+	}
+	if a, b := RenderImprovements("t", "u", cold), RenderImprovements("t", "u", warm); a != b {
+		t.Errorf("disk warm-start diverged:\n%s\nvs\n%s", b, a)
+	}
+}
+
+// TestAblationSharesCacheWithFigures checks cross-sweep memoization:
+// distinct experiments whose cells materialize to the same canonical
+// inputs share entries, and ablation cells that differ (mutated configs)
+// do not collide.
+func TestAblationSharesCacheWithFigures(t *testing.T) {
+	cache, err := NewCache("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Rounds: 1, Cache: cache}
+	if _, err := AblationEta(opts); err != nil {
+		t.Fatal(err)
+	}
+	s := cache.Stats()
+	if s.Misses == 0 || s.Stale != 0 {
+		t.Fatalf("stats = %+v, want fresh misses and no stale entries", s)
+	}
+	// η=8 on the 8x8 mesh is the default gather capacity: the sweep's
+	// mutated cell must collide with the unmutated Conv3 cell by content,
+	// which AblationDelta's δ-mutated cells must not.
+	before := cache.Stats()
+	if _, err := AblationEta(opts); err != nil {
+		t.Fatal(err)
+	}
+	after := cache.Stats()
+	if after.Misses != before.Misses {
+		t.Fatalf("rerun missed: %+v -> %+v", before, after)
+	}
+}

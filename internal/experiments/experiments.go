@@ -41,6 +41,13 @@ type Options struct {
 	// Overlap selects double-buffered pipelining for the multi-job
 	// experiment's inference phases (false = strict barrier).
 	Overlap bool
+	// Cache, when non-nil, memoizes the gather-vs-RU comparison cells by
+	// their canonical content key: a sweep consults it before dispatching
+	// a cell and stores every miss, so repeated suites (and overlapping
+	// sweeps — the figures and ablations share cells) warm-start instead
+	// of resimulating. Nil leaves every cell simulated, bit-identical to
+	// the uncached code path.
+	Cache *Cache
 	// Telemetry, when non-nil, enables the observability layer on every
 	// simulated sweep cell (each cell runs on its own Network, so each
 	// gets its own collector); the cell's report then carries epoch/event

@@ -5,7 +5,6 @@ import (
 	"strings"
 
 	"gathernoc/internal/cnn"
-	"gathernoc/internal/core"
 	"gathernoc/internal/noc"
 	"gathernoc/internal/systolic"
 	"gathernoc/internal/traffic"
@@ -33,7 +32,7 @@ func Dataflows(opts Options) ([]DataflowRow, error) {
 		for _, mesh := range opts.meshes() {
 			o := opts.core()
 			o.MutateSystolic = func(s *systolic.Config) { s.Dataflow = df }
-			cmp, err := core.CompareLayer(mesh, mesh, layer, o)
+			cmp, err := cachedCompareLayer(opts.Cache, mesh, mesh, layer, o)
 			if err != nil {
 				return nil, fmt.Errorf("dataflow %s %dx%d: %w", df, mesh, mesh, err)
 			}

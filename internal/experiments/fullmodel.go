@@ -5,7 +5,6 @@ import (
 	"strings"
 
 	"gathernoc/internal/cnn"
-	"gathernoc/internal/core"
 	"gathernoc/internal/power"
 )
 
@@ -52,7 +51,7 @@ func fullModel(name string, layers []cnn.LayerConfig, mesh int, opts Options) (*
 	res := &ModelResult{Model: name, Mesh: mesh}
 	coeff := power.DefaultCoefficients()
 	for _, layer := range layers {
-		cmp, err := core.CompareLayer(mesh, mesh, layer, opts.core())
+		cmp, err := cachedCompareLayer(opts.Cache, mesh, mesh, layer, opts.core())
 		if err != nil {
 			return nil, fmt.Errorf("full model %s: %w", layer.Name, err)
 		}

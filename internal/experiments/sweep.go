@@ -115,11 +115,12 @@ func comparePoints(layers []cnn.LayerConfig, meshes []int) []comparePoint {
 	return points
 }
 
-// compareSweep runs core.CompareLayer for every point on the worker pool.
+// compareSweep runs core.CompareLayer for every point on the worker pool,
+// consulting the result cache (when configured) before dispatching a cell.
 func compareSweep(points []comparePoint, opts Options) ([]*core.Comparison, error) {
 	return Sweep(opts.ctx(), opts.Workers, points,
 		func(_ context.Context, _ int, p comparePoint) (*core.Comparison, error) {
-			cmp, err := core.CompareLayer(p.mesh, p.mesh, p.layer, opts.core())
+			cmp, err := cachedCompareLayer(opts.Cache, p.mesh, p.mesh, p.layer, opts.core())
 			if err != nil {
 				return nil, fmt.Errorf("%s %dx%d: %w", p.layer.Name, p.mesh, p.mesh, err)
 			}

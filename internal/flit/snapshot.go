@@ -1,0 +1,89 @@
+package flit
+
+import "gathernoc/internal/topology"
+
+// State is the serialized form of one in-flight flit: every field by
+// value, with the multicast destination set flattened to its member list
+// (the only pointer a flit carries). Snapshots store flits in State form;
+// restore materializes them through the owning network's pool so the
+// acquire/release accounting balances exactly as if the flit had lived
+// its whole life in the restored network.
+type State struct {
+	Type          Type
+	PT            PacketType
+	PacketID      uint64
+	Tag           Tag
+	Seq           int
+	PacketFlits   int
+	Src           topology.NodeID
+	Dst           topology.NodeID
+	MDst          []topology.NodeID `json:",omitempty"`
+	ASpace        int
+	ReduceID      uint64
+	SlotCap       int
+	Payloads      []Payload `json:",omitempty"`
+	Corrupted     bool
+	TrackOperands bool
+	InjectCycle   int64
+	NetworkCycle  int64
+	Hops          int
+}
+
+// CaptureFlit serializes f by value.
+func CaptureFlit(f *Flit) State {
+	s := State{
+		Type:          f.Type,
+		PT:            f.PT,
+		PacketID:      f.PacketID,
+		Tag:           f.Tag,
+		Seq:           f.Seq,
+		PacketFlits:   f.PacketFlits,
+		Src:           f.Src,
+		Dst:           f.Dst,
+		ASpace:        f.ASpace,
+		ReduceID:      f.ReduceID,
+		SlotCap:       f.SlotCap,
+		Corrupted:     f.Corrupted,
+		TrackOperands: f.TrackOperands,
+		InjectCycle:   f.InjectCycle,
+		NetworkCycle:  f.NetworkCycle,
+		Hops:          f.Hops,
+	}
+	if f.MDst != nil {
+		s.MDst = f.MDst.Nodes()
+	}
+	if len(f.Payloads) > 0 {
+		s.Payloads = append([]Payload(nil), f.Payloads...)
+	}
+	return s
+}
+
+// Materialize acquires a fresh flit from p and restores the captured
+// fields onto it. numNodes sizes the rebuilt multicast destination set.
+func (s State) Materialize(p *Pool, numNodes int) *Flit {
+	f := p.Acquire()
+	payloads := append(f.Payloads[:0], s.Payloads...)
+	*f = Flit{
+		Type:          s.Type,
+		PT:            s.PT,
+		PacketID:      s.PacketID,
+		Tag:           s.Tag,
+		Seq:           s.Seq,
+		PacketFlits:   s.PacketFlits,
+		Src:           s.Src,
+		Dst:           s.Dst,
+		ASpace:        s.ASpace,
+		ReduceID:      s.ReduceID,
+		SlotCap:       s.SlotCap,
+		Payloads:      payloads,
+		Corrupted:     s.Corrupted,
+		TrackOperands: s.TrackOperands,
+		InjectCycle:   s.InjectCycle,
+		NetworkCycle:  s.NetworkCycle,
+		Hops:          s.Hops,
+	}
+	if len(s.MDst) > 0 {
+		f.MDst = topology.DestSetOf(numNodes, s.MDst...)
+	}
+	return f
+}

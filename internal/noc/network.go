@@ -63,6 +63,10 @@ type Network struct {
 	sinks   []*EdgeSink
 	links   []*link.Link
 
+	// pidSeq[id] counts the packet ids node id's NIC has drawn; kept here
+	// rather than in the nextID closures so snapshots can capture it.
+	pidSeq []uint64
+
 	// portBranch[p] is the shared single-branch route through port p.
 	// Deterministic unicast/gather routes are one of these five slices,
 	// so route computation allocates nothing; completeRC copies the
@@ -222,6 +226,7 @@ func New(cfg Config) (*Network, error) {
 		Format:            format,
 	}
 	nw.nics = make([]*nic.NIC, topo.NumNodes())
+	nw.pidSeq = make([]uint64, topo.NumNodes())
 	for id := 0; id < topo.NumNodes(); id++ {
 		// Packet ids are striped per NIC — node id's NIC issues id+1,
 		// id+1+N, id+1+2N, ... — so every id is network-unique (ejectors
@@ -229,13 +234,16 @@ func New(cfg Config) (*Network, error) {
 		// counter would be read-modify-written concurrently in sharded
 		// mode (self-initiated gathers draw ids inside NIC.Tick), and
 		// per-NIC striping keeps the sequence identical for any shard
-		// count, sequential mode included.
+		// count, sequential mode included. The per-NIC draw counts live
+		// in pidSeq — not in closure locals — so snapshots can capture
+		// and restore them; each slot is written only by its own NIC's
+		// shard, preserving the single-writer rule.
 		stride := uint64(topo.NumNodes())
 		base := uint64(id) + 1
-		var seq uint64
+		seq := &nw.pidSeq[id]
 		nextID := func() uint64 {
-			pid := base + seq*stride
-			seq++
+			pid := base + *seq*stride
+			*seq++
 			return pid
 		}
 		n, err := nic.New(topology.NodeID(id), nicCfg, nw.routers[id], nextID)

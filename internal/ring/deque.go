@@ -58,6 +58,23 @@ func (d *Deque[T]) Front() T {
 	return d.blocks[0][d.head]
 }
 
+// At returns the i-th element from the front (0 = Front) without
+// removing it, panicking when out of range. It is the non-destructive
+// iteration snapshots use to serialize a queue without draining it.
+func (d *Deque[T]) At(i int) T {
+	if i < 0 || i >= d.n {
+		panic("ring: At out of range")
+	}
+	i += d.head
+	for _, b := range d.blocks {
+		if i < len(b) {
+			return b[i]
+		}
+		i -= len(b)
+	}
+	panic("ring: At internal inconsistency")
+}
+
 // PopFront removes and returns the front element, panicking on an empty
 // deque. Vacated slots are zeroed and fully drained blocks recycled.
 func (d *Deque[T]) PopFront() T {

@@ -167,6 +167,24 @@ func (e *Engine) Cycle() int64 {
 	return e.cycle
 }
 
+// RestoreCycle sets the simulated clock to c and wakes every registered
+// component. Engine snapshots use it: a freshly built network restored
+// onto mid-run state must resume at the captured cycle, and waking
+// everything re-arms sleep/wake scheduling from scratch — by the Idle
+// contract a spuriously woken component's next evaluation is a pure
+// no-op, so the post-restore schedule matches the uninterrupted run
+// bit for bit. Sharded engines keep no sleep state; only the clock moves.
+func (e *Engine) RestoreCycle(c int64) {
+	e.cycle = c
+	e.burst = 0
+	for _, n := range e.tickers {
+		n.awake = true
+	}
+	for _, n := range e.committers {
+		n.awake = true
+	}
+}
+
 // SetAlwaysTick disables (true) or re-enables (false) sleep/wake
 // scheduling. With alwaysTick every component is evaluated every cycle —
 // the naive reference path used by the golden equivalence tests.

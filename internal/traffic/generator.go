@@ -73,6 +73,10 @@ type Generator struct {
 	nw  *noc.Network
 	cfg GeneratorConfig
 	rng *rand.Rand
+	// src wraps the seeded source with a draw counter so snapshots can
+	// record the RNG position and restore it by replaying discards; the
+	// draw sequence is untouched, keeping golden results bit-identical.
+	src *countingSource
 	tag flit.Tag
 
 	// base is the engine cycle the injection windows are measured from:
@@ -110,10 +114,12 @@ func NewGeneratorDriver(nw *noc.Network, cfg GeneratorConfig) (*Generator, error
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	src := newCountingSource(cfg.Seed)
 	return &Generator{
 		nw:  nw,
 		cfg: cfg,
-		rng: rand.New(rand.NewSource(cfg.Seed)),
+		rng: rand.New(src),
+		src: src,
 	}, nil
 }
 

@@ -1,0 +1,112 @@
+package traffic
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gathernoc/internal/stats"
+)
+
+// countingSource wraps the standard seeded source with a draw counter.
+// The wrapper is draw-transparent — every value comes straight from the
+// wrapped source — so a generator built on it produces exactly the
+// numbers the plain rand.NewSource generator did. Snapshots record the
+// count; restore reconstructs the source from the seed and discards the
+// same number of draws. Both Int63 and Uint64 of the runtime source
+// advance its state by exactly one step, so uniform discarding via
+// Uint64 lands on the identical state regardless of which method the
+// original draws used (rejection-sampling loops included: they draw
+// through this wrapper too, so the count reflects actual consumption).
+type countingSource struct {
+	src   rand.Source64
+	draws uint64
+}
+
+func newCountingSource(seed int64) *countingSource {
+	return &countingSource{src: rand.NewSource(seed).(rand.Source64)}
+}
+
+func (s *countingSource) Int63() int64 {
+	s.draws++
+	return s.src.Int63()
+}
+
+func (s *countingSource) Uint64() uint64 {
+	s.draws++
+	return s.src.Uint64()
+}
+
+func (s *countingSource) Seed(seed int64) {
+	s.src.Seed(seed)
+	s.draws = 0
+}
+
+// skipTo re-seeds the source and discards n draws, reproducing the state
+// a source that made n draws since seeding would be in.
+func (s *countingSource) skipTo(seed int64, n uint64) {
+	s.src.Seed(seed)
+	for i := uint64(0); i < n; i++ {
+		s.src.Uint64()
+	}
+	s.draws = n
+}
+
+// GeneratorState is the serialized mutable state of a Generator. The
+// configuration (pattern, rates, windows, seed) is not serialized — a
+// resuming run reconstructs the generator from the same config, and the
+// checkpoint layer guards that with the network config hash.
+type GeneratorState struct {
+	Base      int64
+	Injecting bool
+	Injected  uint64
+	Received  uint64
+	Sent      uint64
+	Delivered uint64
+	// Draws is the RNG position: how many values the generator has drawn
+	// from its seeded source.
+	Draws uint64
+
+	Latency        stats.Sample
+	QueueLatency   stats.Sample
+	NetworkLatency stats.Sample
+	Hops           stats.Sample
+}
+
+// CaptureState serializes the generator's progress at a cycle boundary.
+func (g *Generator) CaptureState() GeneratorState {
+	return GeneratorState{
+		Base:      g.base,
+		Injecting: g.injecting,
+		Injected:  g.injected,
+		Received:  g.received,
+		Sent:      g.sent,
+		Delivered: g.delivered,
+		Draws:     g.src.draws,
+
+		Latency:        g.res.Latency.Clone(),
+		QueueLatency:   g.res.QueueLatency.Clone(),
+		NetworkLatency: g.res.NetworkLatency.Clone(),
+		Hops:           g.res.Hops.Clone(),
+	}
+}
+
+// RestoreState rewinds a freshly constructed generator (same config as
+// the captured one) to the captured progress, RNG position included.
+func (g *Generator) RestoreState(s GeneratorState) error {
+	if g.sent != 0 || g.src.draws != 0 {
+		return fmt.Errorf("traffic: RestoreState needs a fresh generator")
+	}
+	g.base = s.Base
+	g.injecting = s.Injecting
+	g.injected = s.Injected
+	g.received = s.Received
+	g.sent = s.Sent
+	g.delivered = s.Delivered
+	g.src.skipTo(g.cfg.Seed, s.Draws)
+
+	g.res.Latency = s.Latency.Clone()
+	g.res.QueueLatency = s.QueueLatency.Clone()
+	g.res.NetworkLatency = s.NetworkLatency.Clone()
+	g.res.Hops = s.Hops.Clone()
+	return nil
+}

@@ -1,62 +1,89 @@
 #!/usr/bin/env bash
 # Per-package coverage ratchet: runs the short suite with atomic coverage
 # and fails if any package drops below its floor. Floors sit one point
-# under the coverage measured when the gate was introduced (PR 9); when a
-# PR raises a package's coverage durably, raise its floor to match — the
-# ratchet only turns one way.
+# under the coverage measured when the gate was introduced (PR 9, widened
+# in PR 10); when a PR raises a package's coverage durably, raise its
+# floor to match — the ratchet only turns one way.
+#
+# Coverage is computed from a single merged -coverpkg=./... profile, so a
+# package is credited for every test that exercises it — including the
+# root package's integration suites (golden pins, shard equivalence,
+# snapshot round-trips) — not just its own unit tests. That is the number
+# that answers "is this line ever executed under test?".
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 # The root package (gathernoc) is doc-only — no statements to cover —
-# so it has no floor; its tests still run as part of the sweep.
+# so it has no floor; its tests still run as part of the sweep. The
+# examples/ programs are exercised by CI's run-every-example step, not
+# by tests, so they carry no floors either.
 floors="
-gathernoc/cmd/benchreport 7
+gathernoc/cmd/benchreport 6
 gathernoc/cmd/cnntrace 85
-gathernoc/cmd/experiments 54
+gathernoc/cmd/experiments 56
 gathernoc/cmd/gatherviz 91
-gathernoc/cmd/nocsim 82
+gathernoc/cmd/nocsim 81
 gathernoc/internal/analytic 92
 gathernoc/internal/cnn 97
-gathernoc/internal/collective 88
-gathernoc/internal/core 85
+gathernoc/internal/collective 92
+gathernoc/internal/core 88
 gathernoc/internal/experiments 86
-gathernoc/internal/fault 94
-gathernoc/internal/flit 75
-gathernoc/internal/link 36
-gathernoc/internal/nic 52
-gathernoc/internal/noc 38
+gathernoc/internal/fault 95
+gathernoc/internal/flit 94
+gathernoc/internal/link 96
+gathernoc/internal/nic 92
+gathernoc/internal/noc 87
 gathernoc/internal/power 99
-gathernoc/internal/reduce 99
-gathernoc/internal/ring 97
-gathernoc/internal/router 78
-gathernoc/internal/sim 35
+gathernoc/internal/reduce 87
+gathernoc/internal/ring 94
+gathernoc/internal/router 87
+gathernoc/internal/sim 93
 gathernoc/internal/stats 95
-gathernoc/internal/systolic 90
-gathernoc/internal/telemetry 85
-gathernoc/internal/topology 89
-gathernoc/internal/traffic 78
-gathernoc/internal/workload 88
+gathernoc/internal/systolic 92
+gathernoc/internal/telemetry 89
+gathernoc/internal/topology 94
+gathernoc/internal/traffic 88
+gathernoc/internal/workload 90
 "
 
-out="$(go test -short -covermode=atomic -cover ./... 2>&1)" || {
-  echo "$out"
+profile="$(mktemp)"
+trap 'rm -f "$profile"' EXIT
+
+go test -short -covermode=atomic -coverpkg=./... -coverprofile="$profile" ./... || {
   echo "covergate: test run failed" >&2
   exit 1
 }
-echo "$out"
+
+# Profile lines: "file.go:start.col,end.col numstmt count". The merged
+# profile repeats a block once per test binary that instrumented it;
+# count statements once per block, covered if any binary hit it.
+summary="$(awk '
+  /^mode:/ { next }
+  {
+    split($1, loc, ":")
+    key = $1
+    stmt[key] = $2
+    if ($3 > 0) hit[key] = 1
+    pkg = loc[1]; sub(/\/[^\/]*$/, "", pkg)
+    pkgof[key] = pkg
+  }
+  END {
+    for (k in stmt) {
+      p = pkgof[k]
+      total[p] += stmt[k]
+      if (k in hit) covered[p] += stmt[k]
+    }
+    for (p in total) printf "%s %d\n", p, int(100 * covered[p] / total[p])
+  }
+' "$profile" | sort)"
+echo "$summary"
 
 fail=0
 while read -r pkg floor; do
   [ -z "$pkg" ] && continue
-  line="$(echo "$out" | grep -E "^ok[[:space:]]+$pkg[[:space:]]" || true)"
-  if [ -z "$line" ]; then
-    echo "covergate: no coverage line for $pkg" >&2
-    fail=1
-    continue
-  fi
-  pct="$(echo "$line" | grep -oE '[0-9]+\.[0-9]+% of statements' | grep -oE '^[0-9]+')"
+  pct="$(echo "$summary" | awk -v p="$pkg" '$1 == p { print $2 }')"
   if [ -z "$pct" ]; then
-    echo "covergate: cannot parse coverage for $pkg: $line" >&2
+    echo "covergate: no coverage data for $pkg" >&2
     fail=1
     continue
   fi

@@ -1,0 +1,372 @@
+package gathernoc
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"gathernoc/internal/fault"
+
+	"gathernoc/internal/noc"
+	"gathernoc/internal/traffic"
+)
+
+// snapRunConfig is the shared workload for the snapshot equivalence
+// suite: the same seeded uniform-random load the engine equivalence
+// tests replay, with the flit-pool leak checker armed.
+func snapRunConfig(shards int) (noc.Config, traffic.GeneratorConfig) {
+	cfg := noc.DefaultConfig(8, 8)
+	cfg.EastSinks = false
+	cfg.Shards = shards
+	cfg.DebugFlitPool = true
+	gcfg := traffic.GeneratorConfig{
+		Pattern:       traffic.UniformRandom{Nodes: 64},
+		InjectionRate: 0.05,
+		PacketFlits:   2,
+		Warmup:        200,
+		Measure:       1800,
+		Seed:          7,
+	}
+	return cfg, gcfg
+}
+
+// runSnapWorkload builds a network + generator pair, steps the engine to
+// pauseAt cycles (0 = don't pause), and returns the live pieces so the
+// caller can snapshot, fork, or run to completion.
+func buildSnapWorkload(t *testing.T, cfg noc.Config, gcfg traffic.GeneratorConfig) (*noc.Network, *traffic.Generator) {
+	t.Helper()
+	nw, err := noc.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := traffic.NewGenerator(nw, gcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw.Engine().AddTicker(gen)
+	return nw, gen
+}
+
+// finishSnapWorkload drives the pair to completion and returns the
+// result, asserting the flit pool drained to zero.
+func finishSnapWorkload(t *testing.T, nw *noc.Network, gen *traffic.Generator) *traffic.GeneratorResult {
+	t.Helper()
+	done := func() bool { return gen.Injected() && nw.Quiescent() }
+	cycles, err := nw.Engine().RunUntil(done, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if live := nw.FlitPool().Live(); live != 0 {
+		t.Errorf("flit pool leaked %d flits", live)
+	}
+	return gen.Result(cycles)
+}
+
+func sameGeneratorResult(t *testing.T, label string, a, b *traffic.GeneratorResult) {
+	t.Helper()
+	if a.Injected != b.Injected || a.Received != b.Received || a.Cycles != b.Cycles {
+		t.Errorf("%s: accounting diverged: inj=%d/%d recv=%d/%d cyc=%d/%d",
+			label, a.Injected, b.Injected, a.Received, b.Received, a.Cycles, b.Cycles)
+	}
+	if !sameSample(&a.Latency, &b.Latency) {
+		t.Errorf("%s: latency sample diverged: %v vs %v", label, &a.Latency, &b.Latency)
+	}
+	if !sameSample(&a.QueueLatency, &b.QueueLatency) {
+		t.Errorf("%s: queue-latency sample diverged", label)
+	}
+	if !sameSample(&a.NetworkLatency, &b.NetworkLatency) {
+		t.Errorf("%s: network-latency sample diverged", label)
+	}
+	if !sameSample(&a.Hops, &b.Hops) {
+		t.Errorf("%s: hops sample diverged", label)
+	}
+}
+
+// TestSnapshotResumeBitIdentical checkpoints a run mid-flight through
+// the full serialize/deserialize path, resumes it on a freshly built
+// network, and requires the resumed run's results — packet accounting,
+// every latency sample, and the network activity counters — to be
+// bit-identical to an uninterrupted run at every shard count.
+func TestSnapshotResumeBitIdentical(t *testing.T) {
+	for _, shards := range []int{0, 1, 2, 4} {
+		shards := shards
+		t.Run(fmt.Sprintf("shards%d", shards), func(t *testing.T) {
+			cfg, gcfg := snapRunConfig(shards)
+
+			// Reference: uninterrupted run.
+			refNW, refGen := buildSnapWorkload(t, cfg, gcfg)
+			defer refNW.Close()
+			refRes := finishSnapWorkload(t, refNW, refGen)
+			refAct := refNW.Activity()
+
+			// Interrupted run: stop mid-measurement, checkpoint, discard.
+			nw1, gen1 := buildSnapWorkload(t, cfg, gcfg)
+			nw1.Engine().Run(600)
+			snap, err := nw1.Snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			gstate := gen1.CaptureState()
+			data, err := noc.EncodeSnapshot(snap)
+			if err != nil {
+				t.Fatal(err)
+			}
+			nw1.Close()
+
+			// Resume on a fresh network from the serialized bytes.
+			decoded, err := noc.DecodeSnapshot(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			nw2, gen2 := buildSnapWorkload(t, cfg, gcfg)
+			defer nw2.Close()
+			if err := nw2.Restore(decoded); err != nil {
+				t.Fatal(err)
+			}
+			if err := gen2.RestoreState(gstate); err != nil {
+				t.Fatal(err)
+			}
+			if got := nw2.Engine().Cycle(); got != 600 {
+				t.Fatalf("restored engine at cycle %d, want 600", got)
+			}
+			res := finishSnapWorkload(t, nw2, gen2)
+
+			sameGeneratorResult(t, "resume", refRes, res)
+			if act := nw2.Activity(); act != refAct {
+				t.Errorf("activity diverged:\nref     %+v\nresumed %+v", refAct, act)
+			}
+		})
+	}
+}
+
+// TestSnapshotCrossShardRestore captures on a sequential network and
+// resumes on a 4-shard one: Shards is excluded from the canonical config
+// hash because schedules are bit-identical at every shard count, and the
+// snapshot layer must honor that equivalence end to end.
+func TestSnapshotCrossShardRestore(t *testing.T) {
+	seqCfg, gcfg := snapRunConfig(0)
+	refNW, refGen := buildSnapWorkload(t, seqCfg, gcfg)
+	defer refNW.Close()
+	refRes := finishSnapWorkload(t, refNW, refGen)
+
+	nw1, gen1 := buildSnapWorkload(t, seqCfg, gcfg)
+	nw1.Engine().Run(600)
+	snap, err := nw1.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gstate := gen1.CaptureState()
+	nw1.Close()
+
+	shardCfg, _ := snapRunConfig(4)
+	nw2, gen2 := buildSnapWorkload(t, shardCfg, gcfg)
+	defer nw2.Close()
+	if err := nw2.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := gen2.RestoreState(gstate); err != nil {
+		t.Fatal(err)
+	}
+	res := finishSnapWorkload(t, nw2, gen2)
+	sameGeneratorResult(t, "cross-shard", refRes, res)
+}
+
+// TestForkDivergenceIndependence forks a network mid-run and drives the
+// original and the fork to completion independently. Both must match the
+// uninterrupted reference bit for bit, and both pools must drain to zero
+// — any shared mutable state (an aliased destination set, a shared
+// sample chunk, a flit owned by the wrong pool) breaks one or the other.
+func TestForkDivergenceIndependence(t *testing.T) {
+	cfg, gcfg := snapRunConfig(0)
+
+	refNW, refGen := buildSnapWorkload(t, cfg, gcfg)
+	defer refNW.Close()
+	refRes := finishSnapWorkload(t, refNW, refGen)
+
+	nw1, gen1 := buildSnapWorkload(t, cfg, gcfg)
+	defer nw1.Close()
+	nw1.Engine().Run(600)
+	gstate := gen1.CaptureState()
+	fork, err := nw1.Fork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fork.Close()
+
+	// Original continues first, fork after — if the fork aliased any of
+	// the original's state, the original's extra 1000+ cycles of mutation
+	// corrupt the fork's replay.
+	res1 := finishSnapWorkload(t, nw1, gen1)
+
+	genF, err := traffic.NewGenerator(fork, gcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fork.Engine().AddTicker(genF)
+	if err := genF.RestoreState(gstate); err != nil {
+		t.Fatal(err)
+	}
+	resF := finishSnapWorkload(t, fork, genF)
+
+	sameGeneratorResult(t, "original", refRes, res1)
+	sameGeneratorResult(t, "fork", refRes, resF)
+	if a, b := nw1.Activity(), fork.Activity(); a != b {
+		t.Errorf("activity diverged between original and fork:\noriginal %+v\nfork     %+v", a, b)
+	}
+}
+
+// TestSnapshotRejectsMismatchedConfig proves the config-hash guard: a
+// snapshot must not restore onto a semantically different network.
+func TestSnapshotRejectsMismatchedConfig(t *testing.T) {
+	cfg, _ := snapRunConfig(0)
+	nw, err := noc.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	snap, err := nw.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	other := cfg
+	other.Router.BufferDepth++
+	nw2, err := noc.New(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw2.Close()
+	if err := nw2.Restore(snap); err == nil {
+		t.Fatal("restore onto a different config succeeded, want hash-mismatch error")
+	}
+}
+
+// TestSnapshotResumeWithFaults is the reliability variant of the resume
+// contract: with seeded fault injection active, the doomed-packet sets
+// and drop/corrupt counters ride the snapshot, so a resumed run replays
+// the exact same loss schedule and retransmissions as the uninterrupted
+// one.
+func TestSnapshotResumeWithFaults(t *testing.T) {
+	cfg, gcfg := snapRunConfig(0)
+	cfg.Faults = &fault.Config{Seed: 21, DropRate: 0.05, CorruptRate: 0.02}
+
+	refNW, refGen := buildSnapWorkload(t, cfg, gcfg)
+	defer refNW.Close()
+	refRes := finishSnapWorkload(t, refNW, refGen)
+	refAct := refNW.Activity()
+
+	nw1, gen1 := buildSnapWorkload(t, cfg, gcfg)
+	nw1.Engine().Run(600)
+	snap, err := nw1.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gstate := gen1.CaptureState()
+	data, err := noc.EncodeSnapshot(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw1.Close()
+
+	decoded, err := noc.DecodeSnapshot(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw2, gen2 := buildSnapWorkload(t, cfg, gcfg)
+	defer nw2.Close()
+	if err := nw2.Restore(decoded); err != nil {
+		t.Fatal(err)
+	}
+	if err := gen2.RestoreState(gstate); err != nil {
+		t.Fatal(err)
+	}
+	res := finishSnapWorkload(t, nw2, gen2)
+
+	sameGeneratorResult(t, "faulty resume", refRes, res)
+	if act := nw2.Activity(); act != refAct {
+		t.Errorf("activity diverged under faults:\nref     %+v\nresumed %+v", refAct, act)
+	}
+}
+
+// TestSnapshotRoundTripMidCollection freezes a gather (and an INA)
+// collection mid-round — station entries queued, VC-held entry pointers
+// live — restores onto a fresh network and requires the re-captured
+// snapshot to serialize byte-identically: capture and restore are exact
+// inverses even for the protocol state the synthetic workloads never
+// exercise.
+func TestSnapshotRoundTripMidCollection(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		scheme traffic.CollectScheme
+	}{
+		{"gather", traffic.CollectGather},
+		{"ina", traffic.CollectINA},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := noc.DefaultConfig(4, 4)
+			cfg.DebugFlitPool = true
+			if tc.scheme == traffic.CollectINA {
+				cfg.EnableINA = true
+			}
+			nw, err := noc.New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer nw.Close()
+			ctrl, err := traffic.NewAccumulationController(nw, traffic.AccumulationConfig{
+				Scheme: tc.scheme, Rounds: 2, ComputeLatency: 20,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			eng := nw.Engine()
+			eng.AddTicker(ctrl)
+
+			// Step cycle by cycle until a station holds an in-flight entry.
+			var snap *noc.Snapshot
+			for !ctrl.Done() && eng.Cycle() < 10_000 {
+				eng.Run(1)
+				s, err := nw.Snapshot()
+				if err != nil {
+					t.Fatal(err)
+				}
+				entries := 0
+				for _, rs := range s.Routers {
+					entries += len(rs.GatherStation) + len(rs.ReduceStation)
+				}
+				if entries > 0 {
+					snap = s
+					break
+				}
+			}
+			if snap == nil {
+				t.Fatal("no in-flight station entries observed; workload too small")
+			}
+			data1, err := noc.EncodeSnapshot(snap)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			nw2, err := noc.New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer nw2.Close()
+			if err := nw2.Restore(snap); err != nil {
+				t.Fatal(err)
+			}
+			snap2, err := nw2.Snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			data2, err := noc.EncodeSnapshot(snap2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(data1, data2) {
+				t.Errorf("restore is not an exact inverse of capture:\n%s\nvs\n%s", data1, data2)
+			}
+		})
+	}
+}
